@@ -1,0 +1,16 @@
+//! `cargo bench` entry point: regenerates all paper figures with reduced
+//! sweeps (quick mode) so the whole run stays in minutes. Run the
+//! `all_figures` binary (or the per-figure binaries) in release mode for
+//! the full sweeps recorded in EXPERIMENTS.md.
+fn main() {
+    if std::env::var("BENCH_QUICK").is_err() {
+        std::env::set_var("BENCH_QUICK", "1");
+    }
+    rbc_bench::figs::fig4::run();
+    rbc_bench::figs::fig5::run();
+    rbc_bench::figs::fig6::run();
+    rbc_bench::figs::fig7::run();
+    rbc_bench::figs::fig8::run();
+    rbc_bench::figs::fig9::run();
+    rbc_bench::figs::ablations::run();
+}

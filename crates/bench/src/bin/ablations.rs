@@ -1,0 +1,4 @@
+//! Runs the extension/ablation experiments (assignment, schedule, §VI).
+fn main() {
+    rbc_bench::figs::ablations::run();
+}

@@ -1,0 +1,11 @@
+//! Regenerates every table and figure of the paper's evaluation, plus the
+//! ablations. `BENCH_QUICK=1` shrinks the sweeps.
+fn main() {
+    rbc_bench::figs::fig4::run();
+    rbc_bench::figs::fig5::run();
+    rbc_bench::figs::fig6::run();
+    rbc_bench::figs::fig7::run();
+    rbc_bench::figs::fig8::run();
+    rbc_bench::figs::fig9::run();
+    rbc_bench::figs::ablations::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 of the paper. `BENCH_QUICK=1` for a fast sweep.
+fn main() {
+    rbc_bench::figs::fig4::run();
+}

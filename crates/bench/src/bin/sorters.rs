@@ -1,0 +1,4 @@
+//! Extension: the §IV sorting-algorithm families side by side.
+fn main() {
+    rbc_bench::figs::sorters::run();
+}

@@ -1,0 +1,62 @@
+//! Fig. 4: running times of `MPI_Iscan` vs `rbc::Iscan`, doubles, per-rank
+//! element counts swept (paper: 2^15 cores, n/p = 2^0..2^18).
+//!
+//! Expected shape: all implementations coincide for small n/p (startup
+//! dominated); for large n/p RBC outperforms the vendor scans by up to an
+//! order of magnitude (paper: factor up to 16).
+
+use mpisim::nbcoll::Progress;
+use mpisim::{ops, SimConfig, Time, VendorProfile};
+use rbc::RbcComm;
+
+use crate::figs::scale;
+use crate::{measure, ms, pow2_sweep, reps, Table};
+
+fn vendor_iscan(p: usize, n_per: usize, vendor: VendorProfile) -> Time {
+    let cfg = SimConfig::default().with_vendor(vendor);
+    measure(p, cfg, reps(5), move |env, rep| {
+        let w = &env.world;
+        let data: Vec<f64> = (0..n_per).map(|i| (i + rep) as f64).collect();
+        w.barrier().unwrap();
+        let t0 = env.now();
+        let mut sm = w.iscan(&data, ops::sum::<f64>()).unwrap();
+        while !sm.poll().unwrap() {
+            std::thread::yield_now();
+        }
+        env.now() - t0
+    })
+}
+
+fn rbc_iscan(p: usize, n_per: usize, vendor: VendorProfile) -> Time {
+    let cfg = SimConfig::default().with_vendor(vendor);
+    measure(p, cfg, reps(5), move |env, rep| {
+        let w = RbcComm::create(&env.world);
+        let data: Vec<f64> = (0..n_per).map(|i| (i + rep) as f64).collect();
+        w.barrier().unwrap();
+        let t0 = env.now();
+        let mut sm = w.iscan(&data, ops::sum::<f64>(), None).unwrap();
+        while !sm.poll().unwrap() {
+            std::thread::yield_now();
+        }
+        env.now() - t0
+    })
+}
+
+pub fn run() -> Vec<Table> {
+    let p = scale::p_elems();
+    let mut t = Table::new(
+        &format!("Fig 4 — nonblocking scan on {p} cores (doubles)"),
+        "n/p",
+        &["IBM MPI Iscan", "Intel MPI Iscan", "RBC Iscan (IBM p2p)"],
+    );
+    for n_per in pow2_sweep(0, scale::max_elem_exp()) {
+        let n_per = n_per as usize;
+        let ibm = vendor_iscan(p, n_per, VendorProfile::ibm_like());
+        let intel = vendor_iscan(p, n_per, VendorProfile::intel_like());
+        let rbc = rbc_iscan(p, n_per, VendorProfile::ibm_like());
+        t.push(n_per as u64, vec![ms(ibm), ms(intel), ms(rbc)]);
+    }
+    t.print();
+    t.write_csv("fig4_iscan");
+    vec![t]
+}

@@ -1,0 +1,149 @@
+//! Fig. 9 (a–h): nonblocking collectives — broadcast, reduce, scan, gather
+//! — MPI vs RBC on both vendor personalities (paper: 2^15 cores; gather
+//! swept only to 2^10 elements since the root receives p·n).
+//!
+//! Expected shape: RBC performs like the vendor collectives for small
+//! inputs; for large inputs the vendor scans (and Intel-like
+//! broadcast/reduce, with jitter) fall behind — "our range-based
+//! communicator creation does not come with hidden overheads".
+
+use mpisim::nbcoll::Progress;
+use mpisim::{ops, SimConfig, Time, Transport, VendorProfile};
+use rbc::RbcComm;
+
+use crate::figs::scale;
+use crate::{measure, ms, pow2_sweep, reps, Table};
+
+#[derive(Clone, Copy, PartialEq)]
+pub enum Op {
+    Bcast,
+    Reduce,
+    Scan,
+    Gather,
+}
+
+impl Op {
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Bcast => "Broadcast",
+            Op::Reduce => "Reduce",
+            Op::Scan => "Scan",
+            Op::Gather => "Gather",
+        }
+    }
+}
+
+fn run_native(env: &mpisim::ProcEnv, op: Op, n: usize, rep: usize) -> Time {
+    let w = &env.world;
+    let data: Vec<f64> = (0..n).map(|i| (i + rep) as f64).collect();
+    w.barrier().unwrap();
+    let t0 = env.now();
+    match op {
+        Op::Bcast => {
+            let payload = (w.rank() == 0).then(|| data.clone());
+            let mut sm = w.ibcast(payload, 0).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+        Op::Reduce => {
+            let mut sm = w.ireduce(&data, 0, ops::sum::<f64>()).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+        Op::Scan => {
+            let mut sm = w.iscan(&data, ops::sum::<f64>()).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+        Op::Gather => {
+            let mut sm = w.igather(data, 0).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+    }
+    env.now() - t0
+}
+
+fn run_rbc(env: &mpisim::ProcEnv, op: Op, n: usize, rep: usize) -> Time {
+    let w = RbcComm::create(&env.world);
+    let data: Vec<f64> = (0..n).map(|i| (i + rep) as f64).collect();
+    w.barrier().unwrap();
+    let t0 = env.now();
+    match op {
+        Op::Bcast => {
+            let payload = (w.rank() == 0).then(|| data.clone());
+            let mut sm = w.ibcast(payload, 0, None).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+        Op::Reduce => {
+            let mut sm = w.ireduce(&data, 0, ops::sum::<f64>(), None).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+        Op::Scan => {
+            let mut sm = w.iscan(&data, ops::sum::<f64>(), None).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+        Op::Gather => {
+            let mut sm = w.igather(data, 0, None).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+        }
+    }
+    env.now() - t0
+}
+
+pub fn panel(op: Op, vendor: VendorProfile) -> Table {
+    let p = scale::p_elems();
+    let max_exp = if op == Op::Gather {
+        scale::max_elem_exp().min(10)
+    } else {
+        scale::max_elem_exp()
+    };
+    let mut t = Table::new(
+        &format!("Fig 9 — {} with {} on {p} cores", op.name(), vendor.name),
+        "n/p",
+        &["MPI", "RBC"],
+    );
+    for n in pow2_sweep(0, max_exp) {
+        let n = n as usize;
+        let v = vendor.clone();
+        let native = measure(p, SimConfig::default().with_vendor(v.clone()), reps(5), move |env, rep| {
+            run_native(env, op, n, rep)
+        });
+        let v = vendor.clone();
+        let rbc = measure(p, SimConfig::default().with_vendor(v), reps(5), move |env, rep| {
+            run_rbc(env, op, n, rep)
+        });
+        t.push(n as u64, vec![ms(native), ms(rbc)]);
+    }
+    t
+}
+
+pub fn run() -> Vec<Table> {
+    let mut out = Vec::new();
+    for op in [Op::Bcast, Op::Reduce, Op::Scan, Op::Gather] {
+        for vendor in [VendorProfile::ibm_like(), VendorProfile::intel_like()] {
+            let name = format!(
+                "fig9_{}_{}",
+                op.name().to_lowercase(),
+                if vendor.name.starts_with("ibm") { "ibm" } else { "intel" }
+            );
+            let t = panel(op, vendor);
+            t.print();
+            t.write_csv(&name);
+            out.push(t);
+        }
+    }
+    out
+}

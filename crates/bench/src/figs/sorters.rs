@@ -1,0 +1,94 @@
+//! Extension experiment: the paper's §IV algorithm families side by side.
+//!
+//! §IV frames distributed sorting as a trade-off spectrum — single-level
+//! sample sort (one data exchange, needs n = Ω(p²/log p)), hypercube
+//! quicksort (polylogarithmic, power-of-two p, unbalanced), multi-level
+//! sample sort (in between) — and JQuick as the balanced, any-p member of
+//! the quicksort family. This sweep measures all four over n/p (virtual
+//! time) and their output imbalance on skewed input.
+
+use jquick::{
+    hypercube, imbalance_factor, jquick_sort, multilevel, samplesort, workloads, JQuickConfig,
+    Layout, PivotCfg, RbcBackend, SampleSortCfg,
+};
+use mpisim::{SimConfig, Time, Transport};
+use rbc::RbcComm;
+
+use crate::figs::scale;
+use crate::{measure, ms, pow2_sweep, reps, Table};
+
+fn sort_time(algo: &'static str, p: usize, n_per: u64) -> (Time, f64) {
+    let n = n_per * p as u64;
+    let imb = std::sync::Mutex::new(1.0f64);
+    let t = {
+        let imb = &imb;
+        measure(p, SimConfig::default(), reps(3), move |env, rep| {
+            let w = &env.world;
+            let layout = Layout::new(n, p as u64);
+            let data =
+                workloads::generate(&layout, w.rank() as u64, rep as u64 * 13 + 1, workloads::Dist::Skewed);
+            w.barrier().unwrap();
+            let t0 = env.now();
+            let out = match algo {
+                "jquick" => {
+                    jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default())
+                        .unwrap()
+                        .0
+                }
+                "hypercube" => hypercube::hypercube_sort(w, data, &PivotCfg::default()).unwrap(),
+                "samplesort" => {
+                    samplesort::sample_sort(w, data, &SampleSortCfg::default()).unwrap()
+                }
+                _ => {
+                    let world = RbcComm::create(w);
+                    multilevel::multilevel_sample_sort(
+                        &world,
+                        data,
+                        &multilevel::MultiLevelCfg::default(),
+                    )
+                    .unwrap()
+                    .0
+                }
+            };
+            let dt = env.now() - t0;
+            let f = imbalance_factor(w, out.len()).unwrap();
+            if w.rank() == 0 {
+                let mut g = imb.lock().unwrap();
+                *g = g.max(f);
+            }
+            dt
+        })
+    };
+    (t, imb.into_inner().unwrap())
+}
+
+pub fn run() -> Vec<Table> {
+    let p = scale::p_elems().next_power_of_two() / 2; // hypercube needs 2^k
+    let mut t = Table::new(
+        &format!("Extension — §IV sorting algorithms on {p} cores (skewed doubles)"),
+        "n/p",
+        &["JQuick (RBC)", "Hypercube qsort", "Sample sort", "Multi-level (k=4)"],
+    );
+    let mut imb = Table::with_unit(
+        &format!("Extension — max/avg output size on {p} cores (skewed doubles)"),
+        "n/p",
+        &["JQuick (RBC)", "Hypercube qsort", "Sample sort", "Multi-level (k=4)"],
+        "ratio",
+    );
+    for n_per in pow2_sweep(2, scale::max_elem_exp().min(12)) {
+        let mut times = Vec::new();
+        let mut imbs = Vec::new();
+        for algo in ["jquick", "hypercube", "samplesort", "multilevel"] {
+            let (dt, f) = sort_time(algo, p, n_per);
+            times.push(ms(dt));
+            imbs.push(f);
+        }
+        t.push(n_per, times);
+        imb.push(n_per, imbs);
+    }
+    t.print();
+    t.write_csv("ext_sorters_time");
+    imb.print();
+    imb.write_csv("ext_sorters_imbalance");
+    vec![t, imb]
+}

@@ -1,0 +1,178 @@
+//! Shared benchmark harness utilities.
+//!
+//! Every figure binary builds a [`Table`] (one row per x value, one column
+//! per series), prints it as markdown, and writes a CSV under `results/`.
+//! Timing follows the paper's protocol: an operation's running time is the
+//! **maximum over ranks** of per-rank virtual elapsed time, **averaged over
+//! repetitions** (the paper uses 5 reps for microbenchmarks, 7/3 for
+//! sorting).
+
+use std::fs;
+
+pub mod figs;
+use std::path::Path;
+
+use mpisim::{SimConfig, Time};
+
+/// Number of repetitions, scaled down in quick mode.
+pub fn reps(full: usize) -> usize {
+    if quick_mode() {
+        2
+    } else {
+        full
+    }
+}
+
+/// `BENCH_QUICK=1` shrinks sweeps so `cargo bench` stays fast; the figure
+/// binaries run full sweeps by default.
+pub fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Powers of two in `[2^lo, 2^hi]`, truncated in quick mode.
+pub fn pow2_sweep(lo: u32, hi: u32) -> Vec<u64> {
+    let hi = if quick_mode() { hi.min(lo + 4) } else { hi };
+    (lo..=hi).map(|e| 1u64 << e).collect()
+}
+
+/// A result table: one named series per column.
+pub struct Table {
+    pub title: String,
+    pub xlabel: String,
+    pub series: Vec<String>,
+    pub unit: String,
+    pub rows: Vec<(u64, Vec<f64>)>,
+}
+
+impl Table {
+    pub fn new(title: &str, xlabel: &str, series: &[&str]) -> Table {
+        Table::with_unit(title, xlabel, series, "ms")
+    }
+
+    pub fn with_unit(title: &str, xlabel: &str, series: &[&str], unit: &str) -> Table {
+        Table {
+            title: title.to_string(),
+            xlabel: xlabel.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            unit: unit.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: u64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len());
+        self.rows.push((x, values));
+    }
+
+    /// Render as a markdown table of milliseconds.
+    pub fn print(&self) {
+        println!("\n## {}\n", self.title);
+        print!("| {} |", self.xlabel);
+        for s in &self.series {
+            if self.unit.is_empty() {
+                print!(" {s} |");
+            } else {
+                print!(" {s} [{}] |", self.unit);
+            }
+        }
+        println!();
+        print!("|---|");
+        for _ in &self.series {
+            print!("---|");
+        }
+        println!();
+        for (x, vals) in &self.rows {
+            print!("| {x} |");
+            for v in vals {
+                print!(" {v:.4} |");
+            }
+            println!();
+        }
+    }
+
+    /// Write `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let dir = Path::new("results");
+        let _ = fs::create_dir_all(dir);
+        let mut out = self.xlabel.clone();
+        for s in &self.series {
+            out.push_str(&format!(",{s}"));
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&x.to_string());
+            for v in vals {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        let path = dir.join(format!("{name}.csv"));
+        if fs::write(&path, out).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Run `op` on `p` ranks `reps` times and report the mean over reps of the
+/// per-rep makespan (max over ranks of virtual elapsed time). The closure
+/// receives `(env, rep_index)` and must return its elapsed virtual time.
+pub fn measure<F>(p: usize, cfg: SimConfig, reps: usize, op: F) -> Time
+where
+    F: Fn(&mpisim::ProcEnv, usize) -> Time + Send + Sync,
+{
+    let res = mpisim::Universe::run(p, cfg, |env| {
+        let mut times = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            times.push(op(&env, rep));
+        }
+        times
+    });
+    // Per rep: max over ranks; then mean over reps.
+    let mut total = 0u64;
+    for rep in 0..reps {
+        let max = res
+            .per_rank
+            .iter()
+            .map(|ts| ts[rep].as_nanos())
+            .max()
+            .unwrap_or(0);
+        total += max;
+    }
+    Time(total / reps as u64)
+}
+
+/// Convert to the milliseconds the tables report.
+pub fn ms(t: Time) -> f64 {
+    t.as_millis_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes() {
+        std::env::remove_var("BENCH_QUICK");
+        assert_eq!(pow2_sweep(0, 3), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("t", "x", &["a", "b"]);
+        t.push(1, vec![0.5, 1.5]);
+        t.push(2, vec![0.25, 2.5]);
+        assert_eq!(t.rows.len(), 2);
+        t.print(); // smoke
+    }
+
+    #[test]
+    fn measure_reports_makespan_mean() {
+        let t = measure(3, SimConfig::default(), 2, |env, rep| {
+            let dt = Time::from_millis((env.rank() as u64 + 1) * (rep as u64 + 1));
+            env.state().charge(dt);
+            dt
+        });
+        // Rep 0 makespan 3ms, rep 1 makespan 6ms -> mean 4.5ms.
+        assert_eq!(t, Time::from_micros(4500));
+    }
+}

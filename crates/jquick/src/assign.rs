@@ -1,0 +1,288 @@
+//! Data assignment: who sends which elements where (paper §VII, step 3).
+//!
+//! After partitioning, the task's elements are conceptually renumbered:
+//! small elements occupy task positions `[0, S)` in (process, local) order,
+//! large elements `[S, N)`. Process `i` knows from the prefix sum `s_i`
+//! (its small count over predecessors) exactly which global *positions* its
+//! own smalls and larges land on, and the layout maps positions to target
+//! processes — so the greedy assignment is a purely local computation:
+//! every process receives exactly its window's worth (perfect balance by
+//! construction), and each sender emits at most two messages per side.
+//!
+//! The paper notes a receiver may get Θ(min(p, n/p)) messages in the worst
+//! case and cites a deterministic assignment \[20\] bounding both sides by a
+//! constant. [`crate::exchange`] implements a staged (recursive-bisection)
+//! exchange as the bounded-degree stand-in; this module computes the greedy
+//! message list and the per-receiver expectations both exchanges rely on.
+
+use crate::layout::{Layout, TaskRange};
+
+/// One outgoing message of the exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutMsg {
+    /// Target process (global index).
+    pub target: u64,
+    /// Range within my local (small or large) partition buffer.
+    pub local_range: (usize, usize),
+    /// The side the elements belong to.
+    pub small: bool,
+    /// Global position of the first element of this message (used by the
+    /// staged exchange and by assertions).
+    pub first_pos: u64,
+}
+
+/// Slice a run of `count` elements starting at global position `start`
+/// into per-owner-window chunks.
+fn slice_run(
+    layout: &Layout,
+    start: u64,
+    count: u64,
+    small: bool,
+    out: &mut Vec<OutMsg>,
+) {
+    if count == 0 {
+        return;
+    }
+    let mut pos = start;
+    let end = start + count;
+    let mut local = 0usize;
+    while pos < end {
+        let owner = layout.owner(pos);
+        let (_, w1) = layout.window(owner);
+        let take = (w1.min(end) - pos) as usize;
+        out.push(OutMsg {
+            target: owner,
+            local_range: (local, local + take),
+            small,
+            first_pos: pos,
+        });
+        local += take;
+        pos += take as u64;
+    }
+}
+
+/// Compute my outgoing messages for this level.
+///
+/// * `task` — the task's global position range;
+/// * `s_excl` — number of small elements on task processes before me;
+/// * `my_small`, `my_large` — my partition sizes;
+/// * `off_excl` — number of task elements on processes before me
+///   (so my larges-before count is `off_excl - s_excl`, the paper's
+///   `l_i = i·n/p − s_i` generalised);
+/// * `s_total` — total small elements in the task.
+pub fn greedy_assignment(
+    layout: &Layout,
+    task: &TaskRange,
+    s_excl: u64,
+    my_small: u64,
+    my_large: u64,
+    off_excl: u64,
+    s_total: u64,
+) -> Vec<OutMsg> {
+    let mut out = Vec::with_capacity(4);
+    // Smalls land on positions [task.lo + s_excl, +my_small).
+    slice_run(layout, task.lo + s_excl, my_small, true, &mut out);
+    // Larges land after ALL smalls: [task.lo + s_total + l_i, +my_large).
+    let l_excl = off_excl - s_excl;
+    slice_run(layout, task.lo + s_total + l_excl, my_large, false, &mut out);
+    out
+}
+
+/// What a process must receive in this exchange: exactly the intersection
+/// of its window with the small and large position ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvExpectation {
+    pub small_count: u64,
+    pub large_count: u64,
+}
+
+pub fn recv_expectation(
+    layout: &Layout,
+    task: &TaskRange,
+    s_total: u64,
+    me: u64,
+) -> RecvExpectation {
+    let cut = task.lo + s_total;
+    RecvExpectation {
+        small_count: layout.overlap(me, task.lo, cut),
+        large_count: layout.overlap(me, cut, task.hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate a whole-task assignment: every process computes its
+    /// messages; check global invariants.
+    fn simulate(
+        layout: &Layout,
+        task: &TaskRange,
+        smalls: &[u64], // per task process, in order
+    ) -> (Vec<Vec<OutMsg>>, u64) {
+        let (f, l) = task.procs(layout);
+        let s_total: u64 = smalls.iter().sum();
+        let mut all = Vec::new();
+        let mut s_excl = 0u64;
+        let mut off_excl = 0u64;
+        for (k, i) in (f..=l).enumerate() {
+            let load = task.load_of(layout, i);
+            let my_small = smalls[k];
+            assert!(my_small <= load);
+            all.push(greedy_assignment(
+                layout,
+                task,
+                s_excl,
+                my_small,
+                load - my_small,
+                off_excl,
+                s_total,
+            ));
+            s_excl += my_small;
+            off_excl += load;
+        }
+        (all, s_total)
+    }
+
+    fn check_invariants(layout: &Layout, task: &TaskRange, all: &[Vec<OutMsg>], s_total: u64) {
+        let (f, l) = task.procs(layout);
+        // 1. Each sender sends at most 2 messages per side (contiguous runs
+        //    crossing window boundaries).
+        for msgs in all {
+            assert!(msgs.iter().filter(|m| m.small).count() <= 2 + 1);
+            assert!(msgs.iter().filter(|m| !m.small).count() <= 2 + 1);
+        }
+        // 2. Every process receives exactly its expectation.
+        for i in f..=l {
+            let exp = recv_expectation(layout, task, s_total, i);
+            let got_small: u64 = all
+                .iter()
+                .flatten()
+                .filter(|m| m.target == i && m.small)
+                .map(|m| (m.local_range.1 - m.local_range.0) as u64)
+                .sum();
+            let got_large: u64 = all
+                .iter()
+                .flatten()
+                .filter(|m| m.target == i && !m.small)
+                .map(|m| (m.local_range.1 - m.local_range.0) as u64)
+                .sum();
+            assert_eq!(got_small, exp.small_count, "proc {i} smalls");
+            assert_eq!(got_large, exp.large_count, "proc {i} larges");
+            // Perfect balance: expectation sums to the window∩task load.
+            assert_eq!(
+                exp.small_count + exp.large_count,
+                task.load_of(layout, i),
+                "proc {i} balance"
+            );
+        }
+        // 3. Positions are disjoint and cover [task.lo, task.hi).
+        let mut covered: Vec<(u64, u64)> = all
+            .iter()
+            .flatten()
+            .map(|m| {
+                let len = (m.local_range.1 - m.local_range.0) as u64;
+                (m.first_pos, m.first_pos + len)
+            })
+            .collect();
+        covered.sort_unstable();
+        let mut expect = task.lo;
+        for (a, b) in covered {
+            assert_eq!(a, expect, "gap or overlap at {a}");
+            expect = b;
+        }
+        assert_eq!(expect, task.hi);
+    }
+
+    #[test]
+    fn full_task_uniform() {
+        let layout = Layout::new(24, 4);
+        let task = TaskRange { lo: 0, hi: 24 };
+        let (all, s_total) = simulate(&layout, &task, &[3, 1, 6, 2]);
+        assert_eq!(s_total, 12);
+        check_invariants(&layout, &task, &all, s_total);
+    }
+
+    #[test]
+    fn partial_windows_at_both_ends() {
+        // Task [5, 21) of 24/4: proc 0 contributes 1, proc 3 contributes 3.
+        let layout = Layout::new(24, 4);
+        let task = TaskRange { lo: 5, hi: 21 };
+        let (all, s_total) = simulate(&layout, &task, &[1, 2, 6, 0]);
+        check_invariants(&layout, &task, &all, s_total);
+    }
+
+    #[test]
+    fn extreme_splits() {
+        let layout = Layout::new(20, 5);
+        let task = TaskRange { lo: 0, hi: 20 };
+        // All small.
+        let (all, s) = simulate(&layout, &task, &[4, 4, 4, 4, 4]);
+        check_invariants(&layout, &task, &all, s);
+        // All large.
+        let (all, s) = simulate(&layout, &task, &[0, 0, 0, 0, 0]);
+        check_invariants(&layout, &task, &all, s);
+    }
+
+    #[test]
+    fn ragged_layout_assignment() {
+        let layout = Layout::new(11, 3); // caps 4, 4, 3
+        let task = TaskRange { lo: 0, hi: 11 };
+        let (all, s) = simulate(&layout, &task, &[2, 4, 1]);
+        check_invariants(&layout, &task, &all, s);
+    }
+
+    #[test]
+    fn single_process_task() {
+        let layout = Layout::new(12, 3);
+        let task = TaskRange { lo: 4, hi: 8 }; // exactly proc 1's window
+        let (all, s) = simulate(&layout, &task, &[3]);
+        check_invariants(&layout, &task, &all, s);
+        // Everything stays on proc 1.
+        for m in all[0].iter() {
+            assert_eq!(m.target, 1);
+        }
+    }
+
+    #[test]
+    fn janus_cut_inside_window() {
+        let layout = Layout::new(32, 4); // windows of 8
+        let task = TaskRange { lo: 0, hi: 32 };
+        // s_total = 11: cut at position 11, inside proc 1's window [8,16).
+        let (all, s) = simulate(&layout, &task, &[5, 3, 2, 1]);
+        assert_eq!(s, 11);
+        check_invariants(&layout, &task, &all, s);
+        let exp = recv_expectation(&layout, &task, s, 1);
+        // Proc 1 is the janus: 3 smalls + 5 larges = its 8-slot window.
+        assert_eq!((exp.small_count, exp.large_count), (3, 5));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn invariants_hold_for_random_tasks(
+            n in 4u64..200,
+            p in 1u64..16,
+            lo_frac in 0.0f64..1.0,
+            hi_frac in 0.0f64..1.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let p = p.min(n);
+            let layout = Layout::new(n, p);
+            let mut lo = (lo_frac * n as f64) as u64;
+            let mut hi = (hi_frac * n as f64) as u64;
+            if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+            if lo == hi { hi = (lo + 1).min(n); if lo == hi { lo -= 1; } }
+            let task = TaskRange { lo, hi };
+            let (f, l) = task.procs(&layout);
+            // Pseudorandom small counts bounded by loads.
+            let mut state = seed | 1;
+            let smalls: Vec<u64> = (f..=l).map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let load = task.load_of(&layout, i);
+                if load == 0 { 0 } else { state % (load + 1) }
+            }).collect();
+            let (all, s_total) = simulate(&layout, &task, &smalls);
+            check_invariants(&layout, &task, &all, s_total);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Communicator backends: the comparison axis of the paper's Fig. 8.
+//!
+//! JQuick is generic over how process-group communicators are obtained:
+//!
+//! * [`RbcBackend`] — `rbc::Split_RBC_Comm`: local, O(1), no communication;
+//! * [`MpiBackend`] — native `MPI_Comm_create_group` per recursion level:
+//!   a blocking collective whose cost grows with the group size (and is
+//!   catastrophic under the IBM-like profile).
+//!
+//! Both backends run the *same* JQuick code; collective traffic is scaled
+//! by the backend's [`CollScales`] (vendor profile for native MPI, neutral
+//! for RBC), mirroring that native JQuick uses `MPI_Ibcast`/`MPI_Iscan`
+//! etc. while RBC JQuick uses RBC's p2p-composed collectives.
+
+use mpisim::model::CollScales;
+use mpisim::{Comm, Result, Tag, Transport};
+use rbc::RbcComm;
+
+/// Splitting schedule for janus processes (paper §VIII-C): "In our
+/// alternating schedule every other janus process splits the left group
+/// first and the remaining janus processes split the right group first."
+/// Cascaded splitting makes every janus split its left group first, which
+/// chains native communicator constructions across the whole machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    #[default]
+    Alternating,
+    Cascaded,
+}
+
+impl Schedule {
+    /// Should process `me` create its LEFT-extending group first?
+    pub fn left_first(&self, me: u64) -> bool {
+        match self {
+            Schedule::Cascaded => true,
+            Schedule::Alternating => me.is_multiple_of(2),
+        }
+    }
+}
+
+pub trait Backend: Send + Sync {
+    type C: Transport;
+
+    /// A communicator over all processes, with rank == global index.
+    fn world(&self, world: &Comm) -> Result<Self::C>;
+
+    /// Derive the communicator for ranks `f..=l` (in `parent`'s rank
+    /// space). For RBC this is local and O(1); for native MPI it is a
+    /// blocking collective over the new group.
+    fn split_range(&self, parent: &Self::C, f: usize, l: usize, tag: Tag) -> Result<Self::C>;
+
+    /// Cost scaling of collective operations on this backend's comms.
+    fn coll_scales(&self, c: &Self::C) -> CollScales;
+
+    fn name(&self) -> &'static str;
+}
+
+/// RBC: lightweight range-based communicators.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RbcBackend;
+
+impl Backend for RbcBackend {
+    type C = RbcComm;
+
+    fn world(&self, world: &Comm) -> Result<RbcComm> {
+        Ok(RbcComm::create(world))
+    }
+
+    fn split_range(&self, parent: &RbcComm, f: usize, l: usize, _tag: Tag) -> Result<RbcComm> {
+        parent.split(f, l)
+    }
+
+    fn coll_scales(&self, _c: &RbcComm) -> CollScales {
+        CollScales::NEUTRAL
+    }
+
+    fn name(&self) -> &'static str {
+        "rbc"
+    }
+}
+
+/// Native MPI: one blocking `MPI_Comm_create_group` per subtask per level.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpiBackend;
+
+impl Backend for MpiBackend {
+    type C = Comm;
+
+    fn world(&self, world: &Comm) -> Result<Comm> {
+        Ok(world.clone())
+    }
+
+    fn split_range(&self, parent: &Comm, f: usize, l: usize, tag: Tag) -> Result<Comm> {
+        let group = parent.group().subrange(f, l, 1);
+        parent.create_group(&group, tag)
+    }
+
+    fn coll_scales(&self, c: &Comm) -> CollScales {
+        c.proc_state().router.vendor.coll_scale
+    }
+
+    fn name(&self) -> &'static str {
+        "mpi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Universe;
+
+    #[test]
+    fn schedule_parity() {
+        assert!(Schedule::Alternating.left_first(0));
+        assert!(!Schedule::Alternating.left_first(1));
+        assert!(Schedule::Cascaded.left_first(0));
+        assert!(Schedule::Cascaded.left_first(1));
+    }
+
+    #[test]
+    fn backends_split_equivalently() {
+        let res = Universe::run_default(6, |env| {
+            let rb = RbcBackend.world(&env.world).unwrap();
+            let mb = MpiBackend.world(&env.world).unwrap();
+            let me = env.rank();
+            let (f, l) = if me < 3 { (0, 2) } else { (3, 5) };
+            let rc = RbcBackend.split_range(&rb, f, l, 900).unwrap();
+            let mc = MpiBackend.split_range(&mb, f, l, 902).unwrap();
+            (rc.rank(), rc.size(), mc.rank(), mc.size())
+        });
+        for (r, (rr, rs, mr, ms)) in res.per_rank.into_iter().enumerate() {
+            assert_eq!((rr, rs), (r % 3, 3));
+            assert_eq!((mr, ms), (r % 3, 3));
+        }
+    }
+
+    #[test]
+    fn rbc_split_is_cheaper_than_mpi_split() {
+        let res = Universe::run_default(8, |env| {
+            let me = env.rank();
+            let (f, l) = if me < 4 { (0, 3) } else { (4, 7) };
+            let rb = RbcBackend.world(&env.world).unwrap();
+            let t0 = env.now();
+            RbcBackend.split_range(&rb, f, l, 0).unwrap();
+            let rbc_cost = env.now() - t0;
+            let mb = MpiBackend.world(&env.world).unwrap();
+            let t0 = env.now();
+            MpiBackend.split_range(&mb, f, l, 904).unwrap();
+            let mpi_cost = env.now() - t0;
+            (rbc_cost, mpi_cost)
+        });
+        for (rbc_cost, mpi_cost) in res.per_rank {
+            assert!(
+                mpi_cost.as_nanos() > 20 * rbc_cost.as_nanos().max(1),
+                "rbc={rbc_cost} mpi={mpi_cost}"
+            );
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Base cases (paper §VII, phase 2).
+//!
+//! "Base cases are subtasks covering only one or two processes." They are
+//! queued during the distributed phase and only executed after it, "so that
+//! a janus process does not delay the execution of a larger subtask while
+//! sorting a base case." All base-case machines run concurrently, again so
+//! that a process holding several of them cannot deadlock its partners.
+//!
+//! Two-process case: both sides exchange their elements, build the *same*
+//! union sequence (left process's elements first), sort it with the same
+//! deterministic total order, and keep complementary slices — the left
+//! process the first `cap_left` elements, the right the rest. This is
+//! equivalent to the paper's receive + quickselect + local sort but makes
+//! the duplicate-key split manifestly complementary on both sides.
+
+use mpisim::{Result, SortKey, Src, Tag, Transport};
+
+use crate::layout::{Layout, TaskRange};
+
+/// Base-case data exchange tag. A single constant suffices: two distinct
+/// 2-process base tasks can never involve the same process pair (tasks are
+/// disjoint position ranges, and a pair shares exactly one window
+/// boundary).
+const BASE_TAG: Tag = 50;
+
+/// A queued base-case task: my part of a task covering ≤ 2 processes.
+pub struct BaseTask<T> {
+    pub task: TaskRange,
+    pub data: Vec<T>,
+}
+
+/// A settled piece of output: globally sorted at positions
+/// `[lo, lo + data.len())`.
+pub struct Settled<T> {
+    pub lo: u64,
+    pub data: Vec<T>,
+}
+
+pub enum BaseSm<T: SortKey, C: Transport> {
+    Solo {
+        out: Option<Settled<T>>,
+    },
+    Pair {
+        c: C,
+        task: TaskRange,
+        layout: Layout,
+        me: u64,
+        partner: u64,
+        mine: Vec<T>,
+        theirs: Option<Vec<T>>,
+        out: Option<Settled<T>>,
+    },
+}
+
+impl<T: SortKey + mpisim::Datum, C: Transport> BaseSm<T, C> {
+    /// Start a base case. `world` must be a communicator whose rank space
+    /// equals global process indices. `me` is my global index.
+    pub fn start(world: &C, layout: Layout, me: u64, bt: BaseTask<T>) -> Result<BaseSm<T, C>> {
+        let (f, l) = bt.task.procs(&layout);
+        debug_assert!(l - f <= 1, "base case covers at most two processes");
+        if f == l {
+            let mut data = bt.data;
+            sort_charged(world, &mut data);
+            return Ok(BaseSm::Solo {
+                out: Some(Settled {
+                    lo: bt.task.lo,
+                    data,
+                }),
+            });
+        }
+        let partner = if me == f { l } else { f };
+        world.send(&bt.data, partner as usize, BASE_TAG)?;
+        let mut sm = BaseSm::Pair {
+            c: world.clone(),
+            task: bt.task,
+            layout,
+            me,
+            partner,
+            mine: bt.data,
+            theirs: None,
+            out: None,
+        };
+        sm.poll()?;
+        Ok(sm)
+    }
+
+    pub fn poll(&mut self) -> Result<bool> {
+        match self {
+            BaseSm::Solo { .. } => Ok(true),
+            BaseSm::Pair {
+                c,
+                task,
+                layout,
+                me,
+                partner,
+                mine,
+                theirs,
+                out,
+            } => {
+                if out.is_some() {
+                    return Ok(true);
+                }
+                if theirs.is_none() {
+                    match c.try_recv::<T>(Src::Rank(*partner as usize), BASE_TAG)? {
+                        None => return Ok(false),
+                        Some((v, _)) => *theirs = Some(v),
+                    }
+                }
+                let theirs = theirs.take().expect("received");
+                let mine_v = std::mem::take(mine);
+                let i_am_left = *me < *partner;
+                // Identical union sequence on both sides: left's data first.
+                let mut union = if i_am_left {
+                    let mut u = mine_v;
+                    u.extend(theirs);
+                    u
+                } else {
+                    let mut u = theirs;
+                    u.extend(mine_v);
+                    u
+                };
+                sort_charged(c, &mut union);
+                let (f, _) = task.procs(layout);
+                let cap_left = task.load_of(layout, f) as usize;
+                let (keep, lo) = if i_am_left {
+                    (union[..cap_left].to_vec(), task.lo)
+                } else {
+                    (union[cap_left..].to_vec(), task.lo + cap_left as u64)
+                };
+                *out = Some(Settled { lo, data: keep });
+                Ok(true)
+            }
+        }
+    }
+
+    pub fn take(&mut self) -> Option<Settled<T>> {
+        match self {
+            BaseSm::Solo { out } | BaseSm::Pair { out, .. } => out.take(),
+        }
+    }
+}
+
+/// Local comparison sort with an O(m log m) virtual-time charge.
+fn sort_charged<T: SortKey>(tr: &impl Transport, data: &mut [T]) {
+    let m = data.len();
+    if m > 1 {
+        let log_m = (usize::BITS - (m - 1).leading_zeros()) as usize;
+        tr.charge_compute(m * log_m);
+    }
+    data.sort_by(T::cmp_key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Universe;
+
+    #[test]
+    fn solo_base_sorts_locally() {
+        let res = Universe::run_default(1, |env| {
+            let layout = Layout::new(5, 1);
+            let bt = BaseTask {
+                task: TaskRange { lo: 0, hi: 5 },
+                data: vec![4u64, 1, 3, 0, 2],
+            };
+            let mut sm = BaseSm::start(&env.world, layout, 0, bt).unwrap();
+            assert!(sm.poll().unwrap());
+            let s = sm.take().unwrap();
+            (s.lo, s.data)
+        });
+        assert_eq!(res.per_rank[0], (0, vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn pair_base_splits_complementarily() {
+        let res = Universe::run_default(2, |env| {
+            let w = &env.world;
+            let layout = Layout::new(8, 2);
+            let task = TaskRange { lo: 0, hi: 8 };
+            let data = if w.rank() == 0 {
+                vec![7u64, 0, 5, 2]
+            } else {
+                vec![6, 1, 4, 3]
+            };
+            let bt = BaseTask { task, data };
+            let mut sm = BaseSm::start(w, layout, w.rank() as u64, bt).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+            let s = sm.take().unwrap();
+            (s.lo, s.data)
+        });
+        assert_eq!(res.per_rank[0], (0, vec![0, 1, 2, 3]));
+        assert_eq!(res.per_rank[1], (4, vec![4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn pair_base_with_duplicates_is_complementary() {
+        let res = Universe::run_default(2, |env| {
+            let w = &env.world;
+            let layout = Layout::new(6, 2);
+            let task = TaskRange { lo: 0, hi: 6 };
+            // Many duplicates straddling the cut.
+            let data = if w.rank() == 0 {
+                vec![5u64, 5, 5]
+            } else {
+                vec![5, 1, 5]
+            };
+            let bt = BaseTask { task, data };
+            let mut sm = BaseSm::start(w, layout, w.rank() as u64, bt).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+            sm.take().unwrap().data
+        });
+        let mut all = res.per_rank[0].clone();
+        all.extend(&res.per_rank[1]);
+        assert_eq!(all, vec![1, 5, 5, 5, 5, 5]);
+        assert_eq!(res.per_rank[0].len(), 3);
+        assert_eq!(res.per_rank[1].len(), 3);
+    }
+
+    #[test]
+    fn pair_base_partial_windows() {
+        // Task [3, 7) over windows [0,4) and [4,8): left holds 1, right 3.
+        let res = Universe::run_default(2, |env| {
+            let w = &env.world;
+            let layout = Layout::new(8, 2);
+            let task = TaskRange { lo: 3, hi: 7 };
+            let data = if w.rank() == 0 {
+                vec![9u64]
+            } else {
+                vec![2, 11, 7]
+            };
+            let bt = BaseTask { task, data };
+            let mut sm = BaseSm::start(w, layout, w.rank() as u64, bt).unwrap();
+            while !sm.poll().unwrap() {
+                std::thread::yield_now();
+            }
+            let s = sm.take().unwrap();
+            (s.lo, s.data)
+        });
+        assert_eq!(res.per_rank[0], (3, vec![2]));
+        assert_eq!(res.per_rank[1], (4, vec![7, 9, 11]));
+    }
+}

@@ -1,0 +1,390 @@
+//! The data-exchange step (paper §VII, step 4), as nonblocking state
+//! machines so a janus process can drive two exchanges simultaneously.
+//!
+//! Two implementations:
+//!
+//! * [`GreedyExchange`] — the paper's greedy message assignment: every
+//!   process isends its (at most ~4) contiguous chunks directly to their
+//!   target processes, then "receives messages until n/p elements have been
+//!   received". A receiver may face Θ(min(p, n/p)) incoming messages in the
+//!   worst case.
+//! * [`StagedExchange`] — a bounded-degree stand-in for the deterministic
+//!   message assignment of \[20\]: elements travel to their targets by
+//!   recursive bisection of the process range, one send and O(1) receives
+//!   per process per round, ⌈log₂ q⌉ rounds. Same O(α log p) startup
+//!   budget as \[20\], at the price of possibly forwarding data O(log p)
+//!   times.
+//!
+//! Both are generic over [`Transport`] and communicate within the task's
+//! communicator using user-level tags (distinct per side), relying on RBC's
+//! ≤1-process-overlap guarantee between adjacent tasks (§V-A).
+
+use mpisim::{Result, SortKey, Src, Transport};
+
+use crate::assign::{greedy_assignment, recv_expectation, OutMsg, RecvExpectation};
+use crate::layout::{Layout, TaskRange};
+
+/// Tags used inside a level; plain user tags, safe because simultaneously
+/// active tasks share at most one process (the janus).
+pub mod tags {
+    use mpisim::Tag;
+    pub const X_SMALL: Tag = 40;
+    pub const X_LARGE: Tag = 42;
+    pub const X_STAGED: Tag = 44;
+}
+
+/// Which exchange algorithm to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AssignmentKind {
+    #[default]
+    Greedy,
+    Staged,
+}
+
+/// Result of an exchange: my received small and large elements (exactly my
+/// window's intersection with each side — perfect balance).
+pub struct Exchanged<T> {
+    pub small: Vec<T>,
+    pub large: Vec<T>,
+}
+
+pub enum ExchangeSm<T: SortKey, C: Transport> {
+    Greedy(GreedyExchange<T, C>),
+    Staged(StagedExchange<T, C>),
+}
+
+impl<T: SortKey, C: Transport> ExchangeSm<T, C> {
+    /// Start an exchange. `small`/`large` are my partition halves;
+    /// `s_excl`/`off_excl` are my prefix counts within the task;
+    /// `s_total` the task-wide small count. `first_proc` maps task-comm
+    /// ranks to global process indices (`global = first_proc + rank`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        kind: AssignmentKind,
+        c: &C,
+        layout: Layout,
+        task: TaskRange,
+        first_proc: u64,
+        small: Vec<T>,
+        large: Vec<T>,
+        s_excl: u64,
+        off_excl: u64,
+        s_total: u64,
+    ) -> Result<ExchangeSm<T, C>> {
+        match kind {
+            AssignmentKind::Greedy => Ok(ExchangeSm::Greedy(GreedyExchange::start(
+                c, layout, task, first_proc, small, large, s_excl, off_excl, s_total,
+            )?)),
+            AssignmentKind::Staged => Ok(ExchangeSm::Staged(StagedExchange::start(
+                c, layout, task, first_proc, small, large, s_excl, off_excl, s_total,
+            )?)),
+        }
+    }
+
+    pub fn poll(&mut self) -> Result<bool> {
+        match self {
+            ExchangeSm::Greedy(x) => x.poll(),
+            ExchangeSm::Staged(x) => x.poll(),
+        }
+    }
+
+    pub fn take(&mut self) -> Option<Exchanged<T>> {
+        match self {
+            ExchangeSm::Greedy(x) => x.take(),
+            ExchangeSm::Staged(x) => x.take(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------------
+
+pub struct GreedyExchange<T: SortKey, C: Transport> {
+    c: C,
+    exp: RecvExpectation,
+    small: Vec<T>,
+    large: Vec<T>,
+    done: bool,
+}
+
+impl<T: SortKey, C: Transport> GreedyExchange<T, C> {
+    #[allow(clippy::too_many_arguments)]
+    fn start(
+        c: &C,
+        layout: Layout,
+        task: TaskRange,
+        first_proc: u64,
+        small: Vec<T>,
+        large: Vec<T>,
+        s_excl: u64,
+        off_excl: u64,
+        s_total: u64,
+    ) -> Result<GreedyExchange<T, C>> {
+        let me = first_proc + c.rank() as u64;
+        let msgs: Vec<OutMsg> = greedy_assignment(
+            &layout,
+            &task,
+            s_excl,
+            small.len() as u64,
+            large.len() as u64,
+            off_excl,
+            s_total,
+        );
+        let exp = recv_expectation(&layout, &task, s_total, me);
+        let mut sm = GreedyExchange {
+            c: c.clone(),
+            exp,
+            small: Vec::with_capacity(exp.small_count as usize),
+            large: Vec::with_capacity(exp.large_count as usize),
+            done: false,
+        };
+        // Fire all sends up front (nonblocking, buffered). Chunks addressed
+        // to myself are delivered locally without a message.
+        for m in msgs {
+            let src = if m.small { &small } else { &large };
+            let chunk = src[m.local_range.0..m.local_range.1].to_vec();
+            if m.target == me {
+                if m.small {
+                    sm.small.extend_from_slice(&chunk);
+                } else {
+                    sm.large.extend_from_slice(&chunk);
+                }
+            } else {
+                let dest_rank = (m.target - first_proc) as usize;
+                let tag = if m.small { tags::X_SMALL } else { tags::X_LARGE };
+                c.send_vec(chunk, dest_rank, tag)?;
+            }
+        }
+        sm.poll()?;
+        Ok(sm)
+    }
+
+    fn poll(&mut self) -> Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        // Receive until the window's worth of each side has arrived.
+        while (self.small.len() as u64) < self.exp.small_count {
+            match self.c.try_recv::<T>(Src::Any, tags::X_SMALL)? {
+                None => break,
+                Some((v, _)) => self.small.extend_from_slice(&v),
+            }
+        }
+        while (self.large.len() as u64) < self.exp.large_count {
+            match self.c.try_recv::<T>(Src::Any, tags::X_LARGE)? {
+                None => break,
+                Some((v, _)) => self.large.extend_from_slice(&v),
+            }
+        }
+        debug_assert!(self.small.len() as u64 <= self.exp.small_count);
+        debug_assert!(self.large.len() as u64 <= self.exp.large_count);
+        self.done = self.small.len() as u64 == self.exp.small_count
+            && self.large.len() as u64 == self.exp.large_count;
+        Ok(self.done)
+    }
+
+    fn take(&mut self) -> Option<Exchanged<T>> {
+        self.done.then(|| Exchanged {
+            small: std::mem::take(&mut self.small),
+            large: std::mem::take(&mut self.large),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Staged (recursive bisection)
+// ---------------------------------------------------------------------------
+
+pub struct StagedExchange<T: SortKey, C: Transport> {
+    c: C,
+    layout: Layout,
+    first_proc: u64,
+    me: u64,
+    cut: u64,
+    /// Elements I currently hold, tagged with their global target position.
+    held: Vec<(T, u64)>,
+    /// Current process interval `[a, b]` (global indices) containing me.
+    a: u64,
+    b: u64,
+    /// Senders I still expect this round (task-comm ranks).
+    await_from: Vec<usize>,
+    done: bool,
+}
+
+/// Partner of `x` when `[a, b]` splits at `mid` (first process of the right
+/// half): mirror into the other half, clamped to the interval.
+fn partner(x: u64, a: u64, b: u64, mid: u64) -> u64 {
+    let shift = mid - a;
+    if x < mid {
+        (x + shift).min(b)
+    } else {
+        x - shift // >= a by construction (right half is never larger)
+    }
+}
+
+impl<T: SortKey, C: Transport> StagedExchange<T, C> {
+    #[allow(clippy::too_many_arguments)]
+    fn start(
+        c: &C,
+        layout: Layout,
+        task: TaskRange,
+        first_proc: u64,
+        small: Vec<T>,
+        large: Vec<T>,
+        s_excl: u64,
+        off_excl: u64,
+        s_total: u64,
+    ) -> Result<StagedExchange<T, C>> {
+        let me = first_proc + c.rank() as u64;
+        let (f, l) = task.procs(&layout);
+        debug_assert_eq!(f, first_proc);
+        let cut = task.lo + s_total;
+        // Tag every element with its destination position.
+        let mut held = Vec::with_capacity(small.len() + large.len());
+        for (i, x) in small.into_iter().enumerate() {
+            held.push((x, task.lo + s_excl + i as u64));
+        }
+        let l_excl = off_excl - s_excl;
+        for (i, x) in large.into_iter().enumerate() {
+            held.push((x, cut + l_excl + i as u64));
+        }
+        let mut sm = StagedExchange {
+            c: c.clone(),
+            layout,
+            first_proc,
+            me,
+            cut,
+            held,
+            a: f,
+            b: l,
+            await_from: Vec::new(),
+            done: false,
+        };
+        sm.poll()?;
+        Ok(sm)
+    }
+
+    fn begin_round(&mut self) -> Result<()> {
+        let (a, b, me) = (self.a, self.b, self.me);
+        let mid = a + (b - a + 1).div_ceil(2); // left half is the larger
+        // Ship everything whose target lives in the other half.
+        let my_partner = partner(me, a, b, mid);
+        let (keep, ship): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
+            .into_iter()
+            .partition(|&(_, pos)| (self.layout.owner(pos) < mid) == (me < mid));
+        self.held = keep;
+        let dest_rank = (my_partner - self.first_proc) as usize;
+        // Always send (possibly empty) so receive counts are deterministic.
+        self.c.send_vec(ship, dest_rank, tags::X_STAGED)?;
+        // Who sends to me this round? Every x in the other half with
+        // partner(x) == me.
+        self.await_from = (a..=b)
+            .filter(|&x| (x < mid) != (me < mid) && partner(x, a, b, mid) == me)
+            .map(|x| (x - self.first_proc) as usize)
+            .collect();
+        // Narrow my interval to my half. NOTE: the round is only complete
+        // once `await_from` drains — `poll` must check that BEFORE testing
+        // `a == b`, otherwise the final round's receives would be dropped.
+        if me < mid {
+            self.b = mid - 1;
+        } else {
+            self.a = mid;
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<bool> {
+        if self.done {
+            return Ok(true);
+        }
+        loop {
+            // Drain the current round's expected senders first.
+            let mut i = 0;
+            while i < self.await_from.len() {
+                let src = self.await_from[i];
+                match self.c.try_recv::<(T, u64)>(Src::Rank(src), tags::X_STAGED)? {
+                    None => i += 1,
+                    Some((v, _)) => {
+                        self.held.extend(v);
+                        self.await_from.swap_remove(i);
+                    }
+                }
+            }
+            if !self.await_from.is_empty() {
+                return Ok(false);
+            }
+            if self.a == self.b {
+                // Routing finished: everything I hold targets me.
+                debug_assert!(self
+                    .held
+                    .iter()
+                    .all(|&(_, pos)| self.layout.owner(pos) == self.me));
+                self.done = true;
+                return Ok(true);
+            }
+            self.begin_round()?;
+        }
+    }
+
+    fn take(&mut self) -> Option<Exchanged<T>> {
+        if !self.done {
+            return None;
+        }
+        // Reassemble in position order so the output is deterministic.
+        let mut held = std::mem::take(&mut self.held);
+        held.sort_by_key(|&(_, pos)| pos);
+        self.c.charge_compute(held.len());
+        let cut = self.cut;
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for (x, pos) in held {
+            if pos < cut {
+                small.push(x);
+            } else {
+                large.push(x);
+            }
+        }
+        Some(Exchanged { small, large })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_mirrors_and_clamps() {
+        // [0..=4], mid = 3 (left {0,1,2}, right {3,4}).
+        assert_eq!(partner(0, 0, 4, 3), 3);
+        assert_eq!(partner(1, 0, 4, 3), 4);
+        assert_eq!(partner(2, 0, 4, 3), 4); // clamped
+        assert_eq!(partner(3, 0, 4, 3), 0);
+        assert_eq!(partner(4, 0, 4, 3), 1);
+    }
+
+    #[test]
+    fn every_proc_has_bounded_incoming_degree() {
+        for q in 2u64..40 {
+            let a = 0;
+            let b = q - 1;
+            let mid = a + (b - a + 1).div_ceil(2);
+            for me in a..=b {
+                let senders = (a..=b)
+                    .filter(|&x| (x < mid) != (me < mid) && partner(x, a, b, mid) == me)
+                    .count();
+                assert!(senders <= 2, "q={q} me={me} senders={senders}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_partners_are_symmetric_for_balanced_halves() {
+        let (a, b) = (0u64, 7u64);
+        let mid = 4;
+        for x in a..=b {
+            let p = partner(x, a, b, mid);
+            assert_eq!(partner(p, a, b, mid), x);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Global element layout: who owns which element positions.
+//!
+//! JQuick guarantees *perfect balance*: after every level each process
+//! stores ⌊n/p⌋ or ⌈n/p⌉ elements (paper §VII). We fix each process's
+//! capacity up front — process `i` owns the contiguous *window* of global
+//! element positions `[prefix(i), prefix(i+1))` — and every task (recursive
+//! subproblem) is a contiguous range of positions. All assignment
+//! arithmetic reduces to intersecting ranges with windows, which also
+//! generalises the paper's `n`-multiple-of-`p` assumption to arbitrary `n`.
+
+/// The global layout of `n` elements over `p` processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    pub n: u64,
+    pub p: u64,
+}
+
+impl Layout {
+    pub fn new(n: u64, p: u64) -> Layout {
+        assert!(p >= 1, "need at least one process");
+        assert!(n >= p, "JQuick requires at least one element per process");
+        Layout { n, p }
+    }
+
+    /// Capacity of process `i`: ⌊n/p⌋ or ⌈n/p⌉ (the first `n mod p`
+    /// processes get the extra element).
+    pub fn cap(&self, i: u64) -> u64 {
+        debug_assert!(i < self.p);
+        self.n / self.p + u64::from(i < self.n % self.p)
+    }
+
+    /// First global position owned by process `i` (`prefix(p) = n`).
+    pub fn prefix(&self, i: u64) -> u64 {
+        debug_assert!(i <= self.p);
+        i * (self.n / self.p) + i.min(self.n % self.p)
+    }
+
+    /// The window of process `i` as a half-open global position range.
+    pub fn window(&self, i: u64) -> (u64, u64) {
+        (self.prefix(i), self.prefix(i + 1))
+    }
+
+    /// The process owning global position `pos` (O(1) via the inverse of
+    /// `prefix`, then corrected by at most one step).
+    pub fn owner(&self, pos: u64) -> u64 {
+        debug_assert!(pos < self.n);
+        let floor = self.n / self.p;
+        let rem = self.n % self.p;
+        // Positions < rem*(floor+1) belong to the "big" processes.
+        if pos < rem * (floor + 1) {
+            pos / (floor + 1)
+        } else {
+            rem + (pos - rem * (floor + 1)) / floor
+        }
+    }
+
+    /// Number of positions of `[lo, hi)` owned by process `i`.
+    pub fn overlap(&self, i: u64, lo: u64, hi: u64) -> u64 {
+        let (w0, w1) = self.window(i);
+        w1.min(hi).saturating_sub(w0.max(lo))
+    }
+}
+
+/// A task: a contiguous range of global element positions, handled by the
+/// contiguous range of processes whose windows it intersects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskRange {
+    /// Global position range `[lo, hi)`.
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl TaskRange {
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// First and last process of this task.
+    pub fn procs(&self, layout: &Layout) -> (u64, u64) {
+        debug_assert!(!self.is_empty());
+        (layout.owner(self.lo), layout.owner(self.hi - 1))
+    }
+
+    /// Number of processes covering this task.
+    pub fn nprocs(&self, layout: &Layout) -> u64 {
+        let (f, l) = self.procs(layout);
+        l - f + 1
+    }
+
+    /// Elements of this task held by process `i`.
+    pub fn load_of(&self, layout: &Layout, i: u64) -> u64 {
+        layout.overlap(i, self.lo, self.hi)
+    }
+
+    /// The paper's "remaining load of the first process" `r` (§VII): how
+    /// many of the first process's capacity positions fall in this task.
+    pub fn remaining_load_first(&self, layout: &Layout) -> u64 {
+        let (f, _) = self.procs(layout);
+        self.load_of(layout, f)
+    }
+
+    /// Split at `s_total` small elements: returns the (possibly empty)
+    /// left and right subranges.
+    pub fn split_at(&self, s_total: u64) -> (TaskRange, TaskRange) {
+        debug_assert!(s_total <= self.len());
+        let cut = self.lo + s_total;
+        (
+            TaskRange {
+                lo: self.lo,
+                hi: cut,
+            },
+            TaskRange {
+                lo: cut,
+                hi: self.hi,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_layout() {
+        let l = Layout::new(16, 4);
+        assert_eq!((0..4).map(|i| l.cap(i)).collect::<Vec<_>>(), vec![4; 4]);
+        assert_eq!(l.prefix(0), 0);
+        assert_eq!(l.prefix(2), 8);
+        assert_eq!(l.prefix(4), 16);
+    }
+
+    #[test]
+    fn ragged_layout() {
+        let l = Layout::new(10, 3); // caps 4, 3, 3
+        assert_eq!(l.cap(0), 4);
+        assert_eq!(l.cap(1), 3);
+        assert_eq!(l.cap(2), 3);
+        assert_eq!(l.prefix(3), 10);
+        let total: u64 = (0..3).map(|i| l.cap(i)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn owner_inverts_prefix() {
+        for (n, p) in [(16u64, 4u64), (10, 3), (7, 7), (1000, 13), (13, 13)] {
+            let l = Layout::new(n, p);
+            for pos in 0..n {
+                let o = l.owner(pos);
+                let (w0, w1) = l.window(o);
+                assert!(
+                    w0 <= pos && pos < w1,
+                    "n={n} p={p} pos={pos} owner={o} window=({w0},{w1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_counts() {
+        let l = Layout::new(12, 3); // windows [0,4) [4,8) [8,12)
+        assert_eq!(l.overlap(0, 2, 6), 2);
+        assert_eq!(l.overlap(1, 2, 6), 2);
+        assert_eq!(l.overlap(2, 2, 6), 0);
+        assert_eq!(l.overlap(1, 0, 12), 4);
+    }
+
+    #[test]
+    fn task_procs_and_loads() {
+        let l = Layout::new(12, 3);
+        let t = TaskRange { lo: 3, hi: 9 };
+        assert_eq!(t.procs(&l), (0, 2));
+        assert_eq!(t.nprocs(&l), 3);
+        assert_eq!(t.load_of(&l, 0), 1);
+        assert_eq!(t.load_of(&l, 1), 4);
+        assert_eq!(t.load_of(&l, 2), 1);
+        assert_eq!(t.remaining_load_first(&l), 1);
+    }
+
+    #[test]
+    fn split_at_boundary_and_interior() {
+        let t = TaskRange { lo: 10, hi: 30 };
+        let (a, b) = t.split_at(0);
+        assert!(a.is_empty());
+        assert_eq!(b, t);
+        let (a, b) = t.split_at(20);
+        assert_eq!(a, t);
+        assert!(b.is_empty());
+        let (a, b) = t.split_at(7);
+        assert_eq!((a.lo, a.hi, b.lo, b.hi), (10, 17, 17, 30));
+    }
+
+    /// Consistency with the paper's remaining-load update formula in the
+    /// uniform case: r' = n/p − (n/p + s_total − r) mod n/p, for the first
+    /// process of the right subgroup (when the cut falls strictly inside a
+    /// window).
+    #[test]
+    fn paper_remaining_load_formula_uniform_case() {
+        let l = Layout::new(64, 8); // n/p = 8
+        let npp = 8u64;
+        // Task covering procs 2..=6 partially: positions [19, 53).
+        let t = TaskRange { lo: 19, hi: 53 };
+        let r = t.remaining_load_first(&l);
+        assert_eq!(r, 5); // window of proc 2 is [16,24): 24-19 = 5
+        for s_total in 1..t.len() {
+            let (_, right) = t.split_at(s_total);
+            if right.is_empty() {
+                continue;
+            }
+            let cut = t.lo + s_total;
+            if cut.is_multiple_of(npp) {
+                // Cut on a window boundary: no janus; formula not applicable.
+                continue;
+            }
+            if l.owner(cut) == l.owner(t.hi - 1) {
+                // Cut in the task's LAST (partial) window: the paper's
+                // formula assumes the janus has a full n/p window on its
+                // right side, which does not hold at the task edge.
+                continue;
+            }
+            let r_new = right.remaining_load_first(&l);
+            let formula = npp - (npp + s_total + npp - r) % npp;
+            assert_eq!(
+                r_new, formula,
+                "s_total={s_total} r={r} r_new={r_new} formula={formula}"
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Local partitioning with duplicate handling.
+//!
+//! The paper handles duplicate keys "by carefully switching between the
+//! compare functions `<` and `≤`" (\[8\], §VIII-A): on even levels the left
+//! partition holds elements strictly smaller than the pivot, on odd levels
+//! elements smaller *or equal*. A run of duplicates therefore goes entirely
+//! right on one level and entirely left on the next, so it cannot pin the
+//! recursion to one side forever.
+
+use std::cmp::Ordering;
+
+use mpisim::SortKey;
+
+/// Which comparison defines the "small" side on this level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strictness {
+    /// small ⇔ `x < pivot`
+    Lt,
+    /// small ⇔ `x ≤ pivot`
+    Le,
+}
+
+impl Strictness {
+    /// The paper's alternation: `<` on even levels, `≤` on odd levels.
+    pub fn for_level(level: u32) -> Strictness {
+        if level.is_multiple_of(2) {
+            Strictness::Lt
+        } else {
+            Strictness::Le
+        }
+    }
+
+    pub fn is_small<T: SortKey>(&self, x: &T, pivot: &T) -> bool {
+        matches!(
+            (self, x.cmp_key(pivot)),
+            (Strictness::Lt, Ordering::Less)
+                | (Strictness::Le, Ordering::Less | Ordering::Equal)
+        )
+    }
+}
+
+/// Partition `data` into (small, large) by `pivot` under `strict`.
+/// Preserves relative order within each side (stable), which keeps the
+/// algorithm deterministic given deterministic pivots.
+pub fn partition<T: SortKey>(data: Vec<T>, pivot: &T, strict: Strictness) -> (Vec<T>, Vec<T>) {
+    let mut small = Vec::with_capacity(data.len() / 2 + 1);
+    let mut large = Vec::with_capacity(data.len() / 2 + 1);
+    for x in data {
+        if strict.is_small(&x, pivot) {
+            small.push(x);
+        } else {
+            large.push(x);
+        }
+    }
+    (small, large)
+}
+
+/// Index of the median element of `sorted` (upper median for even length).
+pub fn median_index(len: usize) -> usize {
+    debug_assert!(len > 0);
+    len / 2
+}
+
+/// Median of a sample (sorts the sample; samples are small).
+pub fn sample_median<T: SortKey>(mut sample: Vec<T>) -> T {
+    debug_assert!(!sample.is_empty());
+    sample.sort_by(T::cmp_key);
+    sample[median_index(sample.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternation_by_level() {
+        assert_eq!(Strictness::for_level(0), Strictness::Lt);
+        assert_eq!(Strictness::for_level(1), Strictness::Le);
+        assert_eq!(Strictness::for_level(2), Strictness::Lt);
+    }
+
+    #[test]
+    fn strict_vs_lenient_on_duplicates() {
+        let data = vec![3u64, 5, 5, 7, 5, 1];
+        let (s, l) = partition(data.clone(), &5, Strictness::Lt);
+        assert_eq!(s, vec![3, 1]);
+        assert_eq!(l, vec![5, 5, 7, 5]);
+        let (s, l) = partition(data, &5, Strictness::Le);
+        assert_eq!(s, vec![3, 5, 5, 5, 1]);
+        assert_eq!(l, vec![7]);
+    }
+
+    #[test]
+    fn all_equal_flips_sides_across_levels() {
+        let data = vec![4u64; 6];
+        let (s, _) = partition(data.clone(), &4, Strictness::Lt);
+        assert!(s.is_empty(), "Lt sends duplicates right");
+        let (s, l) = partition(data, &4, Strictness::Le);
+        assert_eq!(s.len(), 6, "Le sends duplicates left");
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn partition_preserves_multiset() {
+        let data = vec![9u64, 2, 7, 2, 8, 1, 7];
+        let (mut s, l) = partition(data.clone(), &7, Strictness::Lt);
+        s.extend(l);
+        s.sort_unstable();
+        let mut orig = data;
+        orig.sort_unstable();
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn floats_with_total_order() {
+        let data = vec![1.5f64, -0.0, 0.0, 2.5];
+        let (s, _) = partition(data, &0.0, Strictness::Lt);
+        // total_cmp: -0.0 < 0.0
+        assert_eq!(s, vec![-0.0]);
+        assert!(s[0].is_sign_negative());
+    }
+
+    #[test]
+    fn sample_median_odd_even() {
+        assert_eq!(sample_median(vec![5u64, 1, 9]), 5);
+        assert_eq!(sample_median(vec![4u64, 1, 9, 5]), 5); // upper median
+        assert_eq!(sample_median(vec![7u64]), 7);
+    }
+}

@@ -1,0 +1,322 @@
+//! Distributed 2-D QuickHull on RBC communicators.
+//!
+//! The paper's conclusion (§IX) suggests applying RBC "to other
+//! divide-and-conquer algorithms such as QuickHull": like quicksort,
+//! QuickHull recursively partitions its input and would need one
+//! communicator per recursion node with native MPI. This module is that
+//! application, exercising the same RBC machinery as JQuick — O(1) group
+//! splitting and collectives on sub-ranges.
+//!
+//! Algorithm: points are distributed over processes. The global leftmost
+//! and rightmost points are found with an all-reduce; each recursion level
+//! keeps only the points outside the current hull edge, finds the farthest
+//! point (all-reduce again), and recurses on the two new edges. Unlike
+//! JQuick the recursion does NOT move data — every process keeps its local
+//! points and each level shrinks the *process group* to those that still
+//! own candidate points (an RBC split when they form a range, otherwise
+//! the full group is kept — communicator cost is the interesting part, not
+//! point routing).
+
+use mpisim::{MpiError, Result, Transport};
+
+/// A 2-D point. Lexicographic tie-breaking makes extreme-point selection
+/// deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+}
+
+/// Cross product of (b−a) × (c−a): positive if `c` lies left of a→b.
+pub fn cross(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Encodes a point for reduction ops (tuples of f64 are `Datum`).
+type P2 = (f64, f64);
+
+fn enc(p: Point) -> P2 {
+    (p.x, p.y)
+}
+
+fn dec(p: P2) -> Point {
+    Point { x: p.0, y: p.1 }
+}
+
+/// Statistics of one distributed hull computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HullStats {
+    /// Recursion nodes this process participated in.
+    pub nodes: usize,
+    /// Deepest recursion level.
+    pub max_depth: u32,
+}
+
+const TAG_QH: u64 = 55;
+
+/// Compute the convex hull of the union of all processes' `points`.
+/// Collective over `comm`; every process returns the same full hull in
+/// counter-clockwise order starting from the leftmost point.
+pub fn quickhull<C: Transport>(comm: &C, points: &[Point]) -> Result<(Vec<Point>, HullStats)> {
+    let any_local = !points.is_empty();
+    let total = mpisim::coll::allreduce(
+        comm,
+        &[u64::from(any_local)],
+        TAG_QH,
+        |a: &u64, b: &u64| a + b,
+    )?[0];
+    if total == 0 {
+        return Err(MpiError::Usage("quickhull needs at least one point".into()));
+    }
+
+    // Global extreme points (min/max by (x, y)).
+    let sentinel_min = (f64::INFINITY, f64::INFINITY);
+    let sentinel_max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let local_min = points
+        .iter()
+        .map(|&p| enc(p))
+        .fold(sentinel_min, |a, b| if b < a { b } else { a });
+    let local_max = points
+        .iter()
+        .map(|&p| enc(p))
+        .fold(sentinel_max, |a, b| if b > a { b } else { a });
+    let ext = mpisim::coll::allreduce(
+        comm,
+        &[(local_min, local_max)],
+        TAG_QH + 2,
+        |a: &(P2, P2), b: &(P2, P2)| (if b.0 < a.0 { b.0 } else { a.0 }, if b.1 > a.1 { b.1 } else { a.1 }),
+    )?[0];
+    let (leftmost, rightmost) = (dec(ext.0), dec(ext.1));
+
+    let mut stats = HullStats::default();
+    if leftmost == rightmost {
+        return Ok((vec![leftmost], stats));
+    }
+
+    // Upper chain (points left of leftmost->rightmost), then lower chain.
+    let mut hull = vec![leftmost];
+    let upper: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|&p| cross(leftmost, rightmost, p) > 0.0)
+        .collect();
+    hull_edge(comm, &upper, leftmost, rightmost, 1, &mut hull, &mut stats)?;
+    hull.push(rightmost);
+    let lower: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|&p| cross(rightmost, leftmost, p) > 0.0)
+        .collect();
+    hull_edge(comm, &lower, rightmost, leftmost, 1, &mut hull, &mut stats)?;
+
+    // CCW order: leftmost .. upper chain .. rightmost .. lower chain.
+    // (The recursive insertion above appends in traversal order already.)
+    Ok((hull, stats))
+}
+
+/// Recursive hull edge a→b: find the farthest candidate point, add it, and
+/// recurse on both sub-edges. Collective over the full `comm` — the
+/// recursion tree is traversed identically by all processes, and each node
+/// costs one all-reduce (O(α log p)); with native MPI each node would ALSO
+/// cost a blocking communicator creation, which is what the paper's RBC
+/// removes. The candidate filtering is local.
+fn hull_edge<C: Transport>(
+    comm: &C,
+    candidates: &[Point],
+    a: Point,
+    b: Point,
+    depth: u32,
+    hull: &mut Vec<Point>,
+    stats: &mut HullStats,
+) -> Result<()> {
+    stats.nodes += 1;
+    stats.max_depth = stats.max_depth.max(depth);
+    comm.charge_compute(candidates.len());
+
+    // Farthest point from edge a->b, tie-broken by coordinates.
+    let sentinel = (f64::NEG_INFINITY, (0.0, 0.0));
+    let local_best = candidates
+        .iter()
+        .map(|&p| (cross(a, b, p), enc(p)))
+        .fold(sentinel, |acc, x| if x > acc { x } else { acc });
+    let best = mpisim::coll::allreduce(
+        comm,
+        &[local_best],
+        TAG_QH + 4,
+        |x: &(f64, P2), y: &(f64, P2)| if *y > *x { *y } else { *x },
+    )?[0];
+    if best.0 <= 0.0 {
+        return Ok(()); // no point outside the edge: a->b is a hull edge
+    }
+    let far = dec(best.1);
+
+    let left: Vec<Point> = candidates
+        .iter()
+        .copied()
+        .filter(|&p| cross(a, far, p) > 0.0)
+        .collect();
+    let right: Vec<Point> = candidates
+        .iter()
+        .copied()
+        .filter(|&p| cross(far, b, p) > 0.0)
+        .collect();
+    hull_edge(comm, &left, a, far, depth + 1, hull, stats)?;
+    hull.push(far);
+    hull_edge(comm, &right, far, b, depth + 1, hull, stats)?;
+    Ok(())
+}
+
+/// Sequential reference implementation for verification.
+pub fn quickhull_reference(points: &[Point]) -> Vec<Point> {
+    fn edge(points: &[Point], a: Point, b: Point, hull: &mut Vec<Point>) {
+        let best = points
+            .iter()
+            .copied()
+            .map(|p| (cross(a, b, p), enc(p)))
+            .fold((f64::NEG_INFINITY, (0.0, 0.0)), |acc, x| if x > acc { x } else { acc });
+        if best.0 <= 0.0 {
+            return;
+        }
+        let far = dec(best.1);
+        let left: Vec<Point> = points.iter().copied().filter(|&p| cross(a, far, p) > 0.0).collect();
+        let right: Vec<Point> = points.iter().copied().filter(|&p| cross(far, b, p) > 0.0).collect();
+        edge(&left, a, far, hull);
+        hull.push(far);
+        edge(&right, far, b, hull);
+    }
+    assert!(!points.is_empty());
+    let lm = dec(points.iter().map(|&p| enc(p)).fold((f64::INFINITY, f64::INFINITY), |a, b| if b < a { b } else { a }));
+    let rm = dec(points.iter().map(|&p| enc(p)).fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |a, b| if b > a { b } else { a }));
+    if lm == rm {
+        return vec![lm];
+    }
+    let mut hull = vec![lm];
+    let upper: Vec<Point> = points.iter().copied().filter(|&p| cross(lm, rm, p) > 0.0).collect();
+    edge(&upper, lm, rm, &mut hull);
+    hull.push(rm);
+    let lower: Vec<Point> = points.iter().copied().filter(|&p| cross(rm, lm, p) > 0.0).collect();
+    edge(&lower, rm, lm, &mut hull);
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Universe;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn close(a: &[Point], b: &[Point]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(p, q)| (p.x - q.x).abs() < 1e-12 && (p.y - q.y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn cross_orientation() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert!(cross(a, b, Point::new(0.5, 1.0)) > 0.0);
+        assert!(cross(a, b, Point::new(0.5, -1.0)) < 0.0);
+        assert_eq!(cross(a, b, Point::new(2.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn reference_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let hull = quickhull_reference(&pts);
+        assert_eq!(hull.len(), 4);
+        assert_eq!(hull[0], Point::new(0.0, 0.0)); // leftmost-lowest first
+    }
+
+    #[test]
+    fn distributed_matches_reference() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for seed in [1u64, 2, 3] {
+                let res = Universe::run_default(p, move |env| {
+                    let w = &env.world;
+                    let mut rng = StdRng::seed_from_u64(seed * 100 + w.rank() as u64);
+                    let pts: Vec<Point> = (0..40)
+                        .map(|_| Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                        .collect();
+                    let (hull, _) = quickhull(w, &pts).unwrap();
+                    (pts, hull)
+                });
+                // Union of all local point sets.
+                let all: Vec<Point> =
+                    res.per_rank.iter().flat_map(|(pts, _)| pts.clone()).collect();
+                let expected = quickhull_reference(&all);
+                for (rank, (_, hull)) in res.per_rank.iter().enumerate() {
+                    assert!(
+                        close(hull, &expected),
+                        "p={p} seed={seed} rank={rank}: {hull:?} vs {expected:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_and_degenerate_inputs() {
+        let res = Universe::run_default(3, |env| {
+            let w = &env.world;
+            let r = w.rank() as f64;
+            // All points on one line.
+            let pts: Vec<Point> = (0..5).map(|i| Point::new(r * 5.0 + i as f64, 0.0)).collect();
+            let (hull, _) = quickhull(w, &pts).unwrap();
+            hull.len()
+        });
+        // A line's hull is its two endpoints.
+        assert!(res.per_rank.iter().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn single_point_everywhere() {
+        let res = Universe::run_default(4, |env| {
+            let (hull, _) = quickhull(&env.world, &[Point::new(1.0, 2.0)]).unwrap();
+            hull
+        });
+        for h in res.per_rank {
+            assert_eq!(h, vec![Point::new(1.0, 2.0)]);
+        }
+    }
+
+    #[test]
+    fn empty_local_sets_are_fine() {
+        let res = Universe::run_default(4, |env| {
+            let w = &env.world;
+            let pts = if w.rank() == 2 {
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(4.0, 0.0),
+                    Point::new(2.0, 3.0),
+                ]
+            } else {
+                Vec::new()
+            };
+            let (hull, _) = quickhull(w, &pts).unwrap();
+            hull.len()
+        });
+        assert!(res.per_rank.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn all_empty_is_an_error() {
+        let res = Universe::run_default(2, |env| {
+            quickhull(&env.world, &[]).err()
+        });
+        assert!(matches!(res.per_rank[0], Some(MpiError::Usage(_))));
+    }
+}

@@ -1,0 +1,154 @@
+//! Input distribution generators for experiments and tests.
+//!
+//! The paper evaluates on uniformly distributed 64-bit floats; the extra
+//! distributions exercise the properties JQuick claims beyond the happy
+//! path: duplicate handling (`FewValues`, `AllEqual`), balance under skew
+//! (`Skewed`, `Zipf`), and adversarial pre-orderings (`Sorted`,
+//! `Reversed`). Generation is deterministic per `(seed, rank)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layout::Layout;
+
+/// Input distribution for a distributed sorting experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dist {
+    /// Uniform doubles in ±10⁹ — the paper's workload.
+    Uniform,
+    /// Only `k` distinct values (heavy duplicates).
+    FewValues(u32),
+    /// Every element identical.
+    AllEqual,
+    /// Globally sorted already.
+    Sorted,
+    /// Globally reverse-sorted.
+    Reversed,
+    /// Cubic-skewed toward small keys (hypercube quicksort's nightmare).
+    Skewed,
+    /// Zipf-like: value v with probability ∝ 1/(v+1).
+    Zipf,
+}
+
+impl Dist {
+    /// All distributions, for exhaustive test sweeps.
+    pub const ALL: [Dist; 7] = [
+        Dist::Uniform,
+        Dist::FewValues(4),
+        Dist::AllEqual,
+        Dist::Sorted,
+        Dist::Reversed,
+        Dist::Skewed,
+        Dist::Zipf,
+    ];
+}
+
+/// Deterministic per-rank RNG stream.
+fn rng_for(seed: u64, rank: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generate this rank's input slice: exactly `layout.cap(rank)` doubles.
+pub fn generate(layout: &Layout, rank: u64, seed: u64, dist: Dist) -> Vec<f64> {
+    let m = layout.cap(rank) as usize;
+    let mut rng = rng_for(seed, rank);
+    match dist {
+        Dist::Uniform => (0..m).map(|_| rng.gen_range(-1e9..1e9)).collect(),
+        Dist::FewValues(k) => (0..m)
+            .map(|_| rng.gen_range(0..k.max(1)) as f64)
+            .collect(),
+        Dist::AllEqual => vec![42.0; m],
+        Dist::Sorted => {
+            let (w0, _) = layout.window(rank);
+            (0..m).map(|i| (w0 + i as u64) as f64).collect()
+        }
+        Dist::Reversed => {
+            let (w0, _) = layout.window(rank);
+            (0..m).map(|i| (layout.n - (w0 + i as u64)) as f64).collect()
+        }
+        Dist::Skewed => (0..m)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                x * x * x * 1e6
+            })
+            .collect(),
+        Dist::Zipf => (0..m)
+            .map(|_| {
+                // Inverse-CDF of a truncated zeta-ish distribution.
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                ((1.0 - u).powf(-0.7) - 1.0).floor()
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout::new(100, 7)
+    }
+
+    #[test]
+    fn sizes_match_capacity() {
+        let l = layout();
+        for dist in Dist::ALL {
+            for r in 0..7 {
+                assert_eq!(
+                    generate(&l, r, 5, dist).len() as u64,
+                    l.cap(r),
+                    "{dist:?} rank {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_rank() {
+        let l = layout();
+        assert_eq!(generate(&l, 3, 9, Dist::Uniform), generate(&l, 3, 9, Dist::Uniform));
+        assert_ne!(generate(&l, 3, 9, Dist::Uniform), generate(&l, 4, 9, Dist::Uniform));
+        assert_ne!(generate(&l, 3, 9, Dist::Uniform), generate(&l, 3, 10, Dist::Uniform));
+    }
+
+    #[test]
+    fn sorted_is_globally_sorted() {
+        let l = layout();
+        let all: Vec<f64> = (0..7).flat_map(|r| generate(&l, r, 0, Dist::Sorted)).collect();
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn reversed_is_globally_reverse_sorted() {
+        let l = layout();
+        let all: Vec<f64> = (0..7).flat_map(|r| generate(&l, r, 0, Dist::Reversed)).collect();
+        assert!(all.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn few_values_has_few_values() {
+        let l = layout();
+        let mut vals: Vec<u64> = (0..7)
+            .flat_map(|r| generate(&l, r, 1, Dist::FewValues(3)))
+            .map(|x| x as u64)
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() <= 3);
+    }
+
+    #[test]
+    fn zipf_skews_to_small_values() {
+        let l = Layout::new(7000, 7);
+        let all: Vec<f64> = (0..7).flat_map(|r| generate(&l, r, 2, Dist::Zipf)).collect();
+        let zeros = all.iter().filter(|&&x| x == 0.0).count();
+        assert!(
+            zeros > all.len() / 4,
+            "zipf should concentrate mass at 0: {zeros}/{}",
+            all.len()
+        );
+        assert!(all.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -1,0 +1,419 @@
+//! Blocking collective operations, generic over [`Transport`].
+//!
+//! All patterns are binomial-tree / dissemination based — "generic, not
+//! optimized for a specific network, but theoretically optimal for small
+//! input sizes" (paper §V-D): O(α log p) startups, O(β·l·log p) volume.
+//!
+//! Because these are generic over `Transport`, the *same algorithms* serve
+//! as both the vendor ("native MPI") collectives — run through a
+//! [`crate::transport::Scaled`] wrapper carrying the vendor cost profile —
+//! and as RBC's collectives (neutral costs). That mirrors the paper's
+//! finding that RBC collectives perform like their MPI counterparts: any
+//! measured difference comes from communicator construction and vendor
+//! overheads, not the algorithms.
+
+use crate::datum::Datum;
+use crate::error::Result;
+use crate::msg::Tag;
+use crate::transport::{Src, Transport};
+
+/// Elementwise combine of two equal-length vectors: `acc[i] = op(acc[i], v[i])`
+/// (`v` provides the *left* operand when it comes from lower-ranked data).
+fn combine_into<T: Datum>(
+    acc: &mut [T],
+    v: &[T],
+    op: &impl Fn(&T, &T) -> T,
+    v_is_left: bool,
+) {
+    debug_assert_eq!(acc.len(), v.len(), "reduction buffers must match");
+    for (a, b) in acc.iter_mut().zip(v.iter()) {
+        *a = if v_is_left { op(b, a) } else { op(a, b) };
+    }
+}
+
+/// Binomial-tree broadcast from `root`. On non-root ranks `data` is
+/// replaced by the broadcast payload.
+pub fn bcast<T: Datum>(tr: &impl Transport, data: &mut Vec<T>, root: usize, tag: Tag) -> Result<()> {
+    let p = tr.size();
+    let r = tr.rank();
+    tr.check_rank(root)?;
+    if p == 1 {
+        return Ok(());
+    }
+    let rel = (r + p - root) % p;
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask != 0 {
+            let src = (rel - mask + root) % p;
+            let (v, _) = tr.recv::<T>(Src::Rank(src), tag)?;
+            *data = v;
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if rel + mask < p {
+            let dst = (rel + mask + root) % p;
+            tr.send(data, dst, tag)?;
+        }
+        mask >>= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree reduction to `root`. Returns `Some(result)` on the root,
+/// `None` elsewhere. `op` should be associative; commutativity is assumed
+/// (as for all MPI built-in operators).
+pub fn reduce<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    root: usize,
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Option<Vec<T>>> {
+    let p = tr.size();
+    let r = tr.rank();
+    tr.check_rank(root)?;
+    let mut acc = data.to_vec();
+    if p == 1 {
+        return Ok(Some(acc));
+    }
+    let rel = (r + p - root) % p;
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask == 0 {
+            let child = rel | mask;
+            if child < p {
+                let src = (child + root) % p;
+                let (v, _) = tr.recv::<T>(Src::Rank(src), tag)?;
+                // Child data comes from higher relative ranks: acc is left.
+                combine_into(&mut acc, &v, &op, false);
+                tr.charge_compute(acc.len());
+            }
+        } else {
+            let parent = (rel - mask + root) % p;
+            tr.send_vec(acc, parent, tag)?;
+            return Ok(None);
+        }
+        mask <<= 1;
+    }
+    Ok(Some(acc))
+}
+
+/// Reduce-to-all: binomial reduce to rank 0 followed by a broadcast.
+pub fn allreduce<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Vec<T>> {
+    let mut out: Vec<T> = reduce(tr, data, 0, tag, op)?.unwrap_or_default();
+    bcast(tr, &mut out, 0, tag)?;
+    Ok(out)
+}
+
+/// Inclusive prefix "sum" (Hillis–Steele over communicator ranks):
+/// rank `i` obtains `op(data_0, ..., data_i)` in ⌈log₂ p⌉ rounds.
+pub fn scan<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Vec<T>> {
+    let p = tr.size();
+    let r = tr.rank();
+    let mut incl = data.to_vec();
+    let mut d = 1usize;
+    while d < p {
+        if r + d < p {
+            tr.send(&incl, r + d, tag)?;
+        }
+        if r >= d {
+            let (v, _) = tr.recv::<T>(Src::Rank(r - d), tag)?;
+            // v covers strictly lower ranks: it is the left operand.
+            combine_into(&mut incl, &v, &op, true);
+            tr.charge_compute(incl.len());
+        }
+        d <<= 1;
+    }
+    Ok(incl)
+}
+
+/// Exclusive prefix: rank `i` obtains `op(data_0, ..., data_{i-1})`, `None`
+/// on rank 0 (which has no predecessors).
+pub fn exscan<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Option<Vec<T>>> {
+    let p = tr.size();
+    let r = tr.rank();
+    let mut incl = data.to_vec();
+    let mut excl: Option<Vec<T>> = None;
+    let mut d = 1usize;
+    while d < p {
+        if r + d < p {
+            tr.send(&incl, r + d, tag)?;
+        }
+        if r >= d {
+            let (v, _) = tr.recv::<T>(Src::Rank(r - d), tag)?;
+            // v covers ranks [r-2d+1, r-d]; accumulated windows are
+            // contiguous, and v is always to the LEFT of what we hold.
+            match &mut excl {
+                None => excl = Some(v.clone()),
+                Some(e) => combine_into(e, &v, &op, true),
+            }
+            combine_into(&mut incl, &v, &op, true);
+            tr.charge_compute(incl.len());
+        }
+        d <<= 1;
+    }
+    Ok(excl)
+}
+
+/// Binomial-tree gather of variable-size contributions. Returns
+/// `Some(per_rank_data)` on the root (indexed by source rank), `None`
+/// elsewhere. Uses tags `tag` (metadata) and `tag + 1` (payload).
+pub fn gatherv<T: Datum>(
+    tr: &impl Transport,
+    data: Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<Option<Vec<Vec<T>>>> {
+    let p = tr.size();
+    let r = tr.rank();
+    tr.check_rank(root)?;
+    if p == 1 {
+        return Ok(Some(vec![data]));
+    }
+    let rel = (r + p - root) % p;
+    // (origin rank, element count) for each bundled contribution, payloads
+    // concatenated in the same order.
+    let mut meta: Vec<(u64, u64)> = vec![(r as u64, data.len() as u64)];
+    let mut payload: Vec<T> = data;
+    let mut mask = 1usize;
+    while mask < p {
+        if rel & mask == 0 {
+            let child = rel | mask;
+            if child < p {
+                let src = (child + root) % p;
+                let (m, _) = tr.recv::<(u64, u64)>(Src::Rank(src), tag)?;
+                let (d, _) = tr.recv::<T>(Src::Rank(src), tag + 1)?;
+                meta.extend_from_slice(&m);
+                payload.extend_from_slice(&d);
+            }
+        } else {
+            let parent = (rel - mask + root) % p;
+            tr.send_vec(meta, parent, tag)?;
+            tr.send_vec(payload, parent, tag + 1)?;
+            return Ok(None);
+        }
+        mask <<= 1;
+    }
+    // Root: scatter the bundle back into rank order.
+    let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    let mut off = 0usize;
+    for (origin, cnt) in meta {
+        let cnt = cnt as usize;
+        out[origin as usize] = payload[off..off + cnt].to_vec();
+        off += cnt;
+    }
+    Ok(Some(out))
+}
+
+/// Equal-count gather: each rank contributes `data`; the root receives the
+/// concatenation in rank order.
+pub fn gather<T: Datum>(
+    tr: &impl Transport,
+    data: Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<Option<Vec<T>>> {
+    Ok(gatherv(tr, data, root, tag)?.map(|per_rank| per_rank.into_iter().flatten().collect()))
+}
+
+/// All-gather of one element per rank (gather to 0 + broadcast).
+pub fn allgather1<T: Datum>(tr: &impl Transport, item: T, tag: Tag) -> Result<Vec<T>> {
+    let mut all = gather(tr, vec![item], 0, tag)?.unwrap_or_default();
+    bcast(tr, &mut all, 0, tag)?;
+    Ok(all)
+}
+
+/// Dissemination barrier: ⌈log₂ p⌉ rounds, no data.
+pub fn barrier(tr: &impl Transport, tag: Tag) -> Result<()> {
+    let p = tr.size();
+    let r = tr.rank();
+    let mut d = 1usize;
+    while d < p {
+        tr.send_vec::<u8>(Vec::new(), (r + d) % p, tag)?;
+        tr.recv::<u8>(Src::Rank((r + p - d) % p), tag)?;
+        d <<= 1;
+    }
+    Ok(())
+}
+
+/// Direct (single-phase) personalized all-to-all with variable counts.
+/// `send[i]` goes to rank `i`; returns the vector received from each rank.
+pub fn alltoallv<T: Datum>(
+    tr: &impl Transport,
+    send: Vec<Vec<T>>,
+    tag: Tag,
+) -> Result<Vec<Vec<T>>> {
+    let p = tr.size();
+    let r = tr.rank();
+    assert_eq!(send.len(), p, "alltoallv needs one bucket per rank");
+    let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, bucket) in send.into_iter().enumerate() {
+        if i == r {
+            out[r] = bucket;
+        } else {
+            tr.send_vec(bucket, i, tag)?;
+        }
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        if i != r {
+            let (v, _) = tr.recv::<T>(Src::Rank(i), tag)?;
+            *slot = v;
+        }
+    }
+    Ok(out)
+}
+
+/// Binomial-tree scatter of variable-size blocks: the root provides one
+/// vector per rank; every rank receives its block. The inverse of
+/// [`gatherv`], with the same two-message-per-edge framing
+/// (tags `tag` and `tag + 1`).
+pub fn scatterv<T: Datum>(
+    tr: &impl Transport,
+    blocks: Option<Vec<Vec<T>>>,
+    root: usize,
+    tag: Tag,
+) -> Result<Vec<T>> {
+    let p = tr.size();
+    let r = tr.rank();
+    tr.check_rank(root)?;
+    if p == 1 {
+        let mut blocks = blocks.expect("root provides blocks");
+        return Ok(blocks.swap_remove(0));
+    }
+    let rel = (r + p - root) % p;
+    // Receive my bundle (all blocks for my subtree) from the parent, or
+    // start with everything at the root.
+    let (mut meta, mut payload): (Vec<(u64, u64)>, Vec<T>) = if rel == 0 {
+        let blocks = blocks.expect("root provides blocks");
+        assert_eq!(blocks.len(), p, "scatterv needs one block per rank");
+        let meta = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u64, b.len() as u64))
+            .collect();
+        (meta, blocks.into_iter().flatten().collect())
+    } else {
+        let mut mask = 1usize;
+        loop {
+            if rel & mask != 0 {
+                let src = (rel - mask + root) % p;
+                let (m, _) = tr.recv::<(u64, u64)>(Src::Rank(src), tag)?;
+                let (d, _) = tr.recv::<T>(Src::Rank(src), tag + 1)?;
+                break (m, d);
+            }
+            mask <<= 1;
+        }
+    };
+    // Forward each child's subtree share; keep my own block.
+    let top = p.next_power_of_two();
+    let mut m = if rel == 0 {
+        top >> 1
+    } else {
+        (rel & rel.wrapping_neg()) >> 1
+    };
+    while m > 0 {
+        let child_rel = rel + m;
+        if child_rel < p {
+            // The child's subtree covers relative ranks [child_rel, child_rel + m).
+            let child_set: Vec<usize> = (child_rel..(child_rel + m).min(p))
+                .map(|cr| (cr + root) % p)
+                .collect();
+            let mut c_meta = Vec::new();
+            let mut c_payload = Vec::new();
+            let mut k_meta = Vec::new();
+            let mut k_payload = Vec::new();
+            let mut off = 0usize;
+            for &(origin, cnt) in &meta {
+                let cnt = cnt as usize;
+                let slice = &payload[off..off + cnt];
+                if child_set.contains(&(origin as usize)) {
+                    c_meta.push((origin, cnt as u64));
+                    c_payload.extend_from_slice(slice);
+                } else {
+                    k_meta.push((origin, cnt as u64));
+                    k_payload.extend_from_slice(slice);
+                }
+                off += cnt;
+            }
+            meta = k_meta;
+            payload = k_payload;
+            tr.send_vec(c_meta, (child_rel + root) % p, tag)?;
+            tr.send_vec(c_payload, (child_rel + root) % p, tag + 1)?;
+        }
+        m >>= 1;
+    }
+    // What remains is exactly my block.
+    debug_assert_eq!(meta.len(), 1);
+    debug_assert_eq!(meta[0].0 as usize, r);
+    Ok(payload)
+}
+
+/// Equal-count scatter: the root's `data` is split into `p` equal blocks.
+pub fn scatter<T: Datum>(
+    tr: &impl Transport,
+    data: Option<Vec<T>>,
+    root: usize,
+    tag: Tag,
+) -> Result<Vec<T>> {
+    let p = tr.size();
+    let blocks = data.map(|d| {
+        assert!(d.len() % p == 0, "scatter needs count divisible by p");
+        let each = d.len() / p;
+        d.chunks(each).map(<[T]>::to_vec).collect::<Vec<_>>()
+    });
+    scatterv(tr, blocks, root, tag)
+}
+
+/// Fixed-size personalized all-to-all: `send[i]` (all equal length) goes
+/// to rank `i`.
+pub fn alltoall<T: Datum>(tr: &impl Transport, send: Vec<Vec<T>>, tag: Tag) -> Result<Vec<Vec<T>>> {
+    debug_assert!(send.windows(2).all(|w| w[0].len() == w[1].len()));
+    alltoallv(tr, send, tag)
+}
+
+/// Variable-count all-gather: every rank contributes `data`, every rank
+/// receives all contributions indexed by source rank (gatherv + bcast of
+/// the flattened bundle).
+pub fn allgatherv<T: Datum>(
+    tr: &impl Transport,
+    data: Vec<T>,
+    tag: Tag,
+) -> Result<Vec<Vec<T>>> {
+    let p = tr.size();
+    let gathered = gatherv(tr, data, 0, tag)?;
+    let (mut counts, mut flat): (Vec<u64>, Vec<T>) = match gathered {
+        Some(per_rank) => (
+            per_rank.iter().map(|v| v.len() as u64).collect(),
+            per_rank.into_iter().flatten().collect(),
+        ),
+        None => (Vec::new(), Vec::new()),
+    };
+    bcast(tr, &mut counts, 0, tag + 2)?;
+    bcast(tr, &mut flat, 0, tag + 3)?;
+    let mut out = Vec::with_capacity(p);
+    let mut off = 0usize;
+    for c in counts {
+        let c = c as usize;
+        out.push(flat[off..off + c].to_vec());
+        off += c;
+    }
+    Ok(out)
+}

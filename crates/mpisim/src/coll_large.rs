@@ -1,0 +1,404 @@
+//! Large-input collective algorithms (paper §V-D: "It is easy to extend
+//! our library by additional collective operations, e.g., for large input
+//! sizes", citing Sanders/Speck/Träff's full-bandwidth algorithms \[7\]).
+//!
+//! The binomial algorithms in [`crate::coll`] are optimal for small inputs
+//! (O(α log p) startups) but move β·l·log p volume on the bottleneck path.
+//! This module provides the classic full-bandwidth alternatives:
+//!
+//! * [`bcast_large`] — van-de-Geijn broadcast: binomial *scatter* of
+//!   segments followed by a ring all-gather. Bottleneck volume ≈ 2·l·β
+//!   plus O(α·(p + log p)) startups: wins once `l·β ≫ p·α`.
+//! * [`reduce_large`] — reduce-scatter (recursive halving) followed by a
+//!   binomial gather of the owned segments: ≈ 2·l·β volume.
+//! * [`bcast_auto`] / [`reduce_auto`] — pick the algorithm by message size
+//!   against the α/β crossover, like production MPI implementations do.
+
+use crate::datum::Datum;
+use crate::error::Result;
+use crate::msg::Tag;
+use crate::transport::{Src, Transport};
+
+/// Crossover: below this many bytes the binomial algorithms win.
+/// Derived from `2·l·β + p·α < log p · (α + l·β)` at the default model;
+/// kept simple and documented rather than tuned per machine.
+pub fn large_threshold_bytes(p: usize, alpha_ns: u64, beta_ns_per_byte: f64) -> usize {
+    if p < 4 || beta_ns_per_byte <= 0.0 {
+        return usize::MAX;
+    }
+    let log_p = (usize::BITS - (p - 1).leading_zeros()) as f64;
+    // (log p - 2) · l·β  >  (p - log p) · α   =>   l > (p-log p)·α / ((log p-2)·β)
+    let denom = (log_p - 2.0) * beta_ns_per_byte;
+    if denom <= 0.0 {
+        return usize::MAX;
+    }
+    (((p as f64 - log_p) * alpha_ns as f64) / denom) as usize
+}
+
+/// Split `len` into `parts` contiguous segments (first `len % parts` get
+/// one extra).
+fn segment(len: usize, parts: usize, i: usize) -> (usize, usize) {
+    let base = len / parts;
+    let rem = len % parts;
+    let start = i * base + i.min(rem);
+    let sz = base + usize::from(i < rem);
+    (start, sz)
+}
+
+/// Van-de-Geijn broadcast: scatter + ring allgather. Falls back to the
+/// binomial broadcast for tiny payloads or p < 2. Uses tags `tag`/`tag+1`.
+pub fn bcast_large<T: Datum>(
+    tr: &impl Transport,
+    data: &mut Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<()> {
+    let p = tr.size();
+    let r = tr.rank();
+    tr.check_rank(root)?;
+    if p == 1 {
+        return Ok(());
+    }
+    // Everyone needs the length to size segments; the root's count is
+    // metadata in real MPI (count argument) — model it the same way by
+    // broadcasting the length binomially (one word).
+    let mut len_msg = vec![data.len() as u64];
+    crate::coll::bcast(tr, &mut len_msg, root, tag)?;
+    let len = len_msg[0] as usize;
+    if len < p {
+        // Degenerate segments; binomial handles it.
+        return crate::coll::bcast(tr, data, root, tag + 1);
+    }
+    let rel = (r + p - root) % p;
+
+    // Phase 1: binomial scatter. Each node receives the range of segments
+    // it is responsible for distributing and keeps segment `rel`.
+    // The root starts owning all segments [0, p).
+    let mut my_range = (0usize, p); // segment index range [lo, hi)
+    let mut my_part: Vec<T>;
+    if rel == 0 {
+        my_part = std::mem::take(data);
+    } else {
+        // Receive my segment range from the parent.
+        let (v, _) = tr.recv::<T>(Src::Any, tag + 1)?;
+        my_part = v;
+        // Reconstruct my range: parent sent [rel, parent_hi).
+        let lsb = rel & rel.wrapping_neg();
+        my_range = (rel, (rel + lsb).min(p));
+    }
+    // Forward the upper half of my range down the binomial tree.
+    let top = p.next_power_of_two();
+    let mut m = if rel == 0 { top >> 1 } else { (rel & rel.wrapping_neg()) >> 1 };
+    while m > 0 {
+        let child_lo = my_range.0 + m;
+        if child_lo < my_range.1 {
+            let child = (rel + m + root) % p;
+            // Elements of segments [child_lo, my_range.1).
+            let (e_lo, _) = segment(len, p, child_lo);
+            let seg_end = if my_range.1 == p {
+                len
+            } else {
+                segment(len, p, my_range.1).0
+            };
+            let (base_lo, _) = segment(len, p, my_range.0);
+            let send_slice = my_part[e_lo - base_lo..seg_end - base_lo].to_vec();
+            my_part.truncate(e_lo - base_lo);
+            tr.send_vec(send_slice, child, tag + 1)?;
+            my_range.1 = child_lo;
+        }
+        m >>= 1;
+    }
+    debug_assert_eq!(my_range, (rel, rel + 1).min((rel, p)), "each node ends with one segment");
+
+    // Phase 2: ring allgather of the p segments.
+    let mut segments: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+    segments[rel] = Some(my_part);
+    let next = (rel + 1) % p;
+    let prev = (rel + p - 1) % p;
+    let mut have = rel; // segment index I most recently obtained
+    for _ in 0..p - 1 {
+        let out = segments[have].clone().expect("segment present");
+        tr.send_vec(out, (next + root) % p, tag + 2)?;
+        let (v, _) = tr.recv::<T>(Src::Rank((prev + root) % p), tag + 2)?;
+        have = (have + p - 1) % p;
+        segments[have] = Some(v);
+    }
+
+    // Reassemble.
+    let mut out = Vec::with_capacity(len);
+    for s in segments {
+        out.extend(s.expect("all segments gathered"));
+    }
+    *data = out;
+    Ok(())
+}
+
+/// Reduce via recursive-halving reduce-scatter + binomial gather to root.
+/// Requires a commutative, associative `op`. Uses tags `tag`..`tag+2`.
+pub fn reduce_large<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    root: usize,
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Option<Vec<T>>> {
+    let p = tr.size();
+    let r = tr.rank();
+    tr.check_rank(root)?;
+    if p == 1 {
+        return Ok(Some(data.to_vec()));
+    }
+    let len = data.len();
+    if !p.is_power_of_two() || len < p {
+        // Recursive halving needs a power of two; fall back otherwise.
+        return crate::coll::reduce(tr, data, root, tag, op);
+    }
+
+    // Phase 1: reduce-scatter by recursive halving. After round k, each
+    // process holds the partial reduction of a 1/2^k slice.
+    let mut lo = 0usize;
+    let mut hi = len;
+    let mut buf = data.to_vec(); // working copy of [lo, hi)
+    let mut group = p; // current group size
+    while group > 1 {
+        let half = group / 2;
+        let in_low = (r % group) < half;
+        let partner = if in_low { r + half } else { r - half };
+        let mid = lo + (hi - lo) / 2;
+        // Send the half I am NOT keeping; receive the half I keep.
+        let (keep_range, send_range) = if in_low {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        let send_part = buf[send_range.0 - lo..send_range.1 - lo].to_vec();
+        tr.send_vec(send_part, partner, tag)?;
+        let (v, _) = tr.recv::<T>(Src::Rank(partner), tag)?;
+        let mut kept: Vec<T> = buf[keep_range.0 - lo..keep_range.1 - lo].to_vec();
+        for (a, b) in kept.iter_mut().zip(v.iter()) {
+            *a = op(a, b);
+        }
+        tr.charge_compute(kept.len());
+        buf = kept;
+        lo = keep_range.0;
+        hi = keep_range.1;
+        group = half;
+    }
+
+    // Phase 2: gather the slices to the root (variable sizes -> gatherv),
+    // annotated with their offsets for reassembly.
+    let gathered = crate::coll::gatherv(tr, buf, root, tag + 1)?;
+    let offsets = crate::coll::gather(tr, vec![lo as u64], root, tag + 3)?;
+    match (gathered, offsets) {
+        (Some(parts), Some(offs)) => {
+            let mut out = vec![parts.iter().flatten().next().copied().expect("nonempty"); len];
+            for (part, off) in parts.into_iter().zip(offs) {
+                let off = off as usize;
+                out[off..off + part.len()].copy_from_slice(&part);
+            }
+            Ok(Some(out))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Size-adaptive broadcast.
+pub fn bcast_auto<T: Datum>(
+    tr: &impl Transport,
+    data: &mut Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<()> {
+    let model = &tr.state().router.cost;
+    let threshold = large_threshold_bytes(
+        tr.size(),
+        model.alpha.as_nanos(),
+        model.beta_ns_per_byte,
+    );
+    // All ranks must agree on the algorithm: the count is an interface
+    // contract in MPI (same on all ranks), so agree on the root's count
+    // via a tiny broadcast only when sizes could differ.
+    let mut len_msg = vec![data.len() as u64];
+    crate::coll::bcast(tr, &mut len_msg, root, tag)?;
+    if (len_msg[0] as usize) * T::width() >= threshold {
+        bcast_large(tr, data, root, tag + 1)
+    } else {
+        crate::coll::bcast(tr, data, root, tag + 4)
+    }
+}
+
+/// Size-adaptive reduction.
+pub fn reduce_auto<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    root: usize,
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Option<Vec<T>>> {
+    let model = &tr.state().router.cost;
+    let threshold = large_threshold_bytes(
+        tr.size(),
+        model.alpha.as_nanos(),
+        model.beta_ns_per_byte,
+    );
+    if data.len() * T::width() >= threshold {
+        reduce_large(tr, data, root, tag, op)
+    } else {
+        crate::coll::reduce(tr, data, root, tag, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::ops;
+    use crate::universe::Universe;
+    use crate::Time;
+
+    #[test]
+    fn segments_partition_exactly() {
+        for (len, parts) in [(10usize, 3usize), (16, 4), (7, 7), (100, 9)] {
+            let mut covered = 0;
+            for i in 0..parts {
+                let (start, sz) = segment(len, parts, i);
+                assert_eq!(start, covered);
+                covered += sz;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn bcast_large_matches_binomial() {
+        for p in [2usize, 3, 4, 5, 8, 13] {
+            for len in [p, 3 * p + 1, 64 * p] {
+                for root in [0, p - 1] {
+                    let res = Universe::run_default(p, move |env| {
+                        let w = &env.world;
+                        let mut data = if w.rank() == root {
+                            (0..len as u64).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        bcast_large(w, &mut data, root, 700).unwrap();
+                        data
+                    });
+                    let expected: Vec<u64> = (0..len as u64).collect();
+                    for v in res.per_rank {
+                        assert_eq!(v, expected, "p={p} len={len} root={root}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_large_beats_binomial_for_big_payloads() {
+        let p = 16;
+        let len = 1 << 16; // 512 KiB of u64
+        let time_of = |large: bool| {
+            let res = Universe::run_default(p, move |env| {
+                let w = &env.world;
+                let mut data = if w.rank() == 0 {
+                    vec![7u64; len]
+                } else {
+                    Vec::new()
+                };
+                let t0 = env.now();
+                if large {
+                    bcast_large(w, &mut data, 0, 700).unwrap();
+                } else {
+                    crate::coll::bcast(w, &mut data, 0, 700).unwrap();
+                }
+                env.now() - t0
+            });
+            res.per_rank.into_iter().max().unwrap()
+        };
+        let binomial = time_of(false);
+        let vdg = time_of(true);
+        assert!(
+            vdg.as_nanos() * 3 < binomial.as_nanos() * 2,
+            "scatter-allgather should win at this size: binomial={binomial} vdg={vdg}"
+        );
+    }
+
+    #[test]
+    fn binomial_beats_bcast_large_for_small_payloads() {
+        let p = 16;
+        let time_of = |large: bool| {
+            let res = Universe::run_default(p, move |env| {
+                let w = &env.world;
+                let mut data = if w.rank() == 0 { vec![7u64; 16] } else { Vec::new() };
+                let t0 = env.now();
+                if large {
+                    bcast_large(w, &mut data, 0, 700).unwrap();
+                } else {
+                    crate::coll::bcast(w, &mut data, 0, 700).unwrap();
+                }
+                env.now() - t0
+            });
+            res.per_rank.into_iter().max().unwrap()
+        };
+        assert!(time_of(false) < time_of(true));
+    }
+
+    #[test]
+    fn reduce_large_matches_reference() {
+        for p in [2usize, 4, 8] {
+            let len = 8 * p;
+            let res = Universe::run_default(p, move |env| {
+                let w = &env.world;
+                let data: Vec<u64> = (0..len as u64).map(|i| i + w.rank() as u64).collect();
+                reduce_large(w, &data, 0, 700, ops::sum::<u64>()).unwrap()
+            });
+            let expected: Vec<u64> = (0..len as u64)
+                .map(|i| (0..p as u64).map(|r| i + r).sum())
+                .collect();
+            assert_eq!(res.per_rank[0], Some(expected), "p={p}");
+            for v in &res.per_rank[1..] {
+                assert_eq!(*v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_large_falls_back_for_odd_p() {
+        let res = Universe::run_default(5, |env| {
+            let w = &env.world;
+            reduce_large(w, &[1u64, 2], 0, 700, ops::sum::<u64>()).unwrap()
+        });
+        assert_eq!(res.per_rank[0], Some(vec![5, 10]));
+    }
+
+    #[test]
+    fn auto_variants_pick_correctly_and_stay_correct() {
+        let p = 8;
+        for len in [4usize, 1 << 15] {
+            let res = Universe::run_default(p, move |env| {
+                let w = &env.world;
+                let mut b = if w.rank() == 3 {
+                    vec![9u64; len]
+                } else {
+                    Vec::new()
+                };
+                bcast_auto(w, &mut b, 3, 700).unwrap();
+                let r = reduce_auto(w, &vec![1u64; len], 0, 720, ops::sum::<u64>()).unwrap();
+                (b.len(), b[0], r.map(|v| v[0]))
+            });
+            for (rank, (bl, b0, r)) in res.per_rank.into_iter().enumerate() {
+                assert_eq!((bl, b0), (len, 9), "len={len}");
+                if rank == 0 {
+                    assert_eq!(r, Some(p as u64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_is_sane() {
+        let t = large_threshold_bytes(128, Time::from_micros(10).as_nanos(), 1.0);
+        // With α = 10 µs, β = 1 ns/B, p = 128: roughly (128-7)·10000/5 ≈ 242 KB.
+        assert!(t > 64 * 1024 && t < 1 << 20, "threshold {t}");
+        assert_eq!(large_threshold_bytes(2, 10_000, 1.0), usize::MAX);
+    }
+}

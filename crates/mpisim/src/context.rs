@@ -1,0 +1,150 @@
+//! Context-ID management.
+//!
+//! Open MPI and MPICH agree on a new context ID by all-reducing *context-ID
+//! masks* with `MPI_BAND` and taking the least significant common free bit
+//! (§III of the paper). Each process keeps its own mask; masks diverge
+//! between processes depending on which communicators each has created.
+//!
+//! IDs are never returned to the mask (early MPICH behaved the same way);
+//! the space is 2048 IDs, ample for every experiment, and exhaustion is a
+//! reported error rather than UB.
+
+use crate::error::{MpiError, Result};
+
+/// Number of 64-bit words in a context mask.
+pub const MASK_WORDS: usize = 32;
+/// Total number of allocatable small context IDs.
+pub const MASK_BITS: usize = MASK_WORDS * 64;
+
+pub type CtxMask = [u64; MASK_WORDS];
+
+/// Per-process context-ID mask. Bit set = ID free.
+#[derive(Clone, Debug)]
+pub struct CtxPool {
+    mask: CtxMask,
+}
+
+impl Default for CtxPool {
+    fn default() -> Self {
+        CtxPool::new()
+    }
+}
+
+impl CtxPool {
+    pub fn new() -> CtxPool {
+        let mut mask = [!0u64; MASK_WORDS];
+        mask[0] &= !1; // ID 0 is MPI_COMM_WORLD
+        CtxPool { mask }
+    }
+
+    /// Snapshot of this process's mask, the value contributed to the
+    /// all-reduce.
+    pub fn snapshot(&self) -> CtxMask {
+        self.mask
+    }
+
+    /// Lowest free ID in an (already reduced) mask.
+    pub fn lowest_free(reduced: &CtxMask) -> Result<u32> {
+        for (w, &bits) in reduced.iter().enumerate() {
+            if bits != 0 {
+                return Ok((w * 64) as u32 + bits.trailing_zeros());
+            }
+        }
+        Err(MpiError::ContextExhausted)
+    }
+
+    /// Mark an ID used locally.
+    pub fn mark_used(&mut self, id: u32) {
+        let w = (id as usize) / 64;
+        assert!(w < MASK_WORDS, "context id {id} out of range");
+        self.mask[w] &= !(1u64 << (id % 64));
+    }
+
+    /// Take the lowest ID free in `reduced` and mark it used locally —
+    /// what each participant does after the mask all-reduce.
+    pub fn claim_lowest(&mut self, reduced: &CtxMask) -> Result<u32> {
+        let id = Self::lowest_free(reduced)?;
+        self.mark_used(id);
+        Ok(id)
+    }
+
+    pub fn is_free(&self, id: u32) -> bool {
+        let w = (id as usize) / 64;
+        self.mask[w] & (1u64 << (id % 64)) != 0
+    }
+
+    pub fn free_count(&self) -> usize {
+        self.mask.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Bitwise-AND of two masks — the reduction operator of the agreement.
+pub fn mask_and(a: &CtxMask, b: &CtxMask) -> CtxMask {
+    let mut out = *a;
+    for i in 0..MASK_WORDS {
+        out[i] &= b[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_id_reserved() {
+        let p = CtxPool::new();
+        assert!(!p.is_free(0));
+        assert!(p.is_free(1));
+        assert_eq!(p.free_count(), MASK_BITS - 1);
+    }
+
+    #[test]
+    fn claim_lowest_advances() {
+        let mut p = CtxPool::new();
+        let snap = p.snapshot();
+        assert_eq!(p.claim_lowest(&snap).unwrap(), 1);
+        let snap = p.snapshot();
+        assert_eq!(p.claim_lowest(&snap).unwrap(), 2);
+        assert!(!p.is_free(1));
+        assert!(!p.is_free(2));
+    }
+
+    #[test]
+    fn agreement_respects_both_masks() {
+        // Process A used IDs 1..=3; process B used IDs 1, 5.
+        let mut a = CtxPool::new();
+        for id in 1..=3 {
+            a.mark_used(id);
+        }
+        let mut b = CtxPool::new();
+        b.mark_used(1);
+        b.mark_used(5);
+        let reduced = mask_and(&a.snapshot(), &b.snapshot());
+        // Lowest ID free on BOTH is 4.
+        assert_eq!(CtxPool::lowest_free(&reduced).unwrap(), 4);
+    }
+
+    #[test]
+    fn cross_word_allocation() {
+        let mut p = CtxPool::new();
+        for id in 1..64 {
+            p.mark_used(id);
+        }
+        let snap = p.snapshot();
+        assert_eq!(p.claim_lowest(&snap).unwrap(), 64);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut p = CtxPool::new();
+        for id in 1..MASK_BITS as u32 {
+            p.mark_used(id);
+        }
+        let snap = p.snapshot();
+        assert!(matches!(
+            p.claim_lowest(&snap),
+            Err(MpiError::ContextExhausted)
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the simulator.
+//!
+//! Real MPI aborts the job on most errors; we return `Result` so tests can
+//! exercise failure paths (deadlock timeouts, type mismatches, exhausted
+//! context-ID space) without tearing the process down.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// Errors surfaced by simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A blocking receive/probe waited longer (in wall-clock time) than the
+    /// configured deadlock timeout. This is the simulator's deadlock
+    /// detector: a correct program never hits it.
+    Timeout {
+        rank: usize,
+        waited_for: String,
+        virtual_now: Time,
+    },
+    /// A message was matched whose payload element type differs from the
+    /// type requested by the receive.
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Receive count expectations violated (analogue of MPI_ERR_TRUNCATE).
+    Truncation { expected: usize, got: usize },
+    /// Rank outside the communicator's group.
+    InvalidRank { rank: usize, size: usize },
+    /// The context-ID mask has no free IDs left.
+    ContextExhausted,
+    /// A collective was invoked with inconsistent arguments across ranks
+    /// (detected opportunistically).
+    CollectiveMismatch(String),
+    /// Catch-all for invalid API usage.
+    Usage(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::Timeout {
+                rank,
+                waited_for,
+                virtual_now,
+            } => write!(
+                f,
+                "deadlock timeout on rank {rank} while waiting for {waited_for} (virtual time {virtual_now})"
+            ),
+            MpiError::TypeMismatch { expected, got } => {
+                write!(f, "datatype mismatch: receive expected {expected}, message holds {got}")
+            }
+            MpiError::Truncation { expected, got } => {
+                write!(f, "message truncated: expected {expected} elements, got {got}")
+            }
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::ContextExhausted => write!(f, "context-ID space exhausted"),
+            MpiError::CollectiveMismatch(s) => write!(f, "collective argument mismatch: {s}"),
+            MpiError::Usage(s) => write!(f, "invalid usage: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = MpiError::Timeout {
+            rank: 3,
+            waited_for: "recv(src=1, tag=7)".into(),
+            virtual_now: Time::from_micros(5),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("recv(src=1, tag=7)"));
+
+        let e = MpiError::TypeMismatch {
+            expected: "f64",
+            got: "u32",
+        };
+        assert!(format!("{e}").contains("f64"));
+
+        let e = MpiError::InvalidRank { rank: 9, size: 4 };
+        assert!(format!("{e}").contains("size 4"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MpiError::ContextExhausted);
+        assert!(e.to_string().contains("context-ID"));
+    }
+}

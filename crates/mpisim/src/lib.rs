@@ -1,0 +1,53 @@
+//! # mpisim — an MPI-like message-passing substrate with virtual time
+//!
+//! This crate is the substrate for reproducing *"Lightweight MPI
+//! Communicators with Applications to Perfectly Balanced Quicksort"*
+//! (Axtmann, Wiebigke, Sanders; IPDPS 2018). It provides, from scratch:
+//!
+//! * a thread-per-rank runtime ([`Universe`]) with MPI matching semantics:
+//!   `(context, source, tag)` matching, `ANY_SOURCE` wildcards,
+//!   non-overtaking per sender and context;
+//! * native communicators ([`Comm`]) whose construction runs the *real*
+//!   algorithms (all-gather for `MPI_Comm_split`, context-ID-mask
+//!   all-reduce for `MPI_Comm_create_group`) so that their costs emerge
+//!   from the α–β model rather than being hard-coded;
+//! * blocking collectives ([`coll`]) and nonblocking collective state
+//!   machines ([`nbcoll`]), generic over [`Transport`] so the RBC library
+//!   reuses them verbatim;
+//! * the paper's §VI proposal [`icomm::icomm_create_group`] — nonblocking
+//!   communicator creation with 5-tuple context IDs, constant-time for
+//!   process ranges;
+//! * a virtual-time cost model ([`CostModel`], [`VendorProfile`]): every
+//!   message carries `send_time` and `arrival = send_time + α + bytes·β`,
+//!   and a receive sets `clock = max(clock, arrival)`. Benchmarks report
+//!   virtual milliseconds, which is what makes the paper's figures
+//!   reproducible at laptop scale (see DESIGN.md).
+
+pub mod coll;
+pub mod coll_large;
+pub mod comm;
+pub mod context;
+pub mod datum;
+pub mod error;
+pub mod group;
+pub mod icomm;
+pub mod mailbox;
+pub mod model;
+pub mod msg;
+pub mod nbcoll;
+pub mod proc;
+pub mod tags;
+pub mod time;
+pub mod transport;
+pub mod universe;
+
+pub use comm::Comm;
+pub use datum::{ops, Datum, SortKey, Zeroed};
+pub use error::{MpiError, Result};
+pub use group::Group;
+pub use model::{CostModel, CostScale, CreateGroupAlgo, VendorProfile};
+pub use msg::{ContextId, MsgInfo, Tag};
+pub use nbcoll::{Progress, Request};
+pub use time::Time;
+pub use transport::{Scaled, Src, Status, Transport};
+pub use universe::{ProcEnv, SimConfig, SimResult, Universe};

@@ -1,0 +1,281 @@
+//! Per-rank mailboxes: the matching engine.
+//!
+//! Every rank owns one mailbox; senders push completed messages into the
+//! destination's mailbox (sends are buffered, so they never block). Matching
+//! follows MPI semantics:
+//!
+//! * a receive matches on `(context, source, tag)`;
+//! * per `(sender, context)` messages are non-overtaking (FIFO): for a given
+//!   source we only ever consider that source's *earliest* matching message;
+//! * with a wildcard source, among the per-source head candidates we pick
+//!   the one with the earliest *virtual arrival* — mirroring "the first
+//!   message to physically arrive wins" of a real network, independent of
+//!   the real-time interleaving of simulator threads.
+//!
+//! Blocking operations carry a wall-clock timeout that acts as a deadlock
+//! detector (`MpiError::Timeout`).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MpiError, Result};
+use crate::msg::{MatchPattern, Message, MsgInfo};
+use crate::time::Time;
+
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+struct Inner {
+    msgs: VecDeque<Message>,
+    /// Monotone counter of pushes, used to detect "something new arrived"
+    /// between blocking waits without re-scanning spuriously.
+    pushes: u64,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+impl Mailbox {
+    pub fn new() -> Mailbox {
+        Mailbox {
+            inner: Mutex::new(Inner {
+                msgs: VecDeque::new(),
+                pushes: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn push(&self, m: Message) {
+        let mut g = self.inner.lock();
+        g.msgs.push_back(m);
+        g.pushes += 1;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().msgs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the best match: among the first matching message of each
+    /// source (FIFO per source), the one with minimal (arrival, src) — the
+    /// src tiebreak keeps selection deterministic.
+    fn best_match(inner: &Inner, pat: &MatchPattern) -> Option<usize> {
+        let mut seen_srcs: Vec<usize> = Vec::new();
+        let mut best: Option<(Time, usize, usize)> = None; // (arrival, src, idx)
+        for (idx, m) in inner.msgs.iter().enumerate() {
+            // FIFO per (src, ctx, tag): if we already saw an earlier message
+            // from this src in this ctx with this tag, skip later ones.
+            if m.ctx == pat.ctx && m.tag == pat.tag {
+                if seen_srcs.contains(&m.src_global) {
+                    continue;
+                }
+                seen_srcs.push(m.src_global);
+            }
+            if pat.matches(m) {
+                let key = (m.arrival, m.src_global, idx);
+                if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                    best = Some(key);
+                }
+                // An Exact-source pattern can't do better than this source's
+                // FIFO head.
+                if matches!(pat.src, crate::msg::SrcFilter::Exact(_)) {
+                    break;
+                }
+            }
+        }
+        best.map(|(_, _, idx)| idx)
+    }
+
+    /// Remove and return the best matching message, if any.
+    pub fn try_claim(&self, pat: &MatchPattern) -> Option<Message> {
+        let mut g = self.inner.lock();
+        Self::best_match(&g, pat).map(|idx| g.msgs.remove(idx).expect("index valid"))
+    }
+
+    /// Non-destructive probe.
+    pub fn probe(&self, pat: &MatchPattern) -> Option<MsgInfo> {
+        let g = self.inner.lock();
+        Self::best_match(&g, pat).map(|idx| g.msgs[idx].info())
+    }
+
+    /// Block (in wall-clock time) until a matching message can be claimed.
+    pub fn claim_blocking(
+        &self,
+        pat: &MatchPattern,
+        timeout: Duration,
+        rank: usize,
+        vnow: Time,
+    ) -> Result<Message> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(idx) = Self::best_match(&g, pat) {
+                return Ok(g.msgs.remove(idx).expect("index valid"));
+            }
+            if self.cv.wait_for(&mut g, timeout).timed_out() {
+                return Err(MpiError::Timeout {
+                    rank,
+                    waited_for: format!("recv({:?}, tag={}, {})", pat.src, pat.tag, pat.ctx),
+                    virtual_now: vnow,
+                });
+            }
+        }
+    }
+
+    /// Block until a matching message is present; do not remove it.
+    pub fn probe_blocking(
+        &self,
+        pat: &MatchPattern,
+        timeout: Duration,
+        rank: usize,
+        vnow: Time,
+    ) -> Result<MsgInfo> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(idx) = Self::best_match(&g, pat) {
+                return Ok(g.msgs[idx].info());
+            }
+            if self.cv.wait_for(&mut g, timeout).timed_out() {
+                return Err(MpiError::Timeout {
+                    rank,
+                    waited_for: format!("probe({:?}, tag={}, {})", pat.src, pat.tag, pat.ctx),
+                    virtual_now: vnow,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{ContextId, SrcFilter};
+    use std::sync::Arc;
+
+    fn msg(src: usize, tag: u64, ctx: u32, arrival: u64, val: u64) -> Message {
+        Message::new::<u64>(src, tag, ContextId::Small(ctx), vec![val], Time(0), Time(arrival))
+    }
+
+    fn pat(src: SrcFilter, tag: u64, ctx: u32) -> MatchPattern {
+        MatchPattern {
+            ctx: ContextId::Small(ctx),
+            src,
+            tag,
+        }
+    }
+
+    #[test]
+    fn fifo_per_source() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 0, 100, 111));
+        mb.push(msg(1, 5, 0, 50, 222)); // later push, earlier arrival — must NOT overtake
+        let m = mb.try_claim(&pat(SrcFilter::Exact(1), 5, 0)).unwrap();
+        let (v, _) = m.take::<u64>().unwrap();
+        assert_eq!(v, vec![111]);
+        let m = mb.try_claim(&pat(SrcFilter::Exact(1), 5, 0)).unwrap();
+        let (v, _) = m.take::<u64>().unwrap();
+        assert_eq!(v, vec![222]);
+    }
+
+    #[test]
+    fn wildcard_prefers_earliest_arrival() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 0, 100, 111)); // physically first, arrives late
+        mb.push(msg(2, 5, 0, 10, 222)); // physically second, arrives early
+        let m = mb.try_claim(&pat(SrcFilter::Any, 5, 0)).unwrap();
+        assert_eq!(m.src_global, 2);
+    }
+
+    #[test]
+    fn context_isolation() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 7, 10, 1));
+        assert!(mb.try_claim(&pat(SrcFilter::Any, 5, 8)).is_none());
+        assert!(mb.try_claim(&pat(SrcFilter::Any, 5, 7)).is_some());
+    }
+
+    #[test]
+    fn tag_isolation() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 0, 10, 1));
+        assert!(mb.try_claim(&pat(SrcFilter::Exact(1), 6, 0)).is_none());
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn filter_wildcard_skips_non_members() {
+        let mb = Mailbox::new();
+        mb.push(msg(9, 5, 0, 1, 1)); // not in range, earliest arrival
+        mb.push(msg(3, 5, 0, 50, 2));
+        let f = SrcFilter::Filter(Arc::new(|g| (2..=4).contains(&g)));
+        let m = mb.try_claim(&pat(f, 5, 0)).unwrap();
+        assert_eq!(m.src_global, 3);
+        assert_eq!(mb.len(), 1); // rank 9's message untouched
+    }
+
+    #[test]
+    fn probe_does_not_remove() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 0, 10, 42));
+        let info = mb.probe(&pat(SrcFilter::Any, 5, 0)).unwrap();
+        assert_eq!(info.src_global, 1);
+        assert_eq!(info.count, 1);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn blocking_claim_times_out() {
+        let mb = Mailbox::new();
+        let err = mb
+            .claim_blocking(
+                &pat(SrcFilter::Exact(0), 1, 0),
+                Duration::from_millis(20),
+                3,
+                Time(99),
+            )
+            .unwrap_err();
+        assert!(matches!(err, MpiError::Timeout { rank: 3, .. }));
+    }
+
+    #[test]
+    fn blocking_claim_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            mb2.push(msg(0, 1, 0, 5, 7));
+        });
+        let m = mb
+            .claim_blocking(
+                &pat(SrcFilter::Exact(0), 1, 0),
+                Duration::from_secs(5),
+                0,
+                Time(0),
+            )
+            .unwrap();
+        assert_eq!(m.src_global, 0);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn exact_source_fifo_even_with_other_traffic() {
+        let mb = Mailbox::new();
+        mb.push(msg(2, 5, 0, 500, 1));
+        mb.push(msg(1, 5, 0, 1, 2));
+        // Exact(2) must take src 2's head even though src 1 arrives earlier.
+        let m = mb.try_claim(&pat(SrcFilter::Exact(2), 5, 0)).unwrap();
+        assert_eq!(m.src_global, 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Messages and matching.
+//!
+//! A message carries its sender's *global* rank, a tag, and the context ID
+//! of the communicator it was sent over — exactly the header fields MPI uses
+//! for matching (§III of the paper). Payloads are typed `Vec<T>` behind
+//! `dyn Any`; no serialization happens.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::datum::Datum;
+use crate::error::{MpiError, Result};
+use crate::time::Time;
+
+/// Message tag. The simulator reserves the top bit of the tag space for
+/// library-internal collectives (see [`crate::tags`]).
+pub type Tag = u64;
+
+/// A communicator context ID.
+///
+/// `Small` IDs come from the MPICH-style context-ID-mask agreement
+/// (`comm_split` / `comm_create_group`). `Wide` IDs implement the paper's
+/// §VI proposal for `MPI_Icomm_create_group`: a 5-tuple `⟨a, b, f, l, c⟩`
+/// where `a` is the originating process, `b` its counter value, `f..l` the
+/// range within the parent, and `c` a same-group generation counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ContextId {
+    Small(u32),
+    Wide {
+        a: u32,
+        b: u32,
+        f: u32,
+        l: u32,
+        c: u32,
+    },
+}
+
+impl ContextId {
+    pub const WORLD: ContextId = ContextId::Small(0);
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextId::Small(x) => write!(fm, "ctx#{x}"),
+            ContextId::Wide { a, b, f, l, c } => write!(fm, "ctx<{a},{b},{f},{l},{c}>"),
+        }
+    }
+}
+
+/// Source specifier for receives and probes.
+#[derive(Clone)]
+pub enum SrcFilter {
+    /// A specific *global* rank.
+    Exact(usize),
+    /// `MPI_ANY_SOURCE` within the communicator's group: any message in the
+    /// context matches (all senders into a context are group members).
+    Any,
+    /// Wildcard restricted by a membership predicate over global ranks.
+    /// RBC uses this for `ANY_SOURCE` on a sub-range communicator: probe any
+    /// message, then test whether its source lies in the range (§V-C).
+    Filter(Arc<dyn Fn(usize) -> bool + Send + Sync>),
+}
+
+impl SrcFilter {
+    pub fn matches(&self, global_src: usize) -> bool {
+        match self {
+            SrcFilter::Exact(r) => *r == global_src,
+            SrcFilter::Any => true,
+            SrcFilter::Filter(f) => f(global_src),
+        }
+    }
+}
+
+impl fmt::Debug for SrcFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrcFilter::Exact(r) => write!(f, "Exact({r})"),
+            SrcFilter::Any => write!(f, "Any"),
+            SrcFilter::Filter(_) => write!(f, "Filter(..)"),
+        }
+    }
+}
+
+/// What a receive/probe is looking for.
+#[derive(Clone, Debug)]
+pub struct MatchPattern {
+    pub ctx: ContextId,
+    pub src: SrcFilter,
+    pub tag: Tag,
+}
+
+impl MatchPattern {
+    pub fn matches(&self, m: &Message) -> bool {
+        m.ctx == self.ctx && m.tag == self.tag && self.src.matches(m.src_global)
+    }
+}
+
+/// Metadata returned by probes and receives (analogue of `MPI_Status`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgInfo {
+    /// Sender's global rank (callers translate to communicator ranks).
+    pub src_global: usize,
+    pub tag: Tag,
+    pub count: usize,
+    pub bytes: usize,
+    /// Virtual time at which the message is available at the receiver.
+    pub arrival: Time,
+}
+
+/// An in-flight message.
+pub struct Message {
+    pub src_global: usize,
+    pub tag: Tag,
+    pub ctx: ContextId,
+    pub count: usize,
+    pub bytes: usize,
+    pub type_name: &'static str,
+    pub send_time: Time,
+    pub arrival: Time,
+    payload: Box<dyn Any + Send>,
+}
+
+impl Message {
+    pub fn new<T: Datum>(
+        src_global: usize,
+        tag: Tag,
+        ctx: ContextId,
+        data: Vec<T>,
+        send_time: Time,
+        arrival: Time,
+    ) -> Message {
+        Message {
+            src_global,
+            tag,
+            ctx,
+            count: data.len(),
+            bytes: data.len() * T::width(),
+            type_name: std::any::type_name::<T>(),
+            send_time,
+            arrival,
+            payload: Box::new(data),
+        }
+    }
+
+    pub fn info(&self) -> MsgInfo {
+        MsgInfo {
+            src_global: self.src_global,
+            tag: self.tag,
+            count: self.count,
+            bytes: self.bytes,
+            arrival: self.arrival,
+        }
+    }
+
+    /// Consume the message, extracting its typed payload.
+    pub fn take<T: Datum>(self) -> Result<(Vec<T>, MsgInfo)> {
+        let info = self.info();
+        match self.payload.downcast::<Vec<T>>() {
+            Ok(v) => Ok((*v, info)),
+            Err(_) => Err(MpiError::TypeMismatch {
+                expected: std::any::type_name::<T>(),
+                got: self.type_name,
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Message{{src={}, tag={}, {}, count={}, arrival={}}}",
+            self.src_global, self.tag, self.ctx, self.count, self.arrival
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(src: usize, tag: Tag, ctx: ContextId) -> Message {
+        Message::new::<u64>(src, tag, ctx, vec![1, 2, 3], Time(0), Time(10))
+    }
+
+    #[test]
+    fn take_roundtrip() {
+        let m = mk(2, 7, ContextId::WORLD);
+        let (v, info) = m.take::<u64>().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(info.src_global, 2);
+        assert_eq!(info.count, 3);
+        assert_eq!(info.bytes, 24);
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let m = mk(0, 0, ContextId::WORLD);
+        let err = m.take::<f64>().unwrap_err();
+        assert!(matches!(err, MpiError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn matching_by_ctx_src_tag() {
+        let m = mk(2, 7, ContextId::Small(5));
+        let hit = MatchPattern {
+            ctx: ContextId::Small(5),
+            src: SrcFilter::Exact(2),
+            tag: 7,
+        };
+        assert!(hit.matches(&m));
+        let wrong_ctx = MatchPattern {
+            ctx: ContextId::Small(6),
+            ..hit.clone()
+        };
+        assert!(!wrong_ctx.matches(&m));
+        let wrong_src = MatchPattern {
+            src: SrcFilter::Exact(3),
+            ..hit.clone()
+        };
+        assert!(!wrong_src.matches(&m));
+        let wrong_tag = MatchPattern { tag: 8, ..hit };
+        assert!(!wrong_tag.matches(&m));
+    }
+
+    #[test]
+    fn wildcard_and_filter() {
+        let m = mk(4, 1, ContextId::WORLD);
+        let any = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Any,
+            tag: 1,
+        };
+        assert!(any.matches(&m));
+        let in_range = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Filter(Arc::new(|g| (2..=5).contains(&g))),
+            tag: 1,
+        };
+        assert!(in_range.matches(&m));
+        let out_of_range = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Filter(Arc::new(|g| g > 10)),
+            tag: 1,
+        };
+        assert!(!out_of_range.matches(&m));
+    }
+
+    #[test]
+    fn wide_context_ids_distinct_from_small() {
+        let wide = ContextId::Wide {
+            a: 0,
+            b: 0,
+            f: 0,
+            l: 3,
+            c: 0,
+        };
+        assert_ne!(wide, ContextId::Small(0));
+        assert_eq!(format!("{wide}"), "ctx<0,0,0,3,0>");
+    }
+}

@@ -1,0 +1,288 @@
+//! Per-rank state and the router connecting ranks.
+//!
+//! Each simulated MPI process is an OS thread owning a [`ProcState`]: its
+//! global rank, its virtual clock, its RNG, and its context-ID pool. The
+//! [`Router`] holds one mailbox per rank plus the cost model; sends deposit
+//! messages directly into the destination mailbox (buffered semantics).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::datum::Datum;
+use crate::error::Result;
+use crate::mailbox::Mailbox;
+use crate::model::{CostModel, CostScale, VendorProfile};
+use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, Tag};
+use crate::time::Time;
+
+/// Cumulative message traffic of a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+pub struct Router {
+    pub mailboxes: Vec<Mailbox>,
+    pub cost: CostModel,
+    pub vendor: VendorProfile,
+    pub recv_timeout: Duration,
+    /// Global traffic accounting (messages / payload bytes deposited).
+    pub msgs_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+}
+
+impl Router {
+    pub fn new(
+        p: usize,
+        cost: CostModel,
+        vendor: VendorProfile,
+        recv_timeout: Duration,
+    ) -> Router {
+        Router {
+            mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+            cost,
+            vendor,
+            recv_timeout,
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of global traffic so far.
+    pub fn traffic(&self) -> Traffic {
+        Traffic {
+            messages: self.msgs_sent.load(Ordering::Relaxed),
+            bytes: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.mailboxes.len()
+    }
+}
+
+pub struct ProcState {
+    pub global_rank: usize,
+    clock: AtomicU64,
+    pub router: Arc<Router>,
+    pub rng: Mutex<StdRng>,
+    pub ctx_pool: Mutex<crate::context::CtxPool>,
+    /// Counter `b` of the §VI wide context-ID scheme.
+    pub icomm_counter: AtomicU32,
+}
+
+impl ProcState {
+    pub fn new(global_rank: usize, router: Arc<Router>, seed: u64) -> Arc<ProcState> {
+        Arc::new(ProcState {
+            global_rank,
+            clock: AtomicU64::new(0),
+            router,
+            rng: Mutex::new(StdRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(global_rank as u64),
+            )),
+            ctx_pool: Mutex::new(crate::context::CtxPool::new()),
+            icomm_counter: AtomicU32::new(0),
+        })
+    }
+
+    // ---- virtual clock ----------------------------------------------------
+
+    pub fn now(&self) -> Time {
+        Time(self.clock.load(Ordering::Relaxed))
+    }
+
+    pub fn advance(&self, dt: Time) {
+        self.clock.fetch_add(dt.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// `clock = max(clock, t)` — applied when a receive completes.
+    pub fn advance_to(&self, t: Time) {
+        self.clock.fetch_max(t.as_nanos(), Ordering::Relaxed);
+    }
+
+    pub fn set_clock(&self, t: Time) {
+        self.clock.store(t.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Charge local computation over `elems` elements.
+    pub fn charge_compute(&self, elems: usize) {
+        self.advance(self.router.cost.compute_cost(elems));
+    }
+
+    /// Charge an explicit span of virtual time.
+    pub fn charge(&self, dt: Time) {
+        self.advance(dt);
+    }
+
+    // ---- point-to-point on global ranks ------------------------------------
+
+    /// Deposit `data` into `dest_global`'s mailbox. Buffered semantics:
+    /// never blocks. `scale` models vendor-internal collective traffic;
+    /// plain point-to-point uses `CostScale::NEUTRAL`.
+    pub fn send_global<T: Datum>(
+        &self,
+        dest_global: usize,
+        tag: Tag,
+        ctx: ContextId,
+        data: Vec<T>,
+        scale: CostScale,
+    ) {
+        let bytes = data.len() * T::width();
+        let t0 = self.now();
+        self.advance(self.router.cost.send_overhead);
+        let mut transfer = self.router.cost.transfer_time_scaled(bytes, scale);
+        // Vendor jitter: collective-internal messages use `jitter_max`;
+        // plain point-to-point (including everything RBC sends) uses the
+        // weaker `p2p_jitter_max` — vendor p2p fluctuations hit RBC too.
+        let jitter_cap = if scale == CostScale::NEUTRAL {
+            self.router.vendor.p2p_jitter_max
+        } else {
+            self.router.vendor.jitter_max
+        };
+        if jitter_cap > 1.0 && bytes > self.router.vendor.jitter_threshold {
+            let f: f64 = self.rng.lock().gen_range(1.0..jitter_cap);
+            transfer = transfer.scale(f);
+        }
+        let arrival = t0 + transfer;
+        self.router.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.router.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        let msg = Message::new(self.global_rank, tag, ctx, data, t0, arrival);
+        self.router.mailboxes[dest_global].push(msg);
+    }
+
+    /// Blocking receive matching `pat`; applies the virtual-time rule
+    /// `clock = max(clock, arrival) + recv_overhead`.
+    pub fn recv_match(&self, pat: &MatchPattern) -> Result<Message> {
+        let m = self.router.mailboxes[self.global_rank].claim_blocking(
+            pat,
+            self.router.recv_timeout,
+            self.global_rank,
+            self.now(),
+        )?;
+        self.advance_to(m.arrival);
+        self.advance(self.router.cost.recv_overhead);
+        Ok(m)
+    }
+
+    /// Nonblocking receive attempt. On a hit, applies the same clock rule
+    /// as a blocking receive.
+    pub fn try_recv_match(&self, pat: &MatchPattern) -> Option<Message> {
+        let m = self.router.mailboxes[self.global_rank].try_claim(pat)?;
+        self.advance_to(m.arrival);
+        self.advance(self.router.cost.recv_overhead);
+        Some(m)
+    }
+
+    /// Blocking probe: waits until a matching message is available, without
+    /// removing it. Does not advance the clock past the arrival (the
+    /// subsequent receive does).
+    pub fn probe_match(&self, pat: &MatchPattern) -> Result<MsgInfo> {
+        self.router.mailboxes[self.global_rank].probe_blocking(
+            pat,
+            self.router.recv_timeout,
+            self.global_rank,
+            self.now(),
+        )
+    }
+
+    /// Nonblocking probe.
+    pub fn iprobe_match(&self, pat: &MatchPattern) -> Option<MsgInfo> {
+        self.router.mailboxes[self.global_rank].probe(pat)
+    }
+
+    /// Uniform random value from this rank's deterministic stream.
+    pub fn rand_index(&self, bound: usize) -> usize {
+        if bound <= 1 {
+            return 0;
+        }
+        self.rng.lock().gen_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::SrcFilter;
+
+    fn setup(p: usize) -> Vec<Arc<ProcState>> {
+        let router = Arc::new(Router::new(
+            p,
+            CostModel::supermuc_like(),
+            VendorProfile::neutral(),
+            Duration::from_secs(5),
+        ));
+        (0..p)
+            .map(|r| ProcState::new(r, Arc::clone(&router), 42))
+            .collect()
+    }
+
+    #[test]
+    fn send_recv_updates_clocks() {
+        let procs = setup(2);
+        let cost = procs[0].router.cost.clone();
+        procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![1, 2, 3], CostScale::NEUTRAL);
+        // Sender paid only the send overhead.
+        assert_eq!(procs[0].now(), cost.send_overhead);
+        let pat = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Exact(0),
+            tag: 7,
+        };
+        let m = procs[1].recv_match(&pat).unwrap();
+        let (v, info) = m.take::<u64>().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        // Receiver's clock jumped to arrival (alpha + 24 bytes * beta) + recv overhead.
+        let expected = cost.transfer_time(24) + cost.recv_overhead;
+        assert_eq!(procs[1].now(), expected);
+        assert_eq!(info.arrival, cost.transfer_time(24));
+    }
+
+    #[test]
+    fn recv_does_not_rewind_clock() {
+        let procs = setup(2);
+        procs[1].advance(Time::from_millis(10));
+        procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![1], CostScale::NEUTRAL);
+        let pat = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Exact(0),
+            tag: 7,
+        };
+        procs[1].recv_match(&pat).unwrap();
+        // Receiver was already past the arrival time; max() keeps it there.
+        assert!(procs[1].now() >= Time::from_millis(10));
+    }
+
+    #[test]
+    fn try_recv_miss_leaves_clock() {
+        let procs = setup(2);
+        let pat = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Any,
+            tag: 0,
+        };
+        assert!(procs[0].try_recv_match(&pat).is_none());
+        assert_eq!(procs[0].now(), Time::ZERO);
+    }
+
+    #[test]
+    fn deterministic_rng_per_rank() {
+        let a = setup(2);
+        let b = setup(2);
+        assert_eq!(a[0].rand_index(1000), b[0].rand_index(1000));
+        assert_eq!(a[1].rand_index(1000), b[1].rand_index(1000));
+    }
+
+    #[test]
+    fn charge_compute_uses_model() {
+        let procs = setup(1);
+        procs[0].charge_compute(5000);
+        assert_eq!(procs[0].now(), Time::from_micros(5));
+    }
+}

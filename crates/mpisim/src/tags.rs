@@ -1,0 +1,77 @@
+//! Reserved tag space.
+//!
+//! The paper (§V-D): "We define a distinct exclusive tag for each blocking
+//! collective operation" and nonblocking collectives get default tags that
+//! the user may override. User code must stay below [`RESERVED_BASE`];
+//! everything above is library-internal. Collectives that need two message
+//! streams (gatherv: metadata + payload) reserve two consecutive tags.
+
+use crate::msg::Tag;
+
+/// First reserved tag; user tags must be `< RESERVED_BASE`.
+pub const RESERVED_BASE: Tag = 1 << 62;
+
+pub const fn is_reserved(tag: Tag) -> bool {
+    tag >= RESERVED_BASE
+}
+
+// Blocking collectives (one exclusive tag each; gatherv-based ops use +1 too).
+pub const BCAST: Tag = RESERVED_BASE;
+pub const REDUCE: Tag = RESERVED_BASE + 2;
+pub const ALLREDUCE: Tag = RESERVED_BASE + 4;
+pub const SCAN: Tag = RESERVED_BASE + 6;
+pub const EXSCAN: Tag = RESERVED_BASE + 8;
+pub const GATHER: Tag = RESERVED_BASE + 10;
+pub const GATHERV: Tag = RESERVED_BASE + 12;
+pub const ALLGATHER: Tag = RESERVED_BASE + 14;
+pub const BARRIER: Tag = RESERVED_BASE + 16;
+pub const ALLTOALL: Tag = RESERVED_BASE + 18;
+
+/// Context-ID mask agreement during `split`/`dup`.
+pub const CTX_AGREE: Tag = RESERVED_BASE + 20;
+/// All-gather of `(color, key)` during `MPI_Comm_split`.
+pub const SPLIT_GATHER: Tag = RESERVED_BASE + 22;
+pub const SCATTER: Tag = RESERVED_BASE + 24;
+pub const SCATTERV: Tag = RESERVED_BASE + 26;
+pub const ALLGATHERV: Tag = RESERVED_BASE + 28; // +2, +3 for the bcasts
+pub const ALLTOALLW: Tag = RESERVED_BASE + 34;
+
+// Default tags for nonblocking collectives (paper: `RBC_IBCAST_TAG` etc.).
+// Users may pass their own tag instead to run several operations of the
+// same class concurrently.
+pub const IBCAST: Tag = RESERVED_BASE + 100;
+pub const IREDUCE: Tag = RESERVED_BASE + 102;
+pub const ISCAN: Tag = RESERVED_BASE + 104;
+pub const IEXSCAN: Tag = RESERVED_BASE + 106;
+pub const IGATHER: Tag = RESERVED_BASE + 108;
+pub const IGATHERV: Tag = RESERVED_BASE + 110;
+pub const IBARRIER: Tag = RESERVED_BASE + 112;
+pub const IALLREDUCE: Tag = RESERVED_BASE + 114;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_predicate() {
+        assert!(is_reserved(BCAST));
+        assert!(is_reserved(IALLREDUCE));
+        assert!(!is_reserved(0));
+        assert!(!is_reserved(RESERVED_BASE - 1));
+    }
+
+    #[test]
+    fn all_distinct_with_headroom() {
+        let tags = [
+            BCAST, REDUCE, ALLREDUCE, SCAN, EXSCAN, GATHER, GATHERV, ALLGATHER, BARRIER,
+            ALLTOALL, CTX_AGREE, SPLIT_GATHER, SCATTER, SCATTERV, ALLTOALLW, IBCAST, IREDUCE,
+            ISCAN, IEXSCAN, IGATHER, IGATHERV, IBARRIER, IALLREDUCE,
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                // Each op may also use tag+1 for a second stream.
+                assert!(a.abs_diff(*b) >= 2, "tags {a} and {b} too close");
+            }
+        }
+    }
+}

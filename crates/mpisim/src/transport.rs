@@ -1,0 +1,261 @@
+//! The `Transport` abstraction: typed point-to-point over some rank space.
+//!
+//! Collective algorithms (blocking in [`crate::coll`], nonblocking state
+//! machines in [`crate::nbcoll`]) are written once, generically over
+//! `Transport`. Both the native [`crate::comm::Comm`] and RBC's range
+//! communicator implement it; the only differences between "vendor MPI
+//! collectives" and "RBC collectives" are therefore (a) the communicator
+//! construction path and (b) the vendor [`CostScale`] — exactly the
+//! comparison the paper makes.
+
+use std::sync::Arc;
+
+use crate::datum::Datum;
+use crate::error::{MpiError, Result};
+use crate::model::CostScale;
+use crate::msg::{ContextId, MatchPattern, MsgInfo, SrcFilter, Tag};
+use crate::proc::ProcState;
+use crate::time::Time;
+
+/// Source argument of receives/probes, in communicator rank space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    Rank(usize),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+/// Receive/probe status in communicator rank space (`MPI_Status` analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank within the communicator.
+    pub source: usize,
+    pub tag: Tag,
+    pub count: usize,
+    pub bytes: usize,
+}
+
+pub trait Transport: Clone + Send + 'static {
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    fn state(&self) -> &Arc<ProcState>;
+    fn ctx(&self) -> ContextId;
+    /// Communicator rank -> global rank.
+    fn translate(&self, rank: usize) -> usize;
+    /// Global rank -> communicator rank, if a member.
+    fn rank_of_global(&self, global: usize) -> Option<usize>;
+    /// How `Src::Any` maps onto the message-matching layer. Native
+    /// communicators use a true wildcard (their context is private); RBC
+    /// communicators restrict by range membership (paper §V-C).
+    fn any_source_filter(&self) -> SrcFilter;
+    /// Cost scaling of messages sent through this transport.
+    fn cost_scale(&self) -> CostScale {
+        CostScale::NEUTRAL
+    }
+
+    // ---- provided API ------------------------------------------------------
+
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank < self.size() {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidRank {
+                rank,
+                size: self.size(),
+            })
+        }
+    }
+
+    fn pattern(&self, src: Src, tag: Tag) -> MatchPattern {
+        let src = match src {
+            Src::Rank(r) => SrcFilter::Exact(self.translate(r)),
+            Src::Any => self.any_source_filter(),
+        };
+        MatchPattern {
+            ctx: self.ctx(),
+            src,
+            tag,
+        }
+    }
+
+    fn status_of(&self, info: &MsgInfo) -> Status {
+        let source = self
+            .rank_of_global(info.src_global)
+            .expect("message source is a member of this communicator");
+        Status {
+            source,
+            tag: info.tag,
+            count: info.count,
+            bytes: info.bytes,
+        }
+    }
+
+    /// Buffered send (never blocks).
+    fn send<T: Datum>(&self, buf: &[T], dest: usize, tag: Tag) -> Result<()> {
+        self.send_vec(buf.to_vec(), dest, tag)
+    }
+
+    /// Buffered send taking ownership (avoids one copy).
+    fn send_vec<T: Datum>(&self, data: Vec<T>, dest: usize, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        self.state().send_global(
+            self.translate(dest),
+            tag,
+            self.ctx(),
+            data,
+            self.cost_scale(),
+        );
+        Ok(())
+    }
+
+    /// Blocking receive.
+    fn recv<T: Datum>(&self, src: Src, tag: Tag) -> Result<(Vec<T>, Status)> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let pat = self.pattern(src, tag);
+        let m = self.state().recv_match(&pat)?;
+        let (data, info) = m.take::<T>()?;
+        let st = self.status_of(&info);
+        Ok((data, st))
+    }
+
+    /// Nonblocking receive attempt.
+    fn try_recv<T: Datum>(&self, src: Src, tag: Tag) -> Result<Option<(Vec<T>, Status)>> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let pat = self.pattern(src, tag);
+        match self.state().try_recv_match(&pat) {
+            None => Ok(None),
+            Some(m) => {
+                let (data, info) = m.take::<T>()?;
+                let st = self.status_of(&info);
+                Ok(Some((data, st)))
+            }
+        }
+    }
+
+    /// Blocking probe (`MPI_Probe`).
+    fn probe(&self, src: Src, tag: Tag) -> Result<Status> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let pat = self.pattern(src, tag);
+        let info = self.state().probe_match(&pat)?;
+        Ok(self.status_of(&info))
+    }
+
+    /// Nonblocking probe (`MPI_Iprobe`).
+    fn iprobe(&self, src: Src, tag: Tag) -> Result<Option<Status>> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let pat = self.pattern(src, tag);
+        Ok(self.state().iprobe_match(&pat).map(|i| self.status_of(&i)))
+    }
+
+    /// Nonblocking receive: returns a pollable request.
+    fn irecv<T: Datum>(&self, src: Src, tag: Tag) -> RecvReq<T, Self> {
+        RecvReq {
+            tr: self.clone(),
+            src,
+            tag,
+            done: None,
+        }
+    }
+
+    // ---- virtual time ------------------------------------------------------
+
+    fn now(&self) -> Time {
+        self.state().now()
+    }
+
+    fn charge(&self, dt: Time) {
+        self.state().charge(dt);
+    }
+
+    fn charge_compute(&self, elems: usize) {
+        self.state().charge_compute(elems);
+    }
+}
+
+/// A pending nonblocking receive.
+pub struct RecvReq<T: Datum, C: Transport> {
+    tr: C,
+    src: Src,
+    tag: Tag,
+    done: Option<(Vec<T>, Status)>,
+}
+
+impl<T: Datum, C: Transport> RecvReq<T, C> {
+    /// Poll for completion (`MPI_Test`).
+    pub fn test(&mut self) -> Result<bool> {
+        if self.done.is_some() {
+            return Ok(true);
+        }
+        if let Some(hit) = self.tr.try_recv::<T>(self.src, self.tag)? {
+            self.done = Some(hit);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Block until complete, returning the data (`MPI_Wait`).
+    pub fn wait(mut self) -> Result<(Vec<T>, Status)> {
+        if let Some(hit) = self.done.take() {
+            return Ok(hit);
+        }
+        self.tr.recv::<T>(self.src, self.tag)
+    }
+
+    /// Take the data if complete.
+    pub fn take(&mut self) -> Option<(Vec<T>, Status)> {
+        self.done.take()
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+}
+
+/// A transport wrapper applying a vendor cost scale to all messages.
+/// Vendor (native MPI) collectives run through this; RBC runs neutral.
+#[derive(Clone)]
+pub struct Scaled<C: Transport> {
+    pub inner: C,
+    pub scale: CostScale,
+}
+
+impl<C: Transport> Scaled<C> {
+    pub fn new(inner: C, scale: CostScale) -> Scaled<C> {
+        Scaled { inner, scale }
+    }
+}
+
+impl<C: Transport> Transport for Scaled<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+    fn state(&self) -> &Arc<ProcState> {
+        self.inner.state()
+    }
+    fn ctx(&self) -> ContextId {
+        self.inner.ctx()
+    }
+    fn translate(&self, rank: usize) -> usize {
+        self.inner.translate(rank)
+    }
+    fn rank_of_global(&self, global: usize) -> Option<usize> {
+        self.inner.rank_of_global(global)
+    }
+    fn any_source_filter(&self) -> SrcFilter {
+        self.inner.any_source_filter()
+    }
+    fn cost_scale(&self) -> CostScale {
+        self.scale
+    }
+}

@@ -1,0 +1,249 @@
+//! The universe: spawns one OS thread per simulated MPI process.
+//!
+//! ```
+//! use mpisim::{Universe, SimConfig, Transport};
+//!
+//! let res = Universe::run(4, SimConfig::default(), |env| {
+//!     let world = env.world.clone();
+//!     let mut x = vec![world.rank() as u64];
+//!     world.bcast(&mut x, 0).unwrap();
+//!     x[0]
+//! });
+//! assert_eq!(res.per_rank, vec![0, 0, 0, 0]);
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::model::{CostModel, VendorProfile};
+use crate::proc::{ProcState, Router};
+use crate::time::Time;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub cost: CostModel,
+    pub vendor: VendorProfile,
+    /// Wall-clock deadlock-detection timeout for blocking operations.
+    pub recv_timeout: Duration,
+    /// Base seed for per-rank deterministic RNG streams.
+    pub seed: u64,
+    /// Stack size per rank thread. Rank bodies are shallow; the default of
+    /// 1 MiB supports thousands of ranks.
+    pub stack_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cost: CostModel::supermuc_like(),
+            vendor: VendorProfile::neutral(),
+            recv_timeout: Duration::from_secs(30),
+            seed: 0x5bc,
+            stack_size: 1 << 20,
+        }
+    }
+}
+
+impl SimConfig {
+    pub fn with_vendor(mut self, vendor: VendorProfile) -> SimConfig {
+        self.vendor = vendor;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_timeout(mut self, t: Duration) -> SimConfig {
+        self.recv_timeout = t;
+        self
+    }
+}
+
+/// Handed to every rank body.
+#[derive(Clone)]
+pub struct ProcEnv {
+    /// `MPI_COMM_WORLD`.
+    pub world: Comm,
+}
+
+impl ProcEnv {
+    pub fn rank(&self) -> usize {
+        use crate::transport::Transport;
+        self.world.rank()
+    }
+
+    pub fn size(&self) -> usize {
+        use crate::transport::Transport;
+        self.world.size()
+    }
+
+    pub fn state(&self) -> &Arc<ProcState> {
+        self.world.proc_state()
+    }
+
+    /// This rank's virtual clock.
+    pub fn now(&self) -> Time {
+        self.state().now()
+    }
+}
+
+/// Outcome of a simulation: per-rank return values, final virtual clocks,
+/// and the total message traffic.
+#[derive(Debug)]
+pub struct SimResult<R> {
+    pub per_rank: Vec<R>,
+    pub clocks: Vec<Time>,
+    pub traffic: crate::proc::Traffic,
+}
+
+impl<R> SimResult<R> {
+    /// Makespan: the latest rank clock — what the paper reports as the
+    /// running time of an operation executed by all processes.
+    pub fn max_time(&self) -> Time {
+        self.clocks.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    pub fn min_time(&self) -> Time {
+        self.clocks.iter().copied().min().unwrap_or(Time::ZERO)
+    }
+}
+
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `p` simulated processes and collect results. Panics in
+    /// any rank propagate (with the rank name in the thread name).
+    pub fn run<R, F>(p: usize, cfg: SimConfig, f: F) -> SimResult<R>
+    where
+        R: Send,
+        F: Fn(ProcEnv) -> R + Send + Sync,
+    {
+        assert!(p >= 1, "need at least one process");
+        let router = Arc::new(Router::new(
+            p,
+            cfg.cost.clone(),
+            cfg.vendor.clone(),
+            cfg.recv_timeout,
+        ));
+        let states: Vec<Arc<ProcState>> = (0..p)
+            .map(|r| ProcState::new(r, Arc::clone(&router), cfg.seed))
+            .collect();
+
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for state in &states {
+                let state = Arc::clone(state);
+                let results = &results;
+                let h = std::thread::Builder::new()
+                    .name(format!("rank{}", state.global_rank))
+                    .stack_size(cfg.stack_size)
+                    .spawn_scoped(scope, move || {
+                        let rank = state.global_rank;
+                        let env = ProcEnv {
+                            world: Comm::world(state),
+                        };
+                        let out = f(env);
+                        results.lock()[rank] = Some(out);
+                    })
+                    .expect("spawn rank thread");
+                handles.push(h);
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+
+        let per_rank = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("rank completed"))
+            .collect();
+        let clocks = states.iter().map(|s| s.now()).collect();
+        let traffic = router.traffic();
+        SimResult {
+            per_rank,
+            clocks,
+            traffic,
+        }
+    }
+
+    /// Convenience wrapper with default configuration.
+    pub fn run_default<R, F>(p: usize, f: F) -> SimResult<R>
+    where
+        R: Send,
+        F: Fn(ProcEnv) -> R + Send + Sync,
+    {
+        Universe::run(p, SimConfig::default(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Src, Transport};
+
+    #[test]
+    fn ranks_see_world() {
+        let res = Universe::run_default(5, |env| (env.rank(), env.size()));
+        assert_eq!(
+            res.per_rank,
+            vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]
+        );
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let res = Universe::run_default(4, |env| {
+            let w = &env.world;
+            let next = (w.rank() + 1) % 4;
+            let prev = (w.rank() + 3) % 4;
+            w.send(&[w.rank() as u64], next, 1).unwrap();
+            let (v, st) = w.recv::<u64>(Src::Rank(prev), 1).unwrap();
+            assert_eq!(st.source, prev);
+            v[0]
+        });
+        assert_eq!(res.per_rank, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn clocks_collected() {
+        let res = Universe::run_default(2, |env| {
+            env.state().charge(Time::from_millis(env.rank() as u64 + 1));
+        });
+        assert_eq!(res.clocks[0], Time::from_millis(1));
+        assert_eq!(res.clocks[1], Time::from_millis(2));
+        assert_eq!(res.max_time(), Time::from_millis(2));
+        assert_eq!(res.min_time(), Time::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        Universe::run_default(2, |env| {
+            if env.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn deterministic_results_across_runs() {
+        let run = || {
+            Universe::run(3, SimConfig::default().with_seed(7), |env| {
+                env.state().rand_index(1_000_000)
+            })
+            .per_rank
+        };
+        assert_eq!(run(), run());
+    }
+}

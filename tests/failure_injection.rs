@@ -1,0 +1,137 @@
+//! Failure injection: the simulator must fail loudly, not hang.
+
+use std::time::Duration;
+
+use mpisim::{MpiError, SimConfig, Src, Transport, Universe};
+use rbc::RbcComm;
+
+fn short_timeout() -> SimConfig {
+    SimConfig::default().with_timeout(Duration::from_millis(80))
+}
+
+#[test]
+fn unmatched_recv_times_out_with_context() {
+    let res = Universe::run(2, short_timeout(), |env| {
+        let w = &env.world;
+        if w.rank() == 0 {
+            w.recv::<u64>(Src::Rank(1), 42).err()
+        } else {
+            None
+        }
+    });
+    match &res.per_rank[0] {
+        Some(MpiError::Timeout { rank, waited_for, .. }) => {
+            assert_eq!(*rank, 0);
+            assert!(waited_for.contains("tag=42"), "got: {waited_for}");
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_collective_times_out() {
+    // Rank 1 never joins the barrier: rank 0's barrier must time out
+    // instead of hanging forever.
+    let res = Universe::run(2, short_timeout(), |env| {
+        let w = &env.world;
+        if w.rank() == 0 {
+            w.barrier().err()
+        } else {
+            None
+        }
+    });
+    assert!(matches!(res.per_rank[0], Some(MpiError::Timeout { .. })));
+}
+
+#[test]
+fn type_mismatch_is_detected() {
+    let res = Universe::run(2, short_timeout(), |env| {
+        let w = &env.world;
+        if w.rank() == 0 {
+            w.send(&[1.5f64], 1, 7).unwrap();
+            None
+        } else {
+            w.recv::<u32>(Src::Rank(0), 7).err()
+        }
+    });
+    assert!(matches!(
+        res.per_rank[1],
+        Some(MpiError::TypeMismatch { expected: "u32", .. })
+    ));
+}
+
+#[test]
+fn invalid_rank_is_rejected_immediately() {
+    let res = Universe::run_default(2, |env| {
+        let w = &env.world;
+        let send_err = w.send(&[1u64], 5, 0).err();
+        let recv_err = w.recv::<u64>(Src::Rank(9), 0).err();
+        (send_err, recv_err)
+    });
+    for (s, r) in res.per_rank {
+        assert!(matches!(s, Some(MpiError::InvalidRank { rank: 5, size: 2 })));
+        assert!(matches!(r, Some(MpiError::InvalidRank { rank: 9, size: 2 })));
+    }
+}
+
+#[test]
+fn rbc_split_out_of_range_is_usage_error() {
+    let res = Universe::run_default(4, |env| {
+        let world = RbcComm::create(&env.world);
+        let too_big = world.split(0, 9).err();
+        let inverted = world.split(3, 1).err();
+        let zero_stride = world.split_strided(0, 3, 0).err();
+        (too_big, inverted, zero_stride)
+    });
+    for (a, b, c) in res.per_rank {
+        assert!(matches!(a, Some(MpiError::Usage(_))));
+        assert!(matches!(b, Some(MpiError::Usage(_))));
+        assert!(matches!(c, Some(MpiError::Usage(_))));
+    }
+}
+
+#[test]
+#[should_panic(expected = "rank failure")]
+fn rank_panic_propagates_to_harness() {
+    Universe::run_default(3, |env| {
+        if env.rank() == 2 {
+            panic!("rank failure");
+        }
+    });
+}
+
+#[test]
+fn nonblocking_wait_times_out_rather_than_spinning_forever() {
+    // A receive whose sender never sends: wait() must give up.
+    let res = Universe::run(2, short_timeout(), |env| {
+        let w = &env.world;
+        if w.rank() == 0 {
+            let req = w.irecv::<u64>(Src::Rank(1), 3);
+            // wait() falls back to the blocking path with the configured
+            // simulator timeout.
+            req.wait().err()
+        } else {
+            None
+        }
+    });
+    assert!(matches!(res.per_rank[0], Some(MpiError::Timeout { .. })));
+}
+
+#[test]
+fn sort_with_wrong_global_count_fails_cleanly() {
+    let res = Universe::run_default(3, |env| {
+        let w = &env.world;
+        // n says 30, but every rank passes only 5 elements (needs 10).
+        jquick::jquick_sort(
+            &jquick::RbcBackend,
+            w,
+            vec![1u64; 5],
+            30,
+            &jquick::JQuickConfig::default(),
+        )
+        .err()
+    });
+    for e in res.per_rank {
+        assert!(matches!(e, Some(MpiError::Usage(_))));
+    }
+}

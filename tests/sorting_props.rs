@@ -1,0 +1,158 @@
+//! Property-based tests of the sorting algorithms: for arbitrary process
+//! counts, input sizes, and key distributions (including adversarial
+//! duplicate patterns), the output must be globally sorted, perfectly
+//! balanced (JQuick), and a permutation of the input.
+
+use jquick::{
+    fingerprint, hypercube, jquick_sort, samplesort, verify_sorted, AssignmentKind, JQuickConfig,
+    Layout, PivotCfg, RbcBackend, SampleSortCfg, Schedule,
+};
+use mpisim::{SimConfig, Transport, Universe};
+use proptest::prelude::*;
+
+/// Generate each rank's input slice from a seed + distribution selector.
+fn input_for(layout: &Layout, rank: u64, seed: u64, dist: u8) -> Vec<u64> {
+    let m = layout.cap(rank) as usize;
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(rank + 1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..m)
+        .map(|i| match dist % 5 {
+            0 => next(),                         // uniform 64-bit
+            1 => next() % 3,                     // heavy duplicates
+            2 => 42,                             // all equal
+            3 => layout.prefix(rank) + i as u64, // presorted
+            _ => next() % 100,                   // moderate duplicates
+        })
+        .collect()
+}
+
+fn check_jquick(p: usize, n: u64, seed: u64, dist: u8, cfg: JQuickConfig) {
+    let sim = SimConfig::default().with_seed(seed);
+    let res = Universe::run(p, sim, move |env| {
+        let w = &env.world;
+        let layout = Layout::new(n, p as u64);
+        let data = input_for(&layout, w.rank() as u64, seed, dist);
+        let fp = fingerprint(&data);
+        let (out, _) = jquick_sort(&RbcBackend, w, data, n, &cfg).unwrap();
+        verify_sorted(w, &out, fp, layout.cap(w.rank() as u64) as usize).unwrap()
+    });
+    for rep in res.per_rank {
+        assert!(rep.all_ok(), "p={p} n={n} seed={seed} dist={dist}: {rep:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case spins up a universe; keep the suite brisk
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn jquick_sorts_arbitrary_configurations(
+        p in 3usize..12,
+        per in 1u64..24,
+        extra in 0u64..7,
+        seed in any::<u64>(),
+        dist in 0u8..5,
+    ) {
+        let n = p as u64 * per + extra.min(p as u64 - 1); // n not a multiple of p
+        check_jquick(p, n, seed, dist, JQuickConfig::default());
+    }
+
+    #[test]
+    fn jquick_staged_assignment_equivalent(
+        p in 3usize..10,
+        per in 1u64..16,
+        seed in any::<u64>(),
+        dist in 0u8..5,
+    ) {
+        let cfg = JQuickConfig { assignment: AssignmentKind::Staged, ..Default::default() };
+        check_jquick(p, p as u64 * per, seed, dist, cfg);
+    }
+
+    #[test]
+    fn jquick_cascaded_schedule_equivalent(
+        p in 3usize..10,
+        per in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        let cfg = JQuickConfig { schedule: Schedule::Cascaded, ..Default::default() };
+        check_jquick(p, p as u64 * per, seed, 0, cfg);
+    }
+
+    #[test]
+    fn hypercube_preserves_multiset_and_order(
+        logp in 1u32..4,
+        per in 1usize..24,
+        seed in any::<u64>(),
+        dist in 0u8..5,
+    ) {
+        let p = 1usize << logp;
+        let res = Universe::run(p, SimConfig::default().with_seed(seed), move |env| {
+            let w = &env.world;
+            let layout = Layout::new((p * per) as u64, p as u64);
+            let data = input_for(&layout, w.rank() as u64, seed, dist);
+            let fp = fingerprint(&data);
+            let out = hypercube::hypercube_sort(w, data, &PivotCfg::default()).unwrap();
+            let rep = verify_sorted(w, &out, fp, out.len()).unwrap();
+            (rep.locally_sorted, rep.globally_ordered, rep.permutation_preserved)
+        });
+        for (ls, go, pp) in res.per_rank {
+            prop_assert!(ls && go && pp);
+        }
+    }
+
+    #[test]
+    fn samplesort_preserves_multiset_and_order(
+        p in 1usize..9,
+        per in 1usize..24,
+        seed in any::<u64>(),
+        dist in 0u8..5,
+    ) {
+        let res = Universe::run(p, SimConfig::default().with_seed(seed), move |env| {
+            let w = &env.world;
+            let layout = Layout::new((p * per) as u64, p as u64);
+            let data = input_for(&layout, w.rank() as u64, seed, dist);
+            let fp = fingerprint(&data);
+            let out = samplesort::sample_sort(w, data, &SampleSortCfg::default()).unwrap();
+            let rep = verify_sorted(w, &out, fp, out.len()).unwrap();
+            (rep.locally_sorted, rep.globally_ordered, rep.permutation_preserved)
+        });
+        for (ls, go, pp) in res.per_rank {
+            prop_assert!(ls && go && pp);
+        }
+    }
+}
+
+/// Deterministic regression corpus: configurations that exercised bugs
+/// during development (degenerate pivots, janus chains, ragged layouts).
+#[test]
+fn regression_corpus() {
+    for (p, n, seed, dist) in [
+        (5usize, 50u64, 51u64, 0u8), // staged-exchange premature completion
+        (3, 3, 0, 2),                // all equal, one element each
+        (7, 29, 1, 1),               // ragged + duplicates
+        (11, 11, 9, 3),              // n/p = 1, presorted
+        (4, 64, 2, 2),               // all equal, power of two
+        (9, 100, 3, 4),              // ragged
+    ] {
+        check_jquick(p, n, seed, dist, JQuickConfig::default());
+        check_jquick(
+            p,
+            n,
+            seed,
+            dist,
+            JQuickConfig {
+                assignment: AssignmentKind::Staged,
+                ..Default::default()
+            },
+        );
+    }
+}
