@@ -103,7 +103,9 @@ fn bench_mailbox(c: &mut Criterion) {
 
 fn bench_jquick_local(c: &mut Criterion) {
     let mut g = c.benchmark_group("jquick_local");
-    let data: Vec<f64> = (0..(1 << 16)).map(|i| ((i * 2654435761u64) % 100_000) as f64).collect();
+    let data: Vec<f64> = (0..(1 << 16))
+        .map(|i| ((i * 2654435761u64) % 100_000) as f64)
+        .collect();
     g.bench_function("partition_64k", |b| {
         b.iter(|| partition(black_box(data.clone()), &50_000.0, Strictness::Lt))
     });

@@ -17,6 +17,7 @@ use rbc::RbcComm;
 use crate::figs::scale;
 use crate::{measure, ms, pow2_sweep, reps, Table};
 
+/// Greedy vs staged exchange assignment (paper §VII-B choice).
 pub fn assignment_ablation() -> Table {
     let p = if crate::quick_mode() { 16 } else { 64 };
     let mut t = Table::new(
@@ -35,10 +36,10 @@ pub fn assignment_ablation() -> Table {
             let time = measure(p, SimConfig::default(), reps(5), move |env, rep| {
                 let w = &env.world;
                 let layout = Layout::new(n, p as u64);
-                let mut rng =
-                    StdRng::seed_from_u64(rep as u64 * 31 + w.rank() as u64);
-                let data: Vec<f64> =
-                    (0..layout.cap(w.rank() as u64)).map(|_| rng.gen()).collect();
+                let mut rng = StdRng::seed_from_u64(rep as u64 * 31 + w.rank() as u64);
+                let data: Vec<f64> = (0..layout.cap(w.rank() as u64))
+                    .map(|_| rng.gen())
+                    .collect();
                 w.barrier().unwrap();
                 let t0 = env.now();
                 jquick_sort(&RbcBackend, w, data, n, &cfg).unwrap();
@@ -53,6 +54,7 @@ pub fn assignment_ablation() -> Table {
     t
 }
 
+/// Alternating vs cascaded janus splitting schedule (§VIII-C).
 pub fn schedule_ablation() -> Table {
     // Cascade chains grow with the number of same-level groups, so this
     // ablation wants a larger p than the element sweeps.
@@ -60,9 +62,7 @@ pub fn schedule_ablation() -> Table {
     let n_per = 4u64;
     let n = n_per * p as u64;
     let mut t = Table::new(
-        &format!(
-            "Ablation — cascaded vs alternating janus schedule (n/p = {n_per}, {p} cores)"
-        ),
+        &format!("Ablation — cascaded vs alternating janus schedule (n/p = {n_per}, {p} cores)"),
         "variant (0=RBC,1=MPI)",
         &["Alternating", "Cascaded"],
     );
@@ -81,8 +81,9 @@ pub fn schedule_ablation() -> Table {
                     let w = &env.world;
                     let layout = Layout::new(n, p as u64);
                     let mut rng = StdRng::seed_from_u64(rep as u64 * 131 + w.rank() as u64);
-                    let data: Vec<f64> =
-                        (0..layout.cap(w.rank() as u64)).map(|_| rng.gen()).collect();
+                    let data: Vec<f64> = (0..layout.cap(w.rank() as u64))
+                        .map(|_| rng.gen())
+                        .collect();
                     w.barrier().unwrap();
                     let t0 = env.now();
                     if use_rbc {
@@ -102,6 +103,7 @@ pub fn schedule_ablation() -> Table {
     t
 }
 
+/// §VI nonblocking creation vs blocking creation vs RBC split.
 pub fn icomm_ablation() -> Table {
     let mut t = Table::new(
         "Ablation — §VI MPI_Icomm_create_group vs blocking creation vs RBC",
@@ -165,7 +167,11 @@ pub fn icomm_ablation() -> Table {
         let rbc = measure(p, SimConfig::default(), reps(5), move |env, _| {
             let world = RbcComm::create(&env.world);
             let r = world.rank();
-            let (f, l) = if r < p / 2 { (0, p / 2 - 1) } else { (p / 2, p - 1) };
+            let (f, l) = if r < p / 2 {
+                (0, p / 2 - 1)
+            } else {
+                (p / 2, p - 1)
+            };
             world.barrier().unwrap();
             let t0 = env.now();
             let _ = world.split(f, l).unwrap();
@@ -181,6 +187,7 @@ pub fn icomm_ablation() -> Table {
     t
 }
 
+/// Run all three ablations and write their CSVs.
 pub fn run() -> Vec<Table> {
     vec![assignment_ablation(), schedule_ablation(), icomm_ablation()]
 }

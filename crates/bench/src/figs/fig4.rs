@@ -42,6 +42,7 @@ fn rbc_iscan(p: usize, n_per: usize, vendor: VendorProfile) -> Time {
     })
 }
 
+/// Regenerate this figure's tables and write their CSVs.
 pub fn run() -> Vec<Table> {
     let p = scale::p_elems();
     let mut t = Table::new(

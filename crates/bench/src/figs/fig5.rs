@@ -22,32 +22,46 @@ fn halves_group(p: usize, rank: usize) -> Group {
 }
 
 fn create_group_time(p: usize, vendor: VendorProfile) -> Time {
-    measure(p, SimConfig::default().with_vendor(vendor), reps(5), move |env, rep| {
-        let w = &env.world;
-        let g = halves_group(p, w.rank());
-        w.barrier().unwrap();
-        let t0 = env.now();
-        let _c = w.create_group(&g, 100 + rep as u64).unwrap();
-        env.now() - t0
-    })
+    measure(
+        p,
+        SimConfig::default().with_vendor(vendor),
+        reps(5),
+        move |env, rep| {
+            let w = &env.world;
+            let g = halves_group(p, w.rank());
+            w.barrier().unwrap();
+            let t0 = env.now();
+            let _c = w.create_group(&g, 100 + rep as u64).unwrap();
+            env.now() - t0
+        },
+    )
 }
 
 fn split_time(p: usize, vendor: VendorProfile) -> Time {
-    measure(p, SimConfig::default().with_vendor(vendor), reps(5), move |env, _| {
-        let w = &env.world;
-        let color = u64::from(w.rank() >= p / 2);
-        w.barrier().unwrap();
-        let t0 = env.now();
-        let _c = w.split(color, w.rank() as u64).unwrap();
-        env.now() - t0
-    })
+    measure(
+        p,
+        SimConfig::default().with_vendor(vendor),
+        reps(5),
+        move |env, _| {
+            let w = &env.world;
+            let color = u64::from(w.rank() >= p / 2);
+            w.barrier().unwrap();
+            let t0 = env.now();
+            let _c = w.split(color, w.rank() as u64).unwrap();
+            env.now() - t0
+        },
+    )
 }
 
 fn rbc_time(p: usize) -> Time {
     measure(p, SimConfig::default(), reps(5), move |env, _| {
         let world = RbcComm::create(&env.world);
         let r = world.rank();
-        let (f, l) = if r < p / 2 { (0, p / 2 - 1) } else { (p / 2, p - 1) };
+        let (f, l) = if r < p / 2 {
+            (0, p / 2 - 1)
+        } else {
+            (p / 2, p - 1)
+        };
         world.barrier().unwrap();
         let t0 = env.now();
         let _c = world.split(f, l).unwrap();
@@ -55,6 +69,7 @@ fn rbc_time(p: usize) -> Time {
     })
 }
 
+/// Regenerate this figure's tables and write their CSVs.
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "Fig 5 — splitting a communicator of p processes into halves",

@@ -89,6 +89,7 @@ fn rbc_overlap(p: usize, sched: Sched) -> Time {
     })
 }
 
+/// Regenerate this figure's tables and write their CSVs.
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "Fig 6 — overlapping communicators of size 4, cascaded vs alternating",

@@ -23,60 +23,78 @@ enum NativeCreate {
     Split,
 }
 
-fn native_time(p: usize, n: usize, bcasts: usize, vendor: VendorProfile, how: NativeCreate) -> Time {
-    measure(p, SimConfig::default().with_vendor(vendor), reps(5), move |env, rep| {
-        let w = &env.world;
-        let in_range = w.rank() < p / 2;
-        w.barrier().unwrap();
-        let t0 = env.now();
-        let sub = match how {
-            NativeCreate::CreateGroup => {
-                if !in_range {
-                    // create_group is collective over the new group only.
-                    return Time::ZERO;
+fn native_time(
+    p: usize,
+    n: usize,
+    bcasts: usize,
+    vendor: VendorProfile,
+    how: NativeCreate,
+) -> Time {
+    measure(
+        p,
+        SimConfig::default().with_vendor(vendor),
+        reps(5),
+        move |env, rep| {
+            let w = &env.world;
+            let in_range = w.rank() < p / 2;
+            w.barrier().unwrap();
+            let t0 = env.now();
+            let sub = match how {
+                NativeCreate::CreateGroup => {
+                    if !in_range {
+                        // create_group is collective over the new group only.
+                        return Time::ZERO;
+                    }
+                    w.create_group(&Group::range(0, 1, p / 2), 300 + rep as u64)
+                        .unwrap()
                 }
-                w.create_group(&Group::range(0, 1, p / 2), 300 + rep as u64).unwrap()
-            }
-            NativeCreate::Split => {
-                // split must be called by ALL processes of the parent.
-                let c = w.split(u64::from(!in_range), w.rank() as u64).unwrap();
-                if !in_range {
-                    return env.now() - t0;
+                NativeCreate::Split => {
+                    // split must be called by ALL processes of the parent.
+                    let c = w.split(u64::from(!in_range), w.rank() as u64).unwrap();
+                    if !in_range {
+                        return env.now() - t0;
+                    }
+                    c
                 }
-                c
+            };
+            for _ in 0..bcasts {
+                let data = (sub.rank() == 0).then(|| vec![1.0f64; n]);
+                let mut sm = sub.ibcast(data, 0).unwrap();
+                while !sm.poll().unwrap() {
+                    std::thread::yield_now();
+                }
             }
-        };
-        for _ in 0..bcasts {
-            let data = (sub.rank() == 0).then(|| vec![1.0f64; n]);
-            let mut sm = sub.ibcast(data, 0).unwrap();
-            while !sm.poll().unwrap() {
-                std::thread::yield_now();
-            }
-        }
-        env.now() - t0
-    })
+            env.now() - t0
+        },
+    )
 }
 
 fn rbc_time(p: usize, n: usize, bcasts: usize, vendor: VendorProfile) -> Time {
-    measure(p, SimConfig::default().with_vendor(vendor), reps(5), move |env, _| {
-        let world = RbcComm::create(&env.world);
-        world.barrier().unwrap();
-        if world.rank() >= p / 2 {
-            return Time::ZERO;
-        }
-        let t0 = env.now();
-        let sub = world.split(0, p / 2 - 1).unwrap();
-        for _ in 0..bcasts {
-            let data = (sub.rank() == 0).then(|| vec![1.0f64; n]);
-            let mut sm = sub.ibcast(data, 0, None).unwrap();
-            while !sm.poll().unwrap() {
-                std::thread::yield_now();
+    measure(
+        p,
+        SimConfig::default().with_vendor(vendor),
+        reps(5),
+        move |env, _| {
+            let world = RbcComm::create(&env.world);
+            world.barrier().unwrap();
+            if world.rank() >= p / 2 {
+                return Time::ZERO;
             }
-        }
-        env.now() - t0
-    })
+            let t0 = env.now();
+            let sub = world.split(0, p / 2 - 1).unwrap();
+            for _ in 0..bcasts {
+                let data = (sub.rank() == 0).then(|| vec![1.0f64; n]);
+                let mut sm = sub.ibcast(data, 0, None).unwrap();
+                while !sm.poll().unwrap() {
+                    std::thread::yield_now();
+                }
+            }
+            env.now() - t0
+        },
+    )
 }
 
+/// Regenerate this figure's tables and write their CSVs.
 pub fn run() -> Vec<Table> {
     let p = scale::p_elems();
     let mut t = Table::with_unit(

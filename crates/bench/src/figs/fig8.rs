@@ -18,6 +18,7 @@ fn gen(layout: &Layout, rank: u64, seed: u64) -> Vec<f64> {
     workloads::generate(layout, rank, seed, workloads::Dist::Uniform)
 }
 
+/// Mean JQuick sort makespan on `p` ranks with `n_per` elements each.
 pub fn sort_time<B: Backend>(backend: B, p: usize, n_per: u64, vendor: VendorProfile) -> Time {
     // Paper protocol: 7 reps for moderate sizes, 3 for large.
     let reps = if crate::quick_mode() {
@@ -28,17 +29,24 @@ pub fn sort_time<B: Backend>(backend: B, p: usize, n_per: u64, vendor: VendorPro
         3
     };
     let n = n_per * p as u64;
-    measure(p, SimConfig::default().with_vendor(vendor), reps, move |env, rep| {
-        let w = &env.world;
-        let layout = Layout::new(n, p as u64);
-        let data = gen(&layout, w.rank() as u64, rep as u64 * 7919 + 1);
-        w.barrier().unwrap();
-        let t0 = env.now();
-        let (_out, _stats) = jquick_sort(&backend, w, data, n, &JQuickConfig::default()).unwrap();
-        env.now() - t0
-    })
+    measure(
+        p,
+        SimConfig::default().with_vendor(vendor),
+        reps,
+        move |env, rep| {
+            let w = &env.world;
+            let layout = Layout::new(n, p as u64);
+            let data = gen(&layout, w.rank() as u64, rep as u64 * 7919 + 1);
+            w.barrier().unwrap();
+            let t0 = env.now();
+            let (_out, _stats) =
+                jquick_sort(&backend, w, data, n, &JQuickConfig::default()).unwrap();
+            env.now() - t0
+        },
+    )
 }
 
+/// Regenerate the Fig. 8 tables and write their CSVs.
 pub fn run() -> Vec<Table> {
     let p = scale::p_elems();
     let mut t = Table::new(

@@ -14,11 +14,16 @@ use rbc::RbcComm;
 use crate::figs::scale;
 use crate::{measure, ms, pow2_sweep, reps, Table};
 
+/// The collective operation a Fig. 9 panel benchmarks.
 #[derive(Clone, Copy, PartialEq)]
 pub enum Op {
+    /// Nonblocking broadcast.
     Bcast,
+    /// Nonblocking reduce.
     Reduce,
+    /// Nonblocking inclusive scan.
     Scan,
+    /// Nonblocking gather.
     Gather,
 }
 
@@ -103,6 +108,7 @@ fn run_rbc(env: &mpisim::ProcEnv, op: Op, n: usize, rep: usize) -> Time {
     env.now() - t0
 }
 
+/// One panel of Fig. 9: `op` under `vendor`, MPI vs RBC, swept over n/p.
 pub fn panel(op: Op, vendor: VendorProfile) -> Table {
     let p = scale::p_elems();
     let max_exp = if op == Op::Gather {
@@ -118,18 +124,25 @@ pub fn panel(op: Op, vendor: VendorProfile) -> Table {
     for n in pow2_sweep(0, max_exp) {
         let n = n as usize;
         let v = vendor.clone();
-        let native = measure(p, SimConfig::default().with_vendor(v.clone()), reps(5), move |env, rep| {
-            run_native(env, op, n, rep)
-        });
+        let native = measure(
+            p,
+            SimConfig::default().with_vendor(v.clone()),
+            reps(5),
+            move |env, rep| run_native(env, op, n, rep),
+        );
         let v = vendor.clone();
-        let rbc = measure(p, SimConfig::default().with_vendor(v), reps(5), move |env, rep| {
-            run_rbc(env, op, n, rep)
-        });
+        let rbc = measure(
+            p,
+            SimConfig::default().with_vendor(v),
+            reps(5),
+            move |env, rep| run_rbc(env, op, n, rep),
+        );
         t.push(n as u64, vec![ms(native), ms(rbc)]);
     }
     t
 }
 
+/// Regenerate all eight Fig. 9 panels and write their CSVs.
 pub fn run() -> Vec<Table> {
     let mut out = Vec::new();
     for op in [Op::Bcast, Op::Reduce, Op::Scan, Op::Gather] {
@@ -137,7 +150,11 @@ pub fn run() -> Vec<Table> {
             let name = format!(
                 "fig9_{}_{}",
                 op.name().to_lowercase(),
-                if vendor.name.starts_with("ibm") { "ibm" } else { "intel" }
+                if vendor.name.starts_with("ibm") {
+                    "ibm"
+                } else {
+                    "intel"
+                }
             );
             let t = panel(op, vendor);
             t.print();

@@ -25,8 +25,12 @@ fn sort_time(algo: &'static str, p: usize, n_per: u64) -> (Time, f64) {
         measure(p, SimConfig::default(), reps(3), move |env, rep| {
             let w = &env.world;
             let layout = Layout::new(n, p as u64);
-            let data =
-                workloads::generate(&layout, w.rank() as u64, rep as u64 * 13 + 1, workloads::Dist::Skewed);
+            let data = workloads::generate(
+                &layout,
+                w.rank() as u64,
+                rep as u64 * 13 + 1,
+                workloads::Dist::Skewed,
+            );
             w.barrier().unwrap();
             let t0 = env.now();
             let out = match algo {
@@ -62,17 +66,28 @@ fn sort_time(algo: &'static str, p: usize, n_per: u64) -> (Time, f64) {
     (t, imb.into_inner().unwrap())
 }
 
+/// Regenerate the sorter-comparison tables and write their CSVs.
 pub fn run() -> Vec<Table> {
     let p = scale::p_elems().next_power_of_two() / 2; // hypercube needs 2^k
     let mut t = Table::new(
         &format!("Extension — §IV sorting algorithms on {p} cores (skewed doubles)"),
         "n/p",
-        &["JQuick (RBC)", "Hypercube qsort", "Sample sort", "Multi-level (k=4)"],
+        &[
+            "JQuick (RBC)",
+            "Hypercube qsort",
+            "Sample sort",
+            "Multi-level (k=4)",
+        ],
     );
     let mut imb = Table::with_unit(
         &format!("Extension — max/avg output size on {p} cores (skewed doubles)"),
         "n/p",
-        &["JQuick (RBC)", "Hypercube qsort", "Sample sort", "Multi-level (k=4)"],
+        &[
+            "JQuick (RBC)",
+            "Hypercube qsort",
+            "Sample sort",
+            "Multi-level (k=4)",
+        ],
         "ratio",
     );
     for n_per in pow2_sweep(2, scale::max_elem_exp().min(12)) {

@@ -7,6 +7,8 @@
 //! repetitions** (the paper uses 5 reps for microbenchmarks, 7/3 for
 //! sorting).
 
+#![warn(missing_docs)]
+
 use std::fs;
 
 pub mod figs;
@@ -37,18 +39,25 @@ pub fn pow2_sweep(lo: u32, hi: u32) -> Vec<u64> {
 
 /// A result table: one named series per column.
 pub struct Table {
+    /// Table heading, printed above the markdown rendering.
     pub title: String,
+    /// Name of the x column (e.g. `n/p` or `p`).
     pub xlabel: String,
+    /// Column (series) names.
     pub series: Vec<String>,
+    /// Unit appended to series headers (usually `ms`).
     pub unit: String,
+    /// One `(x, series values)` row per swept point.
     pub rows: Vec<(u64, Vec<f64>)>,
 }
 
 impl Table {
+    /// A table reporting milliseconds.
     pub fn new(title: &str, xlabel: &str, series: &[&str]) -> Table {
         Table::with_unit(title, xlabel, series, "ms")
     }
 
+    /// A table reporting values in `unit`.
     pub fn with_unit(title: &str, xlabel: &str, series: &[&str], unit: &str) -> Table {
         Table {
             title: title.to_string(),
@@ -59,6 +68,7 @@ impl Table {
         }
     }
 
+    /// Append a row; `values` must match the series count.
     pub fn push(&mut self, x: u64, values: Vec<f64>) {
         assert_eq!(values.len(), self.series.len());
         self.rows.push((x, values));

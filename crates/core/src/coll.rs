@@ -34,11 +34,7 @@ impl RbcComm {
     /// Exclusive prefix (`None` on rank 0). Extension in the spirit of
     /// §V-D's "easy to extend our library by additional collective
     /// operations"; Janus Quicksort's data assignment needs it.
-    pub fn exscan<T: Datum>(
-        &self,
-        data: &[T],
-        op: impl Fn(&T, &T) -> T,
-    ) -> Result<Option<Vec<T>>> {
+    pub fn exscan<T: Datum>(&self, data: &[T], op: impl Fn(&T, &T) -> T) -> Result<Option<Vec<T>>> {
         coll::exscan(self, data, tags::EXSCAN, op)
     }
 
@@ -148,7 +144,10 @@ mod tests {
             let sub = world.split(2, 5).unwrap();
             Some(sub.scan(&[1u64], ops::sum::<u64>()).unwrap()[0])
         });
-        assert_eq!(res.per_rank, vec![None, None, Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(
+            res.per_rank,
+            vec![None, None, Some(1), Some(2), Some(3), Some(4)]
+        );
     }
 
     #[test]

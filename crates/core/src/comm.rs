@@ -200,7 +200,9 @@ mod tests {
             let world = RbcComm::create(&env.world);
             let r = world.rank();
             let half = world.split((r / 4) * 4, (r / 4) * 4 + 3).unwrap();
-            let quarter = half.split((half.rank() / 2) * 2, (half.rank() / 2) * 2 + 1).unwrap();
+            let quarter = half
+                .split((half.rank() / 2) * 2, (half.rank() / 2) * 2 + 1)
+                .unwrap();
             (quarter.rank(), quarter.size(), quarter.range())
         });
         assert_eq!(res.per_rank[5], (1, 2, (4, 5, 1)));

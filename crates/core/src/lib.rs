@@ -41,6 +41,8 @@
 //! assert_eq!(result.per_rank, vec![0, 0, 2, 2]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod coll;
 pub mod comm;
 pub mod nbc;

@@ -16,14 +16,23 @@ use mpisim::{tags, Datum, Result, Src, Tag, Transport};
 
 use crate::comm::RbcComm;
 
-/// Default tags, re-exported under their paper names.
+// Default tags, re-exported under their paper names.
+
+/// Default tag of [`RbcComm::ibcast`] (the paper's `RBC_IBCAST_TAG`).
 pub const RBC_IBCAST_TAG: Tag = tags::IBCAST;
+/// Default tag of [`RbcComm::ireduce`].
 pub const RBC_IREDUCE_TAG: Tag = tags::IREDUCE;
+/// Default tag of [`RbcComm::iscan`].
 pub const RBC_ISCAN_TAG: Tag = tags::ISCAN;
+/// Default tag for exclusive-prefix use of [`RbcComm::iscan`].
 pub const RBC_IEXSCAN_TAG: Tag = tags::IEXSCAN;
+/// Default tag of [`RbcComm::igather`].
 pub const RBC_IGATHER_TAG: Tag = tags::IGATHER;
+/// Default tag of [`RbcComm::igatherv`] (payload stream uses +1).
 pub const RBC_IGATHERV_TAG: Tag = tags::IGATHERV;
+/// Default tag of [`RbcComm::ibarrier`].
 pub const RBC_IBARRIER_TAG: Tag = tags::IBARRIER;
+/// Default tag of [`RbcComm::iallreduce`] (broadcast phase uses +1).
 pub const RBC_IALLREDUCE_TAG: Tag = tags::IALLREDUCE;
 
 impl RbcComm {
@@ -136,7 +145,11 @@ mod tests {
             let world = RbcComm::create(&env.world);
             let r = world.rank();
             let s = world.size();
-            let (f, l) = if r < s / 2 { (0, s / 2 - 1) } else { (s / 2, s - 1) };
+            let (f, l) = if r < s / 2 {
+                (0, s / 2 - 1)
+            } else {
+                (s / 2, s - 1)
+            };
             let range = world.split(f, l).unwrap();
             let payload = (range.rank() == 0).then(|| vec![f as u64]);
             let mut req = range.ibcast(payload, 0, None).unwrap();
@@ -202,9 +215,10 @@ mod tests {
             let mut a = a_comm
                 .as_ref()
                 .map(|c| c.iallreduce(&[1u64], ops::sum::<u64>(), Some(900)).unwrap());
-            let mut b = b_comm
-                .as_ref()
-                .map(|c| c.iallreduce(&[10u64], ops::sum::<u64>(), Some(902)).unwrap());
+            let mut b = b_comm.as_ref().map(|c| {
+                c.iallreduce(&[10u64], ops::sum::<u64>(), Some(902))
+                    .unwrap()
+            });
             loop {
                 let da = a.as_mut().is_none_or(|x| x.poll().unwrap());
                 let db = b.as_mut().is_none_or(|x| x.poll().unwrap());
@@ -241,6 +255,7 @@ mod tests {
                     // message, never rank 0's.
                     let (v, st) = range.recv::<u64>(Src::Any, 5).unwrap();
                     assert_eq!(st.source, 1); // rank 2 in world = rank 1 in range
+
                     // The outside message is still there on the base comm.
                     let (w, _) = world.recv::<u64>(Src::Rank(0), 5).unwrap();
                     assert_eq!(w, vec![666]);

@@ -33,13 +33,7 @@ pub struct OutMsg {
 
 /// Slice a run of `count` elements starting at global position `start`
 /// into per-owner-window chunks.
-fn slice_run(
-    layout: &Layout,
-    start: u64,
-    count: u64,
-    small: bool,
-    out: &mut Vec<OutMsg>,
-) {
+fn slice_run(layout: &Layout, start: u64, count: u64, small: bool, out: &mut Vec<OutMsg>) {
     if count == 0 {
         return;
     }
@@ -84,7 +78,13 @@ pub fn greedy_assignment(
     slice_run(layout, task.lo + s_excl, my_small, true, &mut out);
     // Larges land after ALL smalls: [task.lo + s_total + l_i, +my_large).
     let l_excl = off_excl - s_excl;
-    slice_run(layout, task.lo + s_total + l_excl, my_large, false, &mut out);
+    slice_run(
+        layout,
+        task.lo + s_total + l_excl,
+        my_large,
+        false,
+        &mut out,
+    );
     out
 }
 
@@ -92,10 +92,13 @@ pub fn greedy_assignment(
 /// of its window with the small and large position ranges.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecvExpectation {
+    /// Elements of the small half this process must receive.
     pub small_count: u64,
+    /// Elements of the large half this process must receive.
     pub large_count: u64,
 }
 
+/// Compute what `me` must receive when the task splits at `s_total` smalls.
 pub fn recv_expectation(
     layout: &Layout,
     task: &TaskRange,

@@ -23,8 +23,10 @@ use rbc::RbcComm;
 /// chains native communicator constructions across the whole machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Schedule {
+    /// Every other janus splits its left group first (the paper's fix).
     #[default]
     Alternating,
+    /// Every janus splits left first — the pathological chain of §VIII-C.
     Cascaded,
 }
 
@@ -38,7 +40,10 @@ impl Schedule {
     }
 }
 
+/// A communicator-construction strategy JQuick is generic over: RBC range
+/// splits or native MPI `comm_create_group` (the Fig. 8 comparison).
 pub trait Backend: Send + Sync {
+    /// The communicator type this backend produces.
     type C: Transport;
 
     /// A communicator over all processes, with rank == global index.
@@ -52,6 +57,7 @@ pub trait Backend: Send + Sync {
     /// Cost scaling of collective operations on this backend's comms.
     fn coll_scales(&self, c: &Self::C) -> CollScales;
 
+    /// Short name for statistics and benchmark labels.
     fn name(&self) -> &'static str;
 }
 

@@ -25,29 +25,47 @@ const BASE_TAG: Tag = 50;
 
 /// A queued base-case task: my part of a task covering ≤ 2 processes.
 pub struct BaseTask<T> {
+    /// The global position range the task settles.
     pub task: TaskRange,
+    /// My local elements belonging to the task.
     pub data: Vec<T>,
 }
 
 /// A settled piece of output: globally sorted at positions
 /// `[lo, lo + data.len())`.
 pub struct Settled<T> {
+    /// First global position of this piece.
     pub lo: u64,
+    /// The sorted elements at `[lo, lo + data.len())`.
     pub data: Vec<T>,
 }
 
+/// State machine settling a base-case task covering one or two processes:
+/// solo tasks sort locally; pair tasks swap data with the partner, sort the
+/// union identically on both sides, and keep their own window's share.
 pub enum BaseSm<T: SortKey, C: Transport> {
+    /// Task lies within one process window: local sort only.
     Solo {
+        /// The settled output, until taken.
         out: Option<Settled<T>>,
     },
+    /// Task spans two process windows.
     Pair {
+        /// Communicator with global-index rank space.
         c: C,
+        /// The task being settled.
         task: TaskRange,
+        /// The global layout.
         layout: Layout,
+        /// My global process index.
         me: u64,
+        /// The partner's global process index.
         partner: u64,
+        /// My elements of the task (sent to the partner at start).
         mine: Vec<T>,
+        /// The partner's elements, once received.
         theirs: Option<Vec<T>>,
+        /// The settled output, until taken.
         out: Option<Settled<T>>,
     },
 }
@@ -84,6 +102,7 @@ impl<T: SortKey + mpisim::Datum, C: Transport> BaseSm<T, C> {
         Ok(sm)
     }
 
+    /// Drive the exchange one step; `Ok(true)` once settled.
     pub fn poll(&mut self) -> Result<bool> {
         match self {
             BaseSm::Solo { .. } => Ok(true),
@@ -133,6 +152,7 @@ impl<T: SortKey + mpisim::Datum, C: Transport> BaseSm<T, C> {
         }
     }
 
+    /// Take the settled output once complete.
     pub fn take(&mut self) -> Option<Settled<T>> {
         match self {
             BaseSm::Solo { out } | BaseSm::Pair { out, .. } => out.take(),

@@ -34,10 +34,14 @@ const WAVE_TIMEOUT: Duration = Duration::from_secs(60);
 const TAG_MINMAX: u64 = 70;
 const TAG_CREATE_BASE: u64 = 60;
 
+/// Tunables of a JQuick run (all defaults follow the paper).
 #[derive(Clone, Debug)]
 pub struct JQuickConfig {
+    /// Janus group-splitting schedule (§VIII-C).
     pub schedule: Schedule,
+    /// Small/large exchange assignment strategy.
     pub assignment: AssignmentKind,
+    /// Pivot-selection parameters.
     pub pivot: PivotCfg,
     /// Degenerate-split retries before checking whether the task's
     /// elements are all equal (and settling it in place if so).
@@ -63,8 +67,9 @@ pub struct SortStats {
     /// Communicators this process helped create (0 for RBC in spirit —
     /// RBC splits are counted too but cost O(1)).
     pub comm_creations: usize,
-    /// Base cases executed on 1 / 2 processes.
+    /// Base cases executed on a single process.
     pub base_1: usize,
+    /// Base cases executed on two processes (janus pairs).
     pub base_2: usize,
     /// Degenerate-split retries.
     pub stuck_retries: u32,
@@ -401,4 +406,3 @@ fn order_pending<T, C>(
         pending.swap(0, 1);
     }
 }
-

@@ -28,28 +28,38 @@ use crate::layout::{Layout, TaskRange};
 /// active tasks share at most one process (the janus).
 pub mod tags {
     use mpisim::Tag;
+    /// Tag carrying small-half elements in the greedy exchange.
     pub const X_SMALL: Tag = 40;
+    /// Tag carrying large-half elements in the greedy exchange.
     pub const X_LARGE: Tag = 42;
+    /// Tag of the staged (recursive-bisection) exchange rounds.
     pub const X_STAGED: Tag = 44;
 }
 
 /// Which exchange algorithm to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum AssignmentKind {
+    /// Direct sends to final owners, computed by range arithmetic (§VII-B).
     #[default]
     Greedy,
+    /// Recursive bisection: log rounds of neighbor exchanges.
     Staged,
 }
 
 /// Result of an exchange: my received small and large elements (exactly my
 /// window's intersection with each side — perfect balance).
 pub struct Exchanged<T> {
+    /// Small-half elements landing in my window.
     pub small: Vec<T>,
+    /// Large-half elements landing in my window.
     pub large: Vec<T>,
 }
 
+/// The data exchange of one level, dispatching on [`AssignmentKind`].
 pub enum ExchangeSm<T: SortKey, C: Transport> {
+    /// Greedy direct-send exchange.
     Greedy(GreedyExchange<T, C>),
+    /// Staged recursive-bisection exchange.
     Staged(StagedExchange<T, C>),
 }
 
@@ -81,6 +91,7 @@ impl<T: SortKey, C: Transport> ExchangeSm<T, C> {
         }
     }
 
+    /// Drive the exchange one step; `Ok(true)` once complete.
     pub fn poll(&mut self) -> Result<bool> {
         match self {
             ExchangeSm::Greedy(x) => x.poll(),
@@ -88,6 +99,7 @@ impl<T: SortKey, C: Transport> ExchangeSm<T, C> {
         }
     }
 
+    /// Take the received halves once complete.
     pub fn take(&mut self) -> Option<Exchanged<T>> {
         match self {
             ExchangeSm::Greedy(x) => x.take(),
@@ -100,6 +112,9 @@ impl<T: SortKey, C: Transport> ExchangeSm<T, C> {
 // Greedy
 // ---------------------------------------------------------------------------
 
+/// Greedy exchange: every process sends each run of its partition halves
+/// directly to the run's final owner, then receives until its expectation
+/// is met.
 pub struct GreedyExchange<T: SortKey, C: Transport> {
     c: C,
     exp: RecvExpectation,
@@ -152,7 +167,11 @@ impl<T: SortKey, C: Transport> GreedyExchange<T, C> {
                 }
             } else {
                 let dest_rank = (m.target - first_proc) as usize;
-                let tag = if m.small { tags::X_SMALL } else { tags::X_LARGE };
+                let tag = if m.small {
+                    tags::X_SMALL
+                } else {
+                    tags::X_LARGE
+                };
                 c.send_vec(chunk, dest_rank, tag)?;
             }
         }
@@ -196,6 +215,8 @@ impl<T: SortKey, C: Transport> GreedyExchange<T, C> {
 // Staged (recursive bisection)
 // ---------------------------------------------------------------------------
 
+/// Staged exchange: elements move toward their final owner through
+/// O(log p) bisection rounds; each round halves the process range.
 pub struct StagedExchange<T: SortKey, C: Transport> {
     c: C,
     layout: Layout,
@@ -268,6 +289,7 @@ impl<T: SortKey, C: Transport> StagedExchange<T, C> {
     fn begin_round(&mut self) -> Result<()> {
         let (a, b, me) = (self.a, self.b, self.me);
         let mid = a + (b - a + 1).div_ceil(2); // left half is the larger
+
         // Ship everything whose target lives in the other half.
         let my_partner = partner(me, a, b, mid);
         let (keep, ship): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
@@ -303,7 +325,10 @@ impl<T: SortKey, C: Transport> StagedExchange<T, C> {
             let mut i = 0;
             while i < self.await_from.len() {
                 let src = self.await_from[i];
-                match self.c.try_recv::<(T, u64)>(Src::Rank(src), tags::X_STAGED)? {
+                match self
+                    .c
+                    .try_recv::<(T, u64)>(Src::Rank(src), tags::X_STAGED)?
+                {
                     None => i += 1,
                     Some((v, _)) => {
                         self.held.extend(v);

@@ -11,11 +11,14 @@
 /// The global layout of `n` elements over `p` processes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Layout {
+    /// Total number of elements.
     pub n: u64,
+    /// Number of processes.
     pub p: u64,
 }
 
 impl Layout {
+    /// The perfectly balanced layout of `n` elements over `p` processes.
     pub fn new(n: u64, p: u64) -> Layout {
         assert!(p >= 1, "need at least one process");
         assert!(n >= p, "JQuick requires at least one element per process");
@@ -65,16 +68,19 @@ impl Layout {
 /// contiguous range of processes whose windows it intersects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TaskRange {
-    /// Global position range `[lo, hi)`.
+    /// First global position of the task (inclusive).
     pub lo: u64,
+    /// One past the last global position of the task.
     pub hi: u64,
 }
 
 impl TaskRange {
+    /// Number of elements in the task.
     pub fn len(&self) -> u64 {
         self.hi - self.lo
     }
 
+    /// Whether the task holds no positions.
     pub fn is_empty(&self) -> bool {
         self.lo >= self.hi
     }

@@ -37,13 +37,19 @@ fn add(a: &u64, b: &u64) -> u64 {
 pub enum LevelOutcome<T> {
     /// The task split at `s_total` smalls; my received halves.
     Split {
+        /// Global number of elements below the pivot.
         s_total: u64,
+        /// Elements of the small half landing in my window.
         small: Vec<T>,
+        /// Elements of the large half landing in my window.
         large: Vec<T>,
     },
     /// Degenerate pivot (`s_total ∈ {0, N}`): no data moved; retry with the
     /// flipped comparator (paper's `<`/`≤` switching handles duplicates).
-    Stuck { data: Vec<T> },
+    Stuck {
+        /// The unchanged local data, returned to the caller.
+        data: Vec<T>,
+    },
 }
 
 enum LState<T: SortKey, C: Transport> {
@@ -68,6 +74,8 @@ enum LState<T: SortKey, C: Transport> {
     Poisoned,
 }
 
+/// State machine of one recursion level: pivot selection, partition,
+/// prefix sums, and the balanced data exchange, all nonblocking.
 pub struct LevelSm<T: SortKey, C: Transport> {
     c: C,
     scales: CollScales,
@@ -251,6 +259,7 @@ impl<T: SortKey + mpisim::Datum, C: Transport> LevelSm<T, C> {
         }
     }
 
+    /// Take the level's outcome once complete.
     pub fn take_outcome(&mut self) -> Option<LevelOutcome<T>> {
         match &mut self.state {
             LState::Done(out) => out.take(),

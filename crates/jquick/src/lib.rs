@@ -35,6 +35,8 @@
 //! assert_eq!(all, (0..64).collect::<Vec<_>>());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod assign;
 pub mod backend;
 pub mod basecase;
@@ -42,8 +44,8 @@ pub mod driver;
 pub mod exchange;
 pub mod hypercube;
 pub mod layout;
-pub mod multilevel;
 pub mod level;
+pub mod multilevel;
 pub mod partition;
 pub mod pivot;
 pub mod quickhull;

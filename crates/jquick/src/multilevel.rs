@@ -46,7 +46,9 @@ impl Default for MultiLevelCfg {
 /// Statistics of one multi-level sort.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MlStats {
+    /// Recursion levels executed.
     pub levels: u32,
+    /// Communicator splits performed across all levels.
     pub group_splits: usize,
 }
 
@@ -224,7 +226,8 @@ mod tests {
             } else {
                 Vec::new()
             };
-            let (out, rep, _) = multilevel_checked(&world, data, &MultiLevelCfg::default()).unwrap();
+            let (out, rep, _) =
+                multilevel_checked(&world, data, &MultiLevelCfg::default()).unwrap();
             assert!(rep.globally_ordered && rep.permutation_preserved, "{rep:?}");
             out.len()
         });

@@ -30,11 +30,11 @@ impl Strictness {
         }
     }
 
+    /// Whether `x` belongs to the small half under this strictness.
     pub fn is_small<T: SortKey>(&self, x: &T, pivot: &T) -> bool {
         matches!(
             (self, x.cmp_key(pivot)),
-            (Strictness::Lt, Ordering::Less)
-                | (Strictness::Le, Ordering::Less | Ordering::Equal)
+            (Strictness::Lt, Ordering::Less) | (Strictness::Le, Ordering::Less | Ordering::Equal)
         )
     }
 }

@@ -23,11 +23,14 @@ use mpisim::{MpiError, Result, Transport};
 /// deterministic.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 
 impl Point {
+    /// The point `(x, y)`.
     pub fn new(x: f64, y: f64) -> Point {
         Point { x, y }
     }
@@ -65,12 +68,10 @@ const TAG_QH: u64 = 55;
 /// counter-clockwise order starting from the leftmost point.
 pub fn quickhull<C: Transport>(comm: &C, points: &[Point]) -> Result<(Vec<Point>, HullStats)> {
     let any_local = !points.is_empty();
-    let total = mpisim::coll::allreduce(
-        comm,
-        &[u64::from(any_local)],
-        TAG_QH,
-        |a: &u64, b: &u64| a + b,
-    )?[0];
+    let total =
+        mpisim::coll::allreduce(comm, &[u64::from(any_local)], TAG_QH, |a: &u64, b: &u64| {
+            a + b
+        })?[0];
     if total == 0 {
         return Err(MpiError::Usage("quickhull needs at least one point".into()));
     }
@@ -90,7 +91,12 @@ pub fn quickhull<C: Transport>(comm: &C, points: &[Point]) -> Result<(Vec<Point>
         comm,
         &[(local_min, local_max)],
         TAG_QH + 2,
-        |a: &(P2, P2), b: &(P2, P2)| (if b.0 < a.0 { b.0 } else { a.0 }, if b.1 > a.1 { b.1 } else { a.1 }),
+        |a: &(P2, P2), b: &(P2, P2)| {
+            (
+                if b.0 < a.0 { b.0 } else { a.0 },
+                if b.1 > a.1 { b.1 } else { a.1 },
+            )
+        },
     )?[0];
     let (leftmost, rightmost) = (dec(ext.0), dec(ext.1));
 
@@ -179,28 +185,66 @@ pub fn quickhull_reference(points: &[Point]) -> Vec<Point> {
             .iter()
             .copied()
             .map(|p| (cross(a, b, p), enc(p)))
-            .fold((f64::NEG_INFINITY, (0.0, 0.0)), |acc, x| if x > acc { x } else { acc });
+            .fold((f64::NEG_INFINITY, (0.0, 0.0)), |acc, x| {
+                if x > acc {
+                    x
+                } else {
+                    acc
+                }
+            });
         if best.0 <= 0.0 {
             return;
         }
         let far = dec(best.1);
-        let left: Vec<Point> = points.iter().copied().filter(|&p| cross(a, far, p) > 0.0).collect();
-        let right: Vec<Point> = points.iter().copied().filter(|&p| cross(far, b, p) > 0.0).collect();
+        let left: Vec<Point> = points
+            .iter()
+            .copied()
+            .filter(|&p| cross(a, far, p) > 0.0)
+            .collect();
+        let right: Vec<Point> = points
+            .iter()
+            .copied()
+            .filter(|&p| cross(far, b, p) > 0.0)
+            .collect();
         edge(&left, a, far, hull);
         hull.push(far);
         edge(&right, far, b, hull);
     }
     assert!(!points.is_empty());
-    let lm = dec(points.iter().map(|&p| enc(p)).fold((f64::INFINITY, f64::INFINITY), |a, b| if b < a { b } else { a }));
-    let rm = dec(points.iter().map(|&p| enc(p)).fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |a, b| if b > a { b } else { a }));
+    let lm = dec(points
+        .iter()
+        .map(|&p| enc(p))
+        .fold(
+            (f64::INFINITY, f64::INFINITY),
+            |a, b| if b < a { b } else { a },
+        ));
+    let rm =
+        dec(points
+            .iter()
+            .map(|&p| enc(p))
+            .fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |a, b| {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }));
     if lm == rm {
         return vec![lm];
     }
     let mut hull = vec![lm];
-    let upper: Vec<Point> = points.iter().copied().filter(|&p| cross(lm, rm, p) > 0.0).collect();
+    let upper: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|&p| cross(lm, rm, p) > 0.0)
+        .collect();
     edge(&upper, lm, rm, &mut hull);
     hull.push(rm);
-    let lower: Vec<Point> = points.iter().copied().filter(|&p| cross(rm, lm, p) > 0.0).collect();
+    let lower: Vec<Point> = points
+        .iter()
+        .copied()
+        .filter(|&p| cross(rm, lm, p) > 0.0)
+        .collect();
     edge(&lower, rm, lm, &mut hull);
     hull
 }
@@ -255,8 +299,11 @@ mod tests {
                     (pts, hull)
                 });
                 // Union of all local point sets.
-                let all: Vec<Point> =
-                    res.per_rank.iter().flat_map(|(pts, _)| pts.clone()).collect();
+                let all: Vec<Point> = res
+                    .per_rank
+                    .iter()
+                    .flat_map(|(pts, _)| pts.clone())
+                    .collect();
                 let expected = quickhull_reference(&all);
                 for (rank, (_, hull)) in res.per_rank.iter().enumerate() {
                     assert!(
@@ -274,7 +321,9 @@ mod tests {
             let w = &env.world;
             let r = w.rank() as f64;
             // All points on one line.
-            let pts: Vec<Point> = (0..5).map(|i| Point::new(r * 5.0 + i as f64, 0.0)).collect();
+            let pts: Vec<Point> = (0..5)
+                .map(|i| Point::new(r * 5.0 + i as f64, 0.0))
+                .collect();
             let (hull, _) = quickhull(w, &pts).unwrap();
             hull.len()
         });
@@ -314,9 +363,7 @@ mod tests {
 
     #[test]
     fn all_empty_is_an_error() {
-        let res = Universe::run_default(2, |env| {
-            quickhull(&env.world, &[]).err()
-        });
+        let res = Universe::run_default(2, |env| quickhull(&env.world, &[]).err());
         assert!(matches!(res.per_rank[0], Some(MpiError::Usage(_))));
     }
 }

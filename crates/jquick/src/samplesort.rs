@@ -17,6 +17,7 @@ const TAG_A2A: u64 = 92;
 /// Oversampling factor: each process contributes `oversample` samples.
 #[derive(Clone, Copy, Debug)]
 pub struct SampleSortCfg {
+    /// Samples contributed per process for splitter selection.
     pub oversample: u64,
 }
 
@@ -49,9 +50,7 @@ pub fn sample_sort<T: SortKey + Datum>(
             world.charge_compute(all.len() * 4);
             all.sort_by(T::cmp_key);
             // Evenly spaced splitters.
-            (1..p)
-                .map(|i| all[i * all.len() / p])
-                .collect()
+            (1..p).map(|i| all[i * all.len() / p]).collect()
         }
         None => Vec::new(),
     };

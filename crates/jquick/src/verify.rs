@@ -12,13 +12,18 @@ const TAG_CHECK: u64 = 82;
 /// Report of a distributed verification, identical on every process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VerifyReport {
+    /// Every process's output is sorted.
     pub locally_sorted: bool,
+    /// Each process's maximum is ≤ the next process's minimum.
     pub globally_ordered: bool,
+    /// Every process holds exactly its expected element count.
     pub balanced: bool,
+    /// The global output multiset equals the input (by fingerprint).
     pub permutation_preserved: bool,
 }
 
 impl VerifyReport {
+    /// Whether all four properties hold.
     pub fn all_ok(&self) -> bool {
         self.locally_sorted && self.globally_ordered && self.balanced && self.permutation_preserved
     }
@@ -26,6 +31,7 @@ impl VerifyReport {
 
 /// Elements whose value can be captured in 64 bits for fingerprinting.
 pub trait KeyBits {
+    /// A 64-bit image of the value (injective for the key types used here).
     fn key_bits(&self) -> u64;
 }
 
@@ -185,7 +191,11 @@ mod tests {
         let res = Universe::run_default(2, |env| {
             let w = &env.world;
             // Locally sorted but globally inverted.
-            let data: Vec<u64> = if w.rank() == 0 { vec![10, 11] } else { vec![0, 1] };
+            let data: Vec<u64> = if w.rank() == 0 {
+                vec![10, 11]
+            } else {
+                vec![0, 1]
+            };
             let fp = fingerprint(&data);
             verify_sorted(w, &data, fp, 2).unwrap()
         });
@@ -202,7 +212,11 @@ mod tests {
             let input = vec![5u64, 6];
             let fp = fingerprint(&input);
             // An element was replaced (6 lost, 9 fabricated).
-            let output = if w.rank() == 0 { vec![5u64, 5] } else { vec![6, 9] };
+            let output = if w.rank() == 0 {
+                vec![5u64, 5]
+            } else {
+                vec![6, 9]
+            };
             verify_sorted(w, &output, fp, 2).unwrap()
         });
         for rep in res.per_rank {
@@ -214,7 +228,11 @@ mod tests {
     fn verify_catches_imbalance() {
         let res = Universe::run_default(2, |env| {
             let w = &env.world;
-            let output: Vec<u64> = if w.rank() == 0 { vec![1, 2, 3] } else { vec![4] };
+            let output: Vec<u64> = if w.rank() == 0 {
+                vec![1, 2, 3]
+            } else {
+                vec![4]
+            };
             verify_sorted(w, &output, fingerprint(&output), 2).unwrap()
         });
         for rep in res.per_rank {

@@ -54,9 +54,7 @@ pub fn generate(layout: &Layout, rank: u64, seed: u64, dist: Dist) -> Vec<f64> {
     let mut rng = rng_for(seed, rank);
     match dist {
         Dist::Uniform => (0..m).map(|_| rng.gen_range(-1e9..1e9)).collect(),
-        Dist::FewValues(k) => (0..m)
-            .map(|_| rng.gen_range(0..k.max(1)) as f64)
-            .collect(),
+        Dist::FewValues(k) => (0..m).map(|_| rng.gen_range(0..k.max(1)) as f64).collect(),
         Dist::AllEqual => vec![42.0; m],
         Dist::Sorted => {
             let (w0, _) = layout.window(rank);
@@ -64,7 +62,9 @@ pub fn generate(layout: &Layout, rank: u64, seed: u64, dist: Dist) -> Vec<f64> {
         }
         Dist::Reversed => {
             let (w0, _) = layout.window(rank);
-            (0..m).map(|i| (layout.n - (w0 + i as u64)) as f64).collect()
+            (0..m)
+                .map(|i| (layout.n - (w0 + i as u64)) as f64)
+                .collect()
         }
         Dist::Skewed => (0..m)
             .map(|_| {
@@ -107,15 +107,26 @@ mod tests {
     #[test]
     fn deterministic_per_seed_and_rank() {
         let l = layout();
-        assert_eq!(generate(&l, 3, 9, Dist::Uniform), generate(&l, 3, 9, Dist::Uniform));
-        assert_ne!(generate(&l, 3, 9, Dist::Uniform), generate(&l, 4, 9, Dist::Uniform));
-        assert_ne!(generate(&l, 3, 9, Dist::Uniform), generate(&l, 3, 10, Dist::Uniform));
+        assert_eq!(
+            generate(&l, 3, 9, Dist::Uniform),
+            generate(&l, 3, 9, Dist::Uniform)
+        );
+        assert_ne!(
+            generate(&l, 3, 9, Dist::Uniform),
+            generate(&l, 4, 9, Dist::Uniform)
+        );
+        assert_ne!(
+            generate(&l, 3, 9, Dist::Uniform),
+            generate(&l, 3, 10, Dist::Uniform)
+        );
     }
 
     #[test]
     fn sorted_is_globally_sorted() {
         let l = layout();
-        let all: Vec<f64> = (0..7).flat_map(|r| generate(&l, r, 0, Dist::Sorted)).collect();
+        let all: Vec<f64> = (0..7)
+            .flat_map(|r| generate(&l, r, 0, Dist::Sorted))
+            .collect();
         assert!(all.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(all.len(), 100);
     }
@@ -123,7 +134,9 @@ mod tests {
     #[test]
     fn reversed_is_globally_reverse_sorted() {
         let l = layout();
-        let all: Vec<f64> = (0..7).flat_map(|r| generate(&l, r, 0, Dist::Reversed)).collect();
+        let all: Vec<f64> = (0..7)
+            .flat_map(|r| generate(&l, r, 0, Dist::Reversed))
+            .collect();
         assert!(all.windows(2).all(|w| w[0] >= w[1]));
     }
 
@@ -142,7 +155,9 @@ mod tests {
     #[test]
     fn zipf_skews_to_small_values() {
         let l = Layout::new(7000, 7);
-        let all: Vec<f64> = (0..7).flat_map(|r| generate(&l, r, 2, Dist::Zipf)).collect();
+        let all: Vec<f64> = (0..7)
+            .flat_map(|r| generate(&l, r, 2, Dist::Zipf))
+            .collect();
         let zeros = all.iter().filter(|&&x| x == 0.0).count();
         assert!(
             zeros > all.len() / 4,

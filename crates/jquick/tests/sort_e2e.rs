@@ -21,7 +21,9 @@ fn gen_input(layout: &Layout, rank: u64, seed: u64, dist: Dist) -> Vec<f64> {
         }
         Dist::Reversed => {
             let (w0, _) = layout.window(rank);
-            (0..m).map(|i| (layout.n - (w0 + i as u64)) as f64).collect()
+            (0..m)
+                .map(|i| (layout.n - (w0 + i as u64)) as f64)
+                .collect()
         }
         Dist::Skewed => (0..m)
             .map(|_| {
@@ -51,9 +53,7 @@ fn run_sort<B: Backend>(
     vendor: VendorProfile,
     seed: u64,
 ) -> Vec<jquick::SortStats> {
-    let sim = SimConfig::default()
-        .with_vendor(vendor)
-        .with_seed(seed);
+    let sim = SimConfig::default().with_vendor(vendor).with_seed(seed);
     let res = Universe::run(p, sim, move |env| {
         let w = &env.world;
         let layout = Layout::new(n, p as u64);
@@ -61,11 +61,7 @@ fn run_sort<B: Backend>(
         let fp = fingerprint(&data);
         let (out, stats) = jquick_sort(&backend, w, data, n, &cfg).unwrap();
         let rep = verify_sorted(w, &out, fp, layout.cap(w.rank() as u64) as usize).unwrap();
-        assert!(
-            rep.all_ok(),
-            "rank {} p={p} n={n}: {rep:?}",
-            w.rank()
-        );
+        assert!(rep.all_ok(), "rank {} p={p} n={n}: {rep:?}", w.rank());
         stats
     });
     res.per_rank
@@ -73,7 +69,14 @@ fn run_sort<B: Backend>(
 
 #[test]
 fn rbc_uniform_various_sizes() {
-    for (p, n) in [(3usize, 30u64), (4, 64), (5, 40), (8, 256), (13, 130), (16, 160)] {
+    for (p, n) in [
+        (3usize, 30u64),
+        (4, 64),
+        (5, 40),
+        (8, 256),
+        (13, 130),
+        (16, 160),
+    ] {
         run_sort(
             RbcBackend,
             p,
@@ -330,19 +333,14 @@ fn all_workload_distributions_sort_correctly() {
     use jquick::workloads;
     for dist in workloads::Dist::ALL {
         let (p, n) = (10usize, 120u64);
-        let res = Universe::run(
-            p,
-            SimConfig::default().with_seed(7),
-            move |env| {
-                let w = &env.world;
-                let layout = Layout::new(n, p as u64);
-                let data = workloads::generate(&layout, w.rank() as u64, 3, dist);
-                let fp = fingerprint(&data);
-                let (out, _) =
-                    jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default()).unwrap();
-                verify_sorted(w, &out, fp, layout.cap(w.rank() as u64) as usize).unwrap()
-            },
-        );
+        let res = Universe::run(p, SimConfig::default().with_seed(7), move |env| {
+            let w = &env.world;
+            let layout = Layout::new(n, p as u64);
+            let data = workloads::generate(&layout, w.rank() as u64, 3, dist);
+            let fp = fingerprint(&data);
+            let (out, _) = jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default()).unwrap();
+            verify_sorted(w, &out, fp, layout.cap(w.rank() as u64) as usize).unwrap()
+        });
         for rep in res.per_rank {
             assert!(rep.all_ok(), "{dist:?}: {rep:?}");
         }
@@ -356,7 +354,8 @@ fn jquick_is_deterministic_given_seed() {
         let res = Universe::run(p, SimConfig::default().with_seed(42), move |env| {
             let w = &env.world;
             let layout = Layout::new(n, p as u64);
-            let data = jquick::generate_workload(&layout, w.rank() as u64, 11, jquick::Dist::Uniform);
+            let data =
+                jquick::generate_workload(&layout, w.rank() as u64, 11, jquick::Dist::Uniform);
             let (out, stats) =
                 jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default()).unwrap();
             (out, stats.max_level, stats.comm_creations)
@@ -380,8 +379,7 @@ fn moderate_scale_smoke() {
         let layout = Layout::new(n, p as u64);
         let data = jquick::generate_workload(&layout, w.rank() as u64, 77, jquick::Dist::Skewed);
         let fp = fingerprint(&data);
-        let (out, stats) =
-            jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default()).unwrap();
+        let (out, stats) = jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default()).unwrap();
         let rep = verify_sorted(w, &out, fp, layout.cap(w.rank() as u64) as usize).unwrap();
         assert!(rep.all_ok());
         stats.max_level

@@ -19,12 +19,7 @@ use crate::transport::{Src, Transport};
 
 /// Elementwise combine of two equal-length vectors: `acc[i] = op(acc[i], v[i])`
 /// (`v` provides the *left* operand when it comes from lower-ranked data).
-fn combine_into<T: Datum>(
-    acc: &mut [T],
-    v: &[T],
-    op: &impl Fn(&T, &T) -> T,
-    v_is_left: bool,
-) {
+fn combine_into<T: Datum>(acc: &mut [T], v: &[T], op: &impl Fn(&T, &T) -> T, v_is_left: bool) {
     debug_assert_eq!(acc.len(), v.len(), "reduction buffers must match");
     for (a, b) in acc.iter_mut().zip(v.iter()) {
         *a = if v_is_left { op(b, a) } else { op(a, b) };
@@ -33,7 +28,12 @@ fn combine_into<T: Datum>(
 
 /// Binomial-tree broadcast from `root`. On non-root ranks `data` is
 /// replaced by the broadcast payload.
-pub fn bcast<T: Datum>(tr: &impl Transport, data: &mut Vec<T>, root: usize, tag: Tag) -> Result<()> {
+pub fn bcast<T: Datum>(
+    tr: &impl Transport,
+    data: &mut Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<()> {
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
@@ -392,11 +392,7 @@ pub fn alltoall<T: Datum>(tr: &impl Transport, send: Vec<Vec<T>>, tag: Tag) -> R
 /// Variable-count all-gather: every rank contributes `data`, every rank
 /// receives all contributions indexed by source rank (gatherv + bcast of
 /// the flattened bundle).
-pub fn allgatherv<T: Datum>(
-    tr: &impl Transport,
-    data: Vec<T>,
-    tag: Tag,
-) -> Result<Vec<Vec<T>>> {
+pub fn allgatherv<T: Datum>(tr: &impl Transport, data: Vec<T>, tag: Tag) -> Result<Vec<Vec<T>>> {
     let p = tr.size();
     let gathered = gatherv(tr, data, 0, tag)?;
     let (mut counts, mut flat): (Vec<u64>, Vec<T>) = match gathered {

@@ -88,7 +88,11 @@ pub fn bcast_large<T: Datum>(
     }
     // Forward the upper half of my range down the binomial tree.
     let top = p.next_power_of_two();
-    let mut m = if rel == 0 { top >> 1 } else { (rel & rel.wrapping_neg()) >> 1 };
+    let mut m = if rel == 0 {
+        top >> 1
+    } else {
+        (rel & rel.wrapping_neg()) >> 1
+    };
     while m > 0 {
         let child_lo = my_range.0 + m;
         if child_lo < my_range.1 {
@@ -108,7 +112,11 @@ pub fn bcast_large<T: Datum>(
         }
         m >>= 1;
     }
-    debug_assert_eq!(my_range, (rel, rel + 1).min((rel, p)), "each node ends with one segment");
+    debug_assert_eq!(
+        my_range,
+        (rel, rel + 1).min((rel, p)),
+        "each node ends with one segment"
+    );
 
     // Phase 2: ring allgather of the p segments.
     let mut segments: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
@@ -210,11 +218,8 @@ pub fn bcast_auto<T: Datum>(
     tag: Tag,
 ) -> Result<()> {
     let model = &tr.state().router.cost;
-    let threshold = large_threshold_bytes(
-        tr.size(),
-        model.alpha.as_nanos(),
-        model.beta_ns_per_byte,
-    );
+    let threshold =
+        large_threshold_bytes(tr.size(), model.alpha.as_nanos(), model.beta_ns_per_byte);
     // All ranks must agree on the algorithm: the count is an interface
     // contract in MPI (same on all ranks), so agree on the root's count
     // via a tiny broadcast only when sizes could differ.
@@ -236,11 +241,8 @@ pub fn reduce_auto<T: Datum>(
     op: impl Fn(&T, &T) -> T,
 ) -> Result<Option<Vec<T>>> {
     let model = &tr.state().router.cost;
-    let threshold = large_threshold_bytes(
-        tr.size(),
-        model.alpha.as_nanos(),
-        model.beta_ns_per_byte,
-    );
+    let threshold =
+        large_threshold_bytes(tr.size(), model.alpha.as_nanos(), model.beta_ns_per_byte);
     if data.len() * T::width() >= threshold {
         reduce_large(tr, data, root, tag, op)
     } else {
@@ -328,7 +330,11 @@ mod tests {
         let time_of = |large: bool| {
             let res = Universe::run_default(p, move |env| {
                 let w = &env.world;
-                let mut data = if w.rank() == 0 { vec![7u64; 16] } else { Vec::new() };
+                let mut data = if w.rank() == 0 {
+                    vec![7u64; 16]
+                } else {
+                    Vec::new()
+                };
                 let t0 = env.now();
                 if large {
                     bcast_large(w, &mut data, 0, 700).unwrap();

@@ -90,10 +90,12 @@ impl Comm {
         })
     }
 
+    /// The process group of this communicator.
     pub fn group(&self) -> &Group {
         &self.inner.group
     }
 
+    /// The calling process's simulator state.
     pub fn proc_state(&self) -> &Arc<ProcState> {
         &self.state
     }
@@ -188,7 +190,7 @@ impl Comm {
         // Explicit O(g) group representation (paper §III: "the process
         // group is stored explicitly during the communicator construction").
         self.charge(Time(
-            (g as f64 * vendor.group_build_ns_per_member).round() as u64,
+            (g as f64 * vendor.group_build_ns_per_member).round() as u64
         ));
         let ctx = match vendor.create_group_algo {
             CreateGroupAlgo::MaskAllreduce => self.agree_ctx(&view, tag, 1, 0)?,
@@ -201,10 +203,8 @@ impl Comm {
                 let folded = if r == 0 {
                     snapshot
                 } else {
-                    let (prev, _) = view.recv::<[u64; 32]>(
-                        crate::transport::Src::Rank(r - 1),
-                        tag,
-                    )?;
+                    let (prev, _) =
+                        view.recv::<[u64; 32]>(crate::transport::Src::Rank(r - 1), tag)?;
                     mask_and(&prev[0], &snapshot)
                 };
                 // Per-hop bookkeeping charged after receiving the token and
@@ -242,11 +242,13 @@ impl Comm {
         crate::transport::Scaled::new(self.clone(), scale)
     }
 
+    /// `MPI_Bcast` under the vendor's bcast cost scaling.
     pub fn bcast<T: crate::datum::Datum>(&self, data: &mut Vec<T>, root: usize) -> Result<()> {
         let s = self.state.router.vendor.coll_scale.bcast;
         coll::bcast(&self.scaled(s), data, root, tags::BCAST)
     }
 
+    /// `MPI_Reduce`: elementwise `op`-fold to `root` (returns `Some` there).
     pub fn reduce<T: crate::datum::Datum>(
         &self,
         data: &[T],
@@ -257,6 +259,7 @@ impl Comm {
         coll::reduce(&self.scaled(s), data, root, tags::REDUCE, op)
     }
 
+    /// `MPI_Allreduce`: elementwise `op`-fold, result everywhere.
     pub fn allreduce<T: crate::datum::Datum>(
         &self,
         data: &[T],
@@ -266,6 +269,7 @@ impl Comm {
         coll::allreduce(&self.scaled(s), data, tags::ALLREDUCE, op)
     }
 
+    /// `MPI_Scan`: inclusive prefix `op`-fold by rank.
     pub fn scan<T: crate::datum::Datum>(
         &self,
         data: &[T],
@@ -275,6 +279,7 @@ impl Comm {
         coll::scan(&self.scaled(s), data, tags::SCAN, op)
     }
 
+    /// `MPI_Exscan`: exclusive prefix fold (`None` on rank 0).
     pub fn exscan<T: crate::datum::Datum>(
         &self,
         data: &[T],
@@ -284,6 +289,7 @@ impl Comm {
         coll::exscan(&self.scaled(s), data, tags::EXSCAN, op)
     }
 
+    /// `MPI_Gather` of equal-sized blocks (returns `Some` at `root`).
     pub fn gather<T: crate::datum::Datum>(
         &self,
         data: Vec<T>,
@@ -293,6 +299,7 @@ impl Comm {
         coll::gather(&self.scaled(s), data, root, tags::GATHER)
     }
 
+    /// `MPI_Gatherv`: variable-sized blocks, one `Vec` per rank at `root`.
     pub fn gatherv<T: crate::datum::Datum>(
         &self,
         data: Vec<T>,
@@ -302,21 +309,25 @@ impl Comm {
         coll::gatherv(&self.scaled(s), data, root, tags::GATHERV)
     }
 
+    /// `MPI_Allgather` of one element per rank.
     pub fn allgather1<T: crate::datum::Datum>(&self, item: T) -> Result<Vec<T>> {
         let s = self.state.router.vendor.coll_scale.gather;
         coll::allgather1(&self.scaled(s), item, tags::ALLGATHER)
     }
 
+    /// `MPI_Barrier`.
     pub fn barrier(&self) -> Result<()> {
         let s = self.state.router.vendor.coll_scale.barrier;
         coll::barrier(&self.scaled(s), tags::BARRIER)
     }
 
+    /// `MPI_Alltoallv`: `send[i]` goes to rank `i`; returns one block per source.
     pub fn alltoallv<T: crate::datum::Datum>(&self, send: Vec<Vec<T>>) -> Result<Vec<Vec<T>>> {
         let s = self.state.router.vendor.coll_scale.other;
         coll::alltoallv(&self.scaled(s), send, tags::ALLTOALL)
     }
 
+    /// `MPI_Scatter`: `root` splits `data` into equal blocks, one per rank.
     pub fn scatter<T: crate::datum::Datum>(
         &self,
         data: Option<Vec<T>>,
@@ -326,6 +337,7 @@ impl Comm {
         coll::scatter(&self.scaled(s), data, root, tags::SCATTER)
     }
 
+    /// `MPI_Scatterv`: `root` sends `blocks[i]` to rank `i`.
     pub fn scatterv<T: crate::datum::Datum>(
         &self,
         blocks: Option<Vec<Vec<T>>>,
@@ -335,6 +347,7 @@ impl Comm {
         coll::scatterv(&self.scaled(s), blocks, root, tags::SCATTERV)
     }
 
+    /// `MPI_Allgatherv`: every rank receives every rank's block.
     pub fn allgatherv<T: crate::datum::Datum>(&self, data: Vec<T>) -> Result<Vec<Vec<T>>> {
         let s = self.state.router.vendor.coll_scale.gather;
         coll::allgatherv(&self.scaled(s), data, tags::ALLGATHERV)

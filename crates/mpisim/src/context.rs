@@ -16,6 +16,7 @@ pub const MASK_WORDS: usize = 32;
 /// Total number of allocatable small context IDs.
 pub const MASK_BITS: usize = MASK_WORDS * 64;
 
+/// Bitmask of free context IDs (bit set = ID free).
 pub type CtxMask = [u64; MASK_WORDS];
 
 /// Per-process context-ID mask. Bit set = ID free.
@@ -31,6 +32,7 @@ impl Default for CtxPool {
 }
 
 impl CtxPool {
+    /// A fresh pool with every ID free except 0 (`MPI_COMM_WORLD`).
     pub fn new() -> CtxPool {
         let mut mask = [!0u64; MASK_WORDS];
         mask[0] &= !1; // ID 0 is MPI_COMM_WORLD
@@ -68,11 +70,13 @@ impl CtxPool {
         Ok(id)
     }
 
+    /// Whether `id` is still free in this pool.
     pub fn is_free(&self, id: u32) -> bool {
         let w = (id as usize) / 64;
         self.mask[w] & (1u64 << (id % 64)) != 0
     }
 
+    /// Number of IDs still free.
     pub fn free_count(&self) -> usize {
         self.mask.iter().map(|w| w.count_ones() as usize).sum()
     }

@@ -19,7 +19,25 @@ macro_rules! impl_datum {
     ($($t:ty),*) => { $(impl Datum for $t {})* };
 }
 
-impl_datum!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+impl_datum!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl<A: Datum, B: Datum> Datum for (A, B) {}
 impl<A: Datum, B: Datum, C: Datum> Datum for (A, B, C) {}
@@ -28,6 +46,7 @@ impl<T: Datum, const N: usize> Datum for [T; N] {}
 
 /// Elements with an additive identity, for `sum`-style reductions.
 pub trait Zeroed: Datum {
+    /// The additive identity of the type.
     const ZERO: Self;
 }
 
@@ -38,6 +57,7 @@ impl_zeroed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 /// A total order usable for sorting keys. `f64` gets IEEE-754 `total_cmp`.
 pub trait SortKey: Datum {
+    /// Total-order comparison of two keys.
     fn cmp_key(&self, other: &Self) -> Ordering;
 }
 
@@ -62,7 +82,9 @@ impl SortKey for f32 {
 
 impl<A: SortKey, B: SortKey> SortKey for (A, B) {
     fn cmp_key(&self, other: &Self) -> Ordering {
-        self.0.cmp_key(&other.0).then_with(|| self.1.cmp_key(&other.1))
+        self.0
+            .cmp_key(&other.0)
+            .then_with(|| self.1.cmp_key(&other.1))
     }
 }
 

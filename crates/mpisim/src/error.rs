@@ -15,20 +15,35 @@ pub enum MpiError {
     /// configured deadlock timeout. This is the simulator's deadlock
     /// detector: a correct program never hits it.
     Timeout {
+        /// Rank that timed out.
         rank: usize,
+        /// Human-readable description of the blocked operation.
         waited_for: String,
+        /// Virtual clock of the rank when the wall-clock timeout fired.
         virtual_now: Time,
     },
     /// A message was matched whose payload element type differs from the
     /// type requested by the receive.
     TypeMismatch {
+        /// Type name the receive asked for.
         expected: &'static str,
+        /// Type name the matched message carries.
         got: &'static str,
     },
     /// Receive count expectations violated (analogue of MPI_ERR_TRUNCATE).
-    Truncation { expected: usize, got: usize },
+    Truncation {
+        /// Element count the receive expected.
+        expected: usize,
+        /// Element count the message actually carries.
+        got: usize,
+    },
     /// Rank outside the communicator's group.
-    InvalidRank { rank: usize, size: usize },
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Size of the communicator it was used with.
+        size: usize,
+    },
     /// The context-ID mask has no free IDs left.
     ContextExhausted,
     /// A collective was invoked with inconsistent arguments across ranks
@@ -67,6 +82,7 @@ impl fmt::Display for MpiError {
 
 impl std::error::Error for MpiError {}
 
+/// Result alias used across the simulator.
 pub type Result<T> = std::result::Result<T, MpiError>;
 
 #[cfg(test)]

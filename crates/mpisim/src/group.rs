@@ -24,6 +24,9 @@ enum Repr {
     Dense(Arc<Vec<usize>>),
 }
 
+/// An ordered set of global ranks (`MPI_Group` analogue), stored either as
+/// a strided range (O(1) operations — the representation RBC exploits) or
+/// as an explicit dense rank array.
 #[derive(Clone, Debug)]
 pub struct Group {
     repr: Repr,
@@ -72,6 +75,7 @@ impl Group {
         }
     }
 
+    /// Number of member processes.
     pub fn len(&self) -> usize {
         match &self.repr {
             Repr::Range { len, .. } => *len,
@@ -79,6 +83,7 @@ impl Group {
         }
     }
 
+    /// Always false: empty groups are unrepresentable by construction.
     pub fn is_empty(&self) -> bool {
         false // empty groups are unrepresentable by construction
     }
@@ -117,6 +122,7 @@ impl Group {
         }
     }
 
+    /// Whether the global rank is a member.
     pub fn contains_global(&self, global: usize) -> bool {
         self.inverse(global).is_some()
     }
@@ -249,10 +255,7 @@ mod tests {
         let s = g.subrange(2, 6, 2); // ranks 2,4,6 => globals 14,18,22
         assert!(s.is_range());
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.iter_globals().collect::<Vec<_>>(),
-            vec![14, 18, 22]
-        );
+        assert_eq!(s.iter_globals().collect::<Vec<_>>(), vec![14, 18, 22]);
     }
 
     #[test]

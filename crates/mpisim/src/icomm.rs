@@ -48,12 +48,18 @@ fn widen(ctx: ContextId, parent_size: usize) -> (u32, u32, u32, u32, u32) {
 
 /// A pending nonblocking communicator creation.
 pub enum IcommCreate {
+    /// Creation complete; the communicator (if not yet taken).
     Ready(Option<Comm>),
+    /// General (non-range) path: waiting on the context-ID broadcast.
     Waiting {
+        /// Broadcast of the 5-tuple context ID from group rank 0.
         bcast: nbcoll::Ibcast<[u32; 5], Comm>,
+        /// Temporary communicator view the broadcast runs over.
         view: Comm,
+        /// The group being created.
         group: Group,
     },
+    /// Transient state during `poll`; never observable.
     Poisoned,
 }
 
@@ -113,6 +119,7 @@ impl IcommCreate {
         }
     }
 
+    /// Whether creation has completed.
     pub fn is_done(&self) -> bool {
         matches!(self, IcommCreate::Ready(_))
     }

@@ -23,6 +23,8 @@
 //!   virtual milliseconds, which is what makes the paper's figures
 //!   reproducible at laptop scale (see DESIGN.md).
 
+#![warn(missing_docs)]
+
 pub mod coll;
 pub mod coll_large;
 pub mod comm;

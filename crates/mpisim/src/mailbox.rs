@@ -24,6 +24,9 @@ use crate::error::{MpiError, Result};
 use crate::msg::{MatchPattern, Message, MsgInfo};
 use crate::time::Time;
 
+/// One rank's incoming-message queue with MPI matching semantics:
+/// `(context, source, tag)` matching, FIFO per sender, earliest-arrival
+/// selection among sources for wildcards.
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cv: Condvar,
@@ -43,6 +46,7 @@ impl Default for Mailbox {
 }
 
 impl Mailbox {
+    /// An empty mailbox.
     pub fn new() -> Mailbox {
         Mailbox {
             inner: Mutex::new(Inner {
@@ -53,6 +57,7 @@ impl Mailbox {
         }
     }
 
+    /// Deposit a message and wake blocked receivers.
     pub fn push(&self, m: Message) {
         let mut g = self.inner.lock();
         g.msgs.push_back(m);
@@ -61,10 +66,12 @@ impl Mailbox {
         self.cv.notify_all();
     }
 
+    /// Number of messages currently queued.
     pub fn len(&self) -> usize {
         self.inner.lock().msgs.len()
     }
 
+    /// Whether no messages are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -165,7 +172,14 @@ mod tests {
     use std::sync::Arc;
 
     fn msg(src: usize, tag: u64, ctx: u32, arrival: u64, val: u64) -> Message {
-        Message::new::<u64>(src, tag, ContextId::Small(ctx), vec![val], Time(0), Time(arrival))
+        Message::new::<u64>(
+            src,
+            tag,
+            ContextId::Small(ctx),
+            vec![val],
+            Time(0),
+            Time(arrival),
+        )
     }
 
     fn pat(src: SrcFilter, tag: u64, ctx: u32) -> MatchPattern {

@@ -25,6 +25,7 @@ pub struct CostModel {
     /// Messages larger than this use a rendezvous protocol with an extra
     /// round trip (adds `rendezvous_penalty` to the arrival time).
     pub eager_threshold: usize,
+    /// Extra arrival delay for messages above [`CostModel::eager_threshold`].
     pub rendezvous_penalty: Time,
     /// Per-element cost of local computation helpers (`charge_compute`).
     pub compute_ns_per_elem: f64,
@@ -68,6 +69,7 @@ impl CostModel {
         t
     }
 
+    /// Virtual cost of a local computation touching `elems` elements.
     pub fn compute_cost(&self, elems: usize) -> Time {
         Time((elems as f64 * self.compute_ns_per_elem).round() as u64)
     }
@@ -83,16 +85,20 @@ impl Default for CostModel {
 /// `CostScale::NEUTRAL` is raw point-to-point (what RBC uses).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostScale {
+    /// Multiplier on the startup latency α.
     pub alpha_factor: f64,
+    /// Multiplier on the per-byte cost β (and the rendezvous penalty).
     pub beta_factor: f64,
 }
 
 impl CostScale {
+    /// No scaling: raw point-to-point cost.
     pub const NEUTRAL: CostScale = CostScale {
         alpha_factor: 1.0,
         beta_factor: 1.0,
     };
 
+    /// Scale α by `alpha_factor` and β by `beta_factor`.
     pub fn new(alpha_factor: f64, beta_factor: f64) -> CostScale {
         CostScale {
             alpha_factor,
@@ -118,6 +124,7 @@ pub enum CreateGroupAlgo {
 /// An MPI implementation personality.
 #[derive(Clone, Debug)]
 pub struct VendorProfile {
+    /// Profile name, used in benchmark output.
     pub name: &'static str,
     /// Cost scaling for traffic *inside vendor collectives* (vendor
     /// collectives do extra internal buffering/copying compared with RBC's
@@ -127,12 +134,14 @@ pub struct VendorProfile {
     /// `jitter_threshold` bytes; 0.0 disables. Models Intel MPI's "immense
     /// fluctuations" for large inputs (paper §VIII-C).
     pub jitter_max: f64,
+    /// Payload size (bytes) above which jitter applies.
     pub jitter_threshold: usize,
     /// Jitter on *all* point-to-point traffic above `jitter_threshold` —
     /// vendor p2p fluctuations also hit RBC, which runs on the vendor's p2p
     /// layer (the paper observes JQuick-with-RBC on Intel MPI suffering the
     /// same fluctuations as native Intel runs). 0.0 disables.
     pub p2p_jitter_max: f64,
+    /// Which `comm_create_group` algorithm this vendor runs (drives Fig. 5).
     pub create_group_algo: CreateGroupAlgo,
     /// Extra per-member CPU overhead inside `create_group` (only meaningful
     /// for the `LeaderRing` algorithm; models the heavy bookkeeping the
@@ -148,15 +157,22 @@ pub struct VendorProfile {
 /// Per-operation-class collective scaling factors.
 #[derive(Clone, Copy, Debug)]
 pub struct CollScales {
+    /// Scaling of broadcast-internal traffic.
     pub bcast: CostScale,
+    /// Scaling of reduce/allreduce-internal traffic.
     pub reduce: CostScale,
+    /// Scaling of scan/exscan-internal traffic (the paper's worst case).
     pub scan: CostScale,
+    /// Scaling of gather/allgather-internal traffic.
     pub gather: CostScale,
+    /// Scaling of barrier-internal traffic.
     pub barrier: CostScale,
+    /// Scaling of every other collective's traffic.
     pub other: CostScale,
 }
 
 impl CollScales {
+    /// All operation classes at raw point-to-point cost.
     pub const NEUTRAL: CollScales = CollScales {
         bcast: CostScale::NEUTRAL,
         reduce: CostScale::NEUTRAL,
@@ -278,8 +294,14 @@ mod tests {
 
     #[test]
     fn profiles_distinct() {
-        assert_eq!(VendorProfile::neutral().create_group_algo, CreateGroupAlgo::MaskAllreduce);
-        assert_eq!(VendorProfile::ibm_like().create_group_algo, CreateGroupAlgo::LeaderRing);
+        assert_eq!(
+            VendorProfile::neutral().create_group_algo,
+            CreateGroupAlgo::MaskAllreduce
+        );
+        assert_eq!(
+            VendorProfile::ibm_like().create_group_algo,
+            CreateGroupAlgo::LeaderRing
+        );
         assert!(VendorProfile::intel_like().jitter_max > 0.0);
         assert!(VendorProfile::ibm_like().coll_scale.scan.beta_factor > 8.0);
     }

@@ -26,17 +26,25 @@ pub type Tag = u64;
 /// range within the parent, and `c` a same-group generation counter.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ContextId {
+    /// A classic small integer context ID from the mask agreement.
     Small(u32),
+    /// A §VI 5-tuple context ID, allocatable without communication.
     Wide {
+        /// Originating process (global rank).
         a: u32,
+        /// Per-process creation counter at the originator.
         b: u32,
+        /// First rank of the range within the parent group.
         f: u32,
+        /// Last rank of the range within the parent group.
         l: u32,
+        /// Same-group generation counter (distinguishes re-creations).
         c: u32,
     },
 }
 
 impl ContextId {
+    /// Context ID of `MPI_COMM_WORLD`.
     pub const WORLD: ContextId = ContextId::Small(0);
 }
 
@@ -64,6 +72,7 @@ pub enum SrcFilter {
 }
 
 impl SrcFilter {
+    /// Whether a message from global rank `global_src` passes this filter.
     pub fn matches(&self, global_src: usize) -> bool {
         match self {
             SrcFilter::Exact(r) => *r == global_src,
@@ -86,12 +95,17 @@ impl fmt::Debug for SrcFilter {
 /// What a receive/probe is looking for.
 #[derive(Clone, Debug)]
 pub struct MatchPattern {
+    /// Context the operation runs in.
     pub ctx: ContextId,
+    /// Which senders are acceptable.
     pub src: SrcFilter,
+    /// Exact tag to match (no tag wildcard — the libraries never need one).
     pub tag: Tag,
 }
 
 impl MatchPattern {
+    /// Whether `m` satisfies this pattern (same context, same tag,
+    /// acceptable source).
     pub fn matches(&self, m: &Message) -> bool {
         m.ctx == self.ctx && m.tag == self.tag && self.src.matches(m.src_global)
     }
@@ -102,8 +116,11 @@ impl MatchPattern {
 pub struct MsgInfo {
     /// Sender's global rank (callers translate to communicator ranks).
     pub src_global: usize,
+    /// Tag the message was sent with.
     pub tag: Tag,
+    /// Number of payload elements.
     pub count: usize,
+    /// Payload size in bytes (elements × element width).
     pub bytes: usize,
     /// Virtual time at which the message is available at the receiver.
     pub arrival: Time,
@@ -111,18 +128,27 @@ pub struct MsgInfo {
 
 /// An in-flight message.
 pub struct Message {
+    /// Sender's global rank.
     pub src_global: usize,
+    /// Tag the message was sent with.
     pub tag: Tag,
+    /// Context ID of the communicator it was sent over.
     pub ctx: ContextId,
+    /// Number of payload elements.
     pub count: usize,
+    /// Payload size in bytes.
     pub bytes: usize,
+    /// `type_name` of the payload element type, for mismatch diagnostics.
     pub type_name: &'static str,
+    /// Sender's virtual clock when the send was issued.
     pub send_time: Time,
+    /// `send_time + α + bytes·β` under the sender's cost model.
     pub arrival: Time,
     payload: Box<dyn Any + Send>,
 }
 
 impl Message {
+    /// Package `data` into a message with precomputed size and arrival time.
     pub fn new<T: Datum>(
         src_global: usize,
         tag: Tag,
@@ -144,6 +170,7 @@ impl Message {
         }
     }
 
+    /// The status header of this message.
     pub fn info(&self) -> MsgInfo {
         MsgInfo {
             src_global: self.src_global,

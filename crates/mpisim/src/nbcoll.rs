@@ -27,6 +27,7 @@ pub const WAIT_TIMEOUT: Duration = Duration::from_secs(30);
 /// `poll` returning `Ok(true)` means *locally complete* (outgoing messages
 /// may still be buffered — same semantics as the paper's `rbc::Test`).
 pub trait Progress: Send {
+    /// Drive the operation one step; `Ok(true)` once locally complete.
     fn poll(&mut self) -> Result<bool>;
 }
 
@@ -40,6 +41,7 @@ impl<T: Datum, C: Transport> Progress for RecvReq<T, C> {
 pub struct Request(Box<dyn Progress>);
 
 impl Request {
+    /// Erase a concrete state machine into a request handle.
     pub fn new(p: impl Progress + 'static) -> Request {
         Request(Box::new(p))
     }
@@ -110,7 +112,11 @@ pub fn waitall(reqs: &mut [Request]) -> Result<()> {
 fn binom_tree(rel: usize, p: usize) -> (Option<usize>, Vec<usize>) {
     debug_assert!(rel < p);
     let top = p.next_power_of_two();
-    let lsb = if rel == 0 { top } else { rel & rel.wrapping_neg() };
+    let lsb = if rel == 0 {
+        top
+    } else {
+        rel & rel.wrapping_neg()
+    };
     let parent = (rel != 0).then(|| rel - lsb);
     let mut children = Vec::new();
     let mut m = lsb >> 1;
@@ -188,10 +194,12 @@ impl<T: Datum, C: Transport> Ibcast<T, C> {
         self.done.then_some(self.data.as_deref()).flatten()
     }
 
+    /// Consume the request, returning the payload if complete.
     pub fn into_data(self) -> Option<Vec<T>> {
         self.done.then_some(self.data).flatten()
     }
 
+    /// Whether the broadcast is locally complete.
     pub fn is_done(&self) -> bool {
         self.done
     }
@@ -248,7 +256,14 @@ pub struct Ireduce<T: Datum, C: Transport, F> {
     is_root: bool,
 }
 
-pub fn ireduce<T, C, F>(tr: &C, data: &[T], root: usize, tag: Tag, op: F) -> Result<Ireduce<T, C, F>>
+/// Start a nonblocking reduce of `data` to `root` (`MPI_Ireduce`).
+pub fn ireduce<T, C, F>(
+    tr: &C,
+    data: &[T],
+    root: usize,
+    tag: Tag,
+    op: F,
+) -> Result<Ireduce<T, C, F>>
 where
     T: Datum,
     C: Transport,
@@ -264,10 +279,7 @@ where
         tag,
         op,
         acc: data.to_vec(),
-        pending_children: children
-            .into_iter()
-            .map(|c| from_rel(c, root, p))
-            .collect(),
+        pending_children: children.into_iter().map(|c| from_rel(c, root, p)).collect(),
         done: false,
         is_root: tr.rank() == root,
     };
@@ -286,6 +298,7 @@ where
         (self.done && self.is_root).then_some(self.acc.as_slice())
     }
 
+    /// Block until complete; the reduction lands `Some` only on the root.
     pub fn wait_result(mut self) -> Result<Option<Vec<T>>> {
         wait_on(&mut self)?;
         Ok(self.is_root.then_some(self.acc))
@@ -344,6 +357,8 @@ enum IallreducePhase<T: Datum, C: Transport, F> {
     Poisoned,
 }
 
+/// Start a nonblocking allreduce (`MPI_Iallreduce`): reduce to rank 0 on
+/// `tag`, then broadcast on `tag + 1`.
 pub fn iallreduce<T, C, F>(tr: &C, data: &[T], tag: Tag, op: F) -> Result<Iallreduce<T, C, F>>
 where
     T: Datum,
@@ -364,6 +379,7 @@ where
     C: Transport,
     F: Fn(&T, &T) -> T + Send,
 {
+    /// The allreduce result; `None` until complete.
     pub fn result(&self) -> Option<&[T]> {
         match &self.phase {
             IallreducePhase::Done(v) => Some(v),
@@ -371,6 +387,7 @@ where
         }
     }
 
+    /// Block until complete and return the result.
     pub fn wait_result(mut self) -> Result<Vec<T>> {
         wait_on(&mut self)?;
         match self.phase {
@@ -435,6 +452,7 @@ pub struct Iscan<T: Datum, C: Transport, F> {
     done: bool,
 }
 
+/// Start a nonblocking inclusive+exclusive prefix fold (`MPI_Iscan`).
 pub fn iscan<T, C, F>(tr: &C, data: &[T], tag: Tag, op: F) -> Result<Iscan<T, C, F>>
 where
     T: Datum,
@@ -472,6 +490,7 @@ where
         self.done.then_some(self.excl.as_deref()).flatten()
     }
 
+    /// Block until complete, returning `(inclusive, exclusive)` prefixes.
     pub fn wait_scan(mut self) -> Result<(Vec<T>, Option<Vec<T>>)> {
         wait_on(&mut self)?;
         Ok((self.incl, self.excl))
@@ -534,6 +553,7 @@ where
 /// (child comm rank, metadata if already received)
 type PendingChild = (usize, Option<Vec<(u64, u64)>>);
 
+/// Nonblocking gatherv state machine; see [`igatherv`].
 pub struct Igatherv<T: Datum, C: Transport> {
     tr: C,
     root: usize,
@@ -545,6 +565,8 @@ pub struct Igatherv<T: Datum, C: Transport> {
     is_root: bool,
 }
 
+/// Start a nonblocking variable-count gather to `root` (`MPI_Igatherv`),
+/// using `tag` for metadata and `tag + 1` for payload.
 pub fn igatherv<T: Datum, C: Transport>(
     tr: &C,
     data: Vec<T>,
@@ -590,6 +612,7 @@ impl<T: Datum, C: Transport> Igatherv<T, C> {
         Some(out)
     }
 
+    /// Block until complete; per-rank blocks land `Some` only on the root.
     pub fn wait_result(mut self) -> Result<Option<Vec<Vec<T>>>> {
         wait_on(&mut self)?;
         Ok(self.result())
@@ -648,6 +671,7 @@ pub struct Igather<T: Datum, C: Transport> {
     inner: Igatherv<T, C>,
 }
 
+/// Start a nonblocking equal-count gather to `root` (`MPI_Igather`).
 pub fn igather<T: Datum, C: Transport>(
     tr: &C,
     data: Vec<T>,
@@ -660,12 +684,15 @@ pub fn igather<T: Datum, C: Transport>(
 }
 
 impl<T: Datum, C: Transport> Igather<T, C> {
+    /// Concatenated contributions in rank order; `Some` only on the root
+    /// when done.
     pub fn result(&self) -> Option<Vec<T>> {
         self.inner
             .result()
             .map(|per_rank| per_rank.into_iter().flatten().collect())
     }
 
+    /// Block until complete and return the concatenated data at the root.
     pub fn wait_result(mut self) -> Result<Option<Vec<T>>> {
         wait_on(&mut self)?;
         Ok(self.result())
@@ -691,6 +718,7 @@ pub struct Ibarrier<C: Transport> {
     done: bool,
 }
 
+/// Start a nonblocking dissemination barrier (`MPI_Ibarrier`).
 pub fn ibarrier<C: Transport>(tr: &C, tag: Tag) -> Result<Ibarrier<C>> {
     let mut sm = Ibarrier {
         tr: tr.clone(),
@@ -704,6 +732,7 @@ pub fn ibarrier<C: Transport>(tr: &C, tag: Tag) -> Result<Ibarrier<C>> {
 }
 
 impl<C: Transport> Ibarrier<C> {
+    /// Whether every round of the dissemination pattern has completed.
     pub fn is_done(&self) -> bool {
         self.done
     }
@@ -718,12 +747,17 @@ impl<C: Transport> Progress for Ibarrier<C> {
         let r = self.tr.rank();
         while self.d < p {
             if !self.sent {
-                self.tr.send_vec::<u8>(Vec::new(), (r + self.d) % p, self.tag)?;
+                self.tr
+                    .send_vec::<u8>(Vec::new(), (r + self.d) % p, self.tag)?;
                 self.sent = true;
             }
             if self
                 .tr
-                .try_recv::<u8>(Src::Rank((r + p - self.d) % p), self.tag)?.is_none() { return Ok(false) }
+                .try_recv::<u8>(Src::Rank((r + p - self.d) % p), self.tag)?
+                .is_none()
+            {
+                return Ok(false);
+            }
             self.d <<= 1;
             self.sent = false;
         }

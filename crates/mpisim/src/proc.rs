@@ -23,27 +23,33 @@ use crate::time::Time;
 /// Cumulative message traffic of a simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Traffic {
+    /// Total messages deposited into mailboxes.
     pub messages: u64,
+    /// Total payload bytes deposited.
     pub bytes: u64,
 }
 
+/// Shared fabric connecting all ranks: one mailbox per rank plus the
+/// cost model. Sends deposit messages directly into the destination mailbox.
 pub struct Router {
+    /// Destination mailboxes, indexed by global rank.
     pub mailboxes: Vec<Mailbox>,
+    /// The α–β cost model all messages are priced under.
     pub cost: CostModel,
+    /// Vendor pathology profile (jitter, collective scaling).
     pub vendor: VendorProfile,
+    /// Wall-clock deadlock-detector timeout for blocking receives/probes.
     pub recv_timeout: Duration,
     /// Global traffic accounting (messages / payload bytes deposited).
     pub msgs_sent: AtomicU64,
+    /// Payload bytes counterpart of [`Router::msgs_sent`].
     pub bytes_sent: AtomicU64,
 }
 
 impl Router {
-    pub fn new(
-        p: usize,
-        cost: CostModel,
-        vendor: VendorProfile,
-        recv_timeout: Duration,
-    ) -> Router {
+    /// Build the fabric for `p` ranks under the given cost model and vendor
+    /// profile.
+    pub fn new(p: usize, cost: CostModel, vendor: VendorProfile, recv_timeout: Duration) -> Router {
         Router {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             cost,
@@ -62,22 +68,31 @@ impl Router {
         }
     }
 
+    /// Number of ranks this router connects.
     pub fn nprocs(&self) -> usize {
         self.mailboxes.len()
     }
 }
 
+/// The simulator state owned by one rank's thread: identity, virtual
+/// clock, RNG stream, and context-ID pool.
 pub struct ProcState {
+    /// This process's rank in `MPI_COMM_WORLD`.
     pub global_rank: usize,
     clock: AtomicU64,
+    /// The shared fabric.
     pub router: Arc<Router>,
+    /// Deterministic per-rank random stream (pivot selection, jitter).
     pub rng: Mutex<StdRng>,
+    /// MPICH-style context-ID allocation mask.
     pub ctx_pool: Mutex<crate::context::CtxPool>,
     /// Counter `b` of the §VI wide context-ID scheme.
     pub icomm_counter: AtomicU32,
 }
 
 impl ProcState {
+    /// Create the state for `global_rank`, with an RNG stream derived from
+    /// `seed` and the rank.
     pub fn new(global_rank: usize, router: Arc<Router>, seed: u64) -> Arc<ProcState> {
         Arc::new(ProcState {
             global_rank,
@@ -94,10 +109,12 @@ impl ProcState {
 
     // ---- virtual clock ----------------------------------------------------
 
+    /// This rank's current virtual clock.
     pub fn now(&self) -> Time {
         Time(self.clock.load(Ordering::Relaxed))
     }
 
+    /// Advance the clock by `dt`.
     pub fn advance(&self, dt: Time) {
         self.clock.fetch_add(dt.as_nanos(), Ordering::Relaxed);
     }
@@ -107,6 +124,7 @@ impl ProcState {
         self.clock.fetch_max(t.as_nanos(), Ordering::Relaxed);
     }
 
+    /// Overwrite the clock (used by barrier-style resynchronisation).
     pub fn set_clock(&self, t: Time) {
         self.clock.store(t.as_nanos(), Ordering::Relaxed);
     }
@@ -152,7 +170,9 @@ impl ProcState {
         }
         let arrival = t0 + transfer;
         self.router.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.router.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.router
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         let msg = Message::new(self.global_rank, tag, ctx, data, t0, arrival);
         self.router.mailboxes[dest_global].push(msg);
     }

@@ -11,41 +11,64 @@ use crate::msg::Tag;
 /// First reserved tag; user tags must be `< RESERVED_BASE`.
 pub const RESERVED_BASE: Tag = 1 << 62;
 
+/// Whether `tag` lies in the library-reserved space.
 pub const fn is_reserved(tag: Tag) -> bool {
     tag >= RESERVED_BASE
 }
 
 // Blocking collectives (one exclusive tag each; gatherv-based ops use +1 too).
+/// Exclusive tag of blocking `bcast` (§V-D).
 pub const BCAST: Tag = RESERVED_BASE;
+/// Exclusive tag of blocking `reduce`.
 pub const REDUCE: Tag = RESERVED_BASE + 2;
+/// Exclusive tag of blocking `allreduce`.
 pub const ALLREDUCE: Tag = RESERVED_BASE + 4;
+/// Exclusive tag of blocking `scan`.
 pub const SCAN: Tag = RESERVED_BASE + 6;
+/// Exclusive tag of blocking `exscan`.
 pub const EXSCAN: Tag = RESERVED_BASE + 8;
+/// Exclusive tag of blocking `gather`.
 pub const GATHER: Tag = RESERVED_BASE + 10;
+/// Exclusive tag of blocking `gatherv` (metadata stream; payload uses +1).
 pub const GATHERV: Tag = RESERVED_BASE + 12;
+/// Exclusive tag of blocking `allgather`.
 pub const ALLGATHER: Tag = RESERVED_BASE + 14;
+/// Exclusive tag of blocking `barrier`.
 pub const BARRIER: Tag = RESERVED_BASE + 16;
+/// Exclusive tag of blocking `alltoall`.
 pub const ALLTOALL: Tag = RESERVED_BASE + 18;
 
 /// Context-ID mask agreement during `split`/`dup`.
 pub const CTX_AGREE: Tag = RESERVED_BASE + 20;
 /// All-gather of `(color, key)` during `MPI_Comm_split`.
 pub const SPLIT_GATHER: Tag = RESERVED_BASE + 22;
+/// Exclusive tag of blocking `scatter`.
 pub const SCATTER: Tag = RESERVED_BASE + 24;
+/// Exclusive tag of blocking `scatterv` (counts stream; payload uses +1).
 pub const SCATTERV: Tag = RESERVED_BASE + 26;
+/// Exclusive tag of blocking `allgatherv` (also claims +2/+3 for its bcasts).
 pub const ALLGATHERV: Tag = RESERVED_BASE + 28; // +2, +3 for the bcasts
+/// Exclusive tag of blocking `alltoallw`.
 pub const ALLTOALLW: Tag = RESERVED_BASE + 34;
 
 // Default tags for nonblocking collectives (paper: `RBC_IBCAST_TAG` etc.).
 // Users may pass their own tag instead to run several operations of the
 // same class concurrently.
+/// Default tag of nonblocking `ibcast` (paper: `RBC_IBCAST_TAG`).
 pub const IBCAST: Tag = RESERVED_BASE + 100;
+/// Default tag of nonblocking `ireduce`.
 pub const IREDUCE: Tag = RESERVED_BASE + 102;
+/// Default tag of nonblocking `iscan`.
 pub const ISCAN: Tag = RESERVED_BASE + 104;
+/// Default tag of nonblocking `iexscan`.
 pub const IEXSCAN: Tag = RESERVED_BASE + 106;
+/// Default tag of nonblocking `igather`.
 pub const IGATHER: Tag = RESERVED_BASE + 108;
+/// Default tag of nonblocking `igatherv` (payload stream uses +1).
 pub const IGATHERV: Tag = RESERVED_BASE + 110;
+/// Default tag of nonblocking `ibarrier`.
 pub const IBARRIER: Tag = RESERVED_BASE + 112;
+/// Default tag of nonblocking `iallreduce`.
 pub const IALLREDUCE: Tag = RESERVED_BASE + 114;
 
 #[cfg(test)]
@@ -63,9 +86,29 @@ mod tests {
     #[test]
     fn all_distinct_with_headroom() {
         let tags = [
-            BCAST, REDUCE, ALLREDUCE, SCAN, EXSCAN, GATHER, GATHERV, ALLGATHER, BARRIER,
-            ALLTOALL, CTX_AGREE, SPLIT_GATHER, SCATTER, SCATTERV, ALLTOALLW, IBCAST, IREDUCE,
-            ISCAN, IEXSCAN, IGATHER, IGATHERV, IBARRIER, IALLREDUCE,
+            BCAST,
+            REDUCE,
+            ALLREDUCE,
+            SCAN,
+            EXSCAN,
+            GATHER,
+            GATHERV,
+            ALLGATHER,
+            BARRIER,
+            ALLTOALL,
+            CTX_AGREE,
+            SPLIT_GATHER,
+            SCATTER,
+            SCATTERV,
+            ALLTOALLW,
+            IBCAST,
+            IREDUCE,
+            ISCAN,
+            IEXSCAN,
+            IGATHER,
+            IGATHERV,
+            IBARRIER,
+            IALLREDUCE,
         ];
         for (i, a) in tags.iter().enumerate() {
             for b in &tags[i + 1..] {

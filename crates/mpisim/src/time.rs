@@ -15,48 +15,62 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 pub struct Time(pub u64);
 
 impl Time {
+    /// The zero instant / empty span.
     pub const ZERO: Time = Time(0);
 
+    /// Construct from integer nanoseconds.
     pub fn from_nanos(ns: u64) -> Time {
         Time(ns)
     }
 
+    /// Construct from integer microseconds.
     pub fn from_micros(us: u64) -> Time {
         Time(us * 1_000)
     }
 
+    /// Construct from integer milliseconds.
     pub fn from_millis(ms: u64) -> Time {
         Time(ms * 1_000_000)
     }
 
+    /// Construct from fractional seconds, rounded to the nearest nanosecond
+    /// and clamped at zero.
     pub fn from_secs_f64(s: f64) -> Time {
         Time((s * 1e9).round().max(0.0) as u64)
     }
 
+    /// The value in integer nanoseconds (exact).
     pub fn as_nanos(self) -> u64 {
         self.0
     }
 
+    /// The value in fractional microseconds.
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
+    /// The value in fractional milliseconds.
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
+    /// The value in fractional seconds.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
+    /// The later of two instants — the clock-merge operation of the model:
+    /// a receive sets `clock = clock.max(arrival)`.
     pub fn max(self, other: Time) -> Time {
         Time(self.0.max(other.0))
     }
 
+    /// The earlier of two instants.
     pub fn min(self, other: Time) -> Time {
         Time(self.0.min(other.0))
     }
 
+    /// Subtraction clamped at zero instead of underflowing.
     pub fn saturating_sub(self, other: Time) -> Time {
         Time(self.0.saturating_sub(other.0))
     }

@@ -20,6 +20,7 @@ use crate::time::Time;
 /// Source argument of receives/probes, in communicator rank space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Src {
+    /// A specific rank of the communicator.
     Rank(usize),
     /// `MPI_ANY_SOURCE`.
     Any,
@@ -30,15 +31,26 @@ pub enum Src {
 pub struct Status {
     /// Source rank within the communicator.
     pub source: usize,
+    /// Tag of the matched message.
     pub tag: Tag,
+    /// Number of received elements.
     pub count: usize,
+    /// Received payload size in bytes.
     pub bytes: usize,
 }
 
+/// Typed point-to-point operations over some rank space.
+///
+/// Implementors supply the five projection methods; sends, receives, probes,
+/// and virtual-time accounting are provided generically on top.
 pub trait Transport: Clone + Send + 'static {
+    /// This process's rank within the communicator.
     fn rank(&self) -> usize;
+    /// Number of processes in the communicator.
     fn size(&self) -> usize;
+    /// The per-rank simulator state (mailbox, clock, RNG).
     fn state(&self) -> &Arc<ProcState>;
+    /// Context ID messages are matched under.
     fn ctx(&self) -> ContextId;
     /// Communicator rank -> global rank.
     fn translate(&self, rank: usize) -> usize;
@@ -55,6 +67,7 @@ pub trait Transport: Clone + Send + 'static {
 
     // ---- provided API ------------------------------------------------------
 
+    /// Validate a communicator rank argument.
     fn check_rank(&self, rank: usize) -> Result<()> {
         if rank < self.size() {
             Ok(())
@@ -66,6 +79,7 @@ pub trait Transport: Clone + Send + 'static {
         }
     }
 
+    /// Build the matching-layer pattern for a receive/probe.
     fn pattern(&self, src: Src, tag: Tag) -> MatchPattern {
         let src = match src {
             Src::Rank(r) => SrcFilter::Exact(self.translate(r)),
@@ -78,6 +92,7 @@ pub trait Transport: Clone + Send + 'static {
         }
     }
 
+    /// Translate matched-message metadata into communicator rank space.
     fn status_of(&self, info: &MsgInfo) -> Status {
         let source = self
             .rank_of_global(info.src_global)
@@ -167,14 +182,17 @@ pub trait Transport: Clone + Send + 'static {
 
     // ---- virtual time ------------------------------------------------------
 
+    /// This rank's current virtual clock.
     fn now(&self) -> Time {
         self.state().now()
     }
 
+    /// Advance this rank's virtual clock by `dt`.
     fn charge(&self, dt: Time) {
         self.state().charge(dt);
     }
 
+    /// Advance the clock by the model's local-compute cost for `elems` elements.
     fn charge_compute(&self, elems: usize) {
         self.state().charge_compute(elems);
     }
@@ -214,6 +232,7 @@ impl<T: Datum, C: Transport> RecvReq<T, C> {
         self.done.take()
     }
 
+    /// Whether the receive has already completed.
     pub fn is_done(&self) -> bool {
         self.done.is_some()
     }
@@ -223,11 +242,14 @@ impl<T: Datum, C: Transport> RecvReq<T, C> {
 /// Vendor (native MPI) collectives run through this; RBC runs neutral.
 #[derive(Clone)]
 pub struct Scaled<C: Transport> {
+    /// The wrapped transport.
     pub inner: C,
+    /// Multiplier applied to α and β of every message sent through here.
     pub scale: CostScale,
 }
 
 impl<C: Transport> Scaled<C> {
+    /// Wrap `inner`, scaling every message cost by `scale`.
     pub fn new(inner: C, scale: CostScale) -> Scaled<C> {
         Scaled { inner, scale }
     }

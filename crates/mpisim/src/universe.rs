@@ -25,7 +25,9 @@ use crate::time::Time;
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
+    /// The machine's α–β cost model.
     pub cost: CostModel,
+    /// The MPI-implementation personality to simulate.
     pub vendor: VendorProfile,
     /// Wall-clock deadlock-detection timeout for blocking operations.
     pub recv_timeout: Duration,
@@ -49,16 +51,19 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Replace the vendor profile.
     pub fn with_vendor(mut self, vendor: VendorProfile) -> SimConfig {
         self.vendor = vendor;
         self
     }
 
+    /// Replace the base RNG seed.
     pub fn with_seed(mut self, seed: u64) -> SimConfig {
         self.seed = seed;
         self
     }
 
+    /// Replace the deadlock-detection timeout.
     pub fn with_timeout(mut self, t: Duration) -> SimConfig {
         self.recv_timeout = t;
         self
@@ -73,16 +78,19 @@ pub struct ProcEnv {
 }
 
 impl ProcEnv {
+    /// This process's world rank.
     pub fn rank(&self) -> usize {
         use crate::transport::Transport;
         self.world.rank()
     }
 
+    /// Number of processes in the universe.
     pub fn size(&self) -> usize {
         use crate::transport::Transport;
         self.world.size()
     }
 
+    /// This rank's simulator state.
     pub fn state(&self) -> &Arc<ProcState> {
         self.world.proc_state()
     }
@@ -97,8 +105,11 @@ impl ProcEnv {
 /// and the total message traffic.
 #[derive(Debug)]
 pub struct SimResult<R> {
+    /// Each rank body's return value, indexed by rank.
     pub per_rank: Vec<R>,
+    /// Each rank's virtual clock at exit.
     pub clocks: Vec<Time>,
+    /// Total messages/bytes sent during the run.
     pub traffic: crate::proc::Traffic,
 }
 
@@ -109,11 +120,14 @@ impl<R> SimResult<R> {
         self.clocks.iter().copied().max().unwrap_or(Time::ZERO)
     }
 
+    /// The earliest rank clock at exit.
     pub fn min_time(&self) -> Time {
         self.clocks.iter().copied().min().unwrap_or(Time::ZERO)
     }
 }
 
+/// Entry point: spawns one thread per simulated process. Stateless; see
+/// [`Universe::run`].
 pub struct Universe;
 
 impl Universe {
@@ -195,10 +209,7 @@ mod tests {
     #[test]
     fn ranks_see_world() {
         let res = Universe::run_default(5, |env| (env.rank(), env.size()));
-        assert_eq!(
-            res.per_rank,
-            vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]
-        );
+        assert_eq!(res.per_rank, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
     }
 
     #[test]

@@ -255,7 +255,11 @@ fn scatterv_distributes_blocks() {
                 coll::scatterv(w, blocks, root, 71).unwrap()
             });
             for (r, v) in res.per_rank.into_iter().enumerate() {
-                assert_eq!(v, vec![(r * 10) as u64; r % 3 + 1], "p={p} root={root} rank={r}");
+                assert_eq!(
+                    v,
+                    vec![(r * 10) as u64; r % 3 + 1],
+                    "p={p} root={root} rank={r}"
+                );
             }
         }
     }
@@ -277,7 +281,9 @@ fn scatterv_inverts_gatherv() {
     // gatherv then scatterv returns everyone's original data.
     let res = Universe::run_default(7, |env| {
         let w = &env.world;
-        let mine: Vec<u64> = (0..w.rank() as u64 + 1).map(|i| w.rank() as u64 * 100 + i).collect();
+        let mine: Vec<u64> = (0..w.rank() as u64 + 1)
+            .map(|i| w.rank() as u64 * 100 + i)
+            .collect();
         let gathered = coll::gatherv(w, mine.clone(), 2, 75).unwrap();
         let back = coll::scatterv(w, gathered, 2, 77).unwrap();
         back == mine
@@ -289,7 +295,9 @@ fn scatterv_inverts_gatherv() {
 fn alltoall_fixed_blocks() {
     let res = Universe::run_default(5, |env| {
         let w = &env.world;
-        let send: Vec<Vec<u64>> = (0..5).map(|d| vec![(w.rank() * 10 + d) as u64; 2]).collect();
+        let send: Vec<Vec<u64>> = (0..5)
+            .map(|d| vec![(w.rank() * 10 + d) as u64; 2])
+            .collect();
         coll::alltoall(w, send, 79).unwrap()
     });
     for (r, got) in res.per_rank.into_iter().enumerate() {

@@ -1,9 +1,7 @@
 //! Communicator construction: split, create_group, dup, context isolation,
 //! and the cost asymmetries the paper's Fig. 5 measures.
 
-use mpisim::{
-    Group, SimConfig, Src, Time, Transport, Universe, VendorProfile,
-};
+use mpisim::{Group, SimConfig, Src, Time, Transport, Universe, VendorProfile};
 
 #[test]
 fn split_into_halves() {
@@ -85,7 +83,8 @@ fn create_group_ibm_ring_algo_works_too() {
             Group::range(3, 1, 3)
         };
         let c = w.create_group(&group, 17).unwrap();
-        c.allreduce(&[w.rank() as u64], mpisim::ops::sum::<u64>()).unwrap()[0]
+        c.allreduce(&[w.rank() as u64], mpisim::ops::sum::<u64>())
+            .unwrap()[0]
     });
     assert_eq!(res.per_rank, vec![3, 3, 3, 12, 12, 12]);
 }

@@ -261,8 +261,14 @@ fn icomm_same_group_distinguished_by_generation() {
     let res = Universe::run_default(4, |env| {
         let w = &env.world;
         let group = Group::range(0, 1, 4);
-        let c1 = icomm_create_group(w, &group, 5).unwrap().wait_comm().unwrap();
-        let c2 = icomm_create_group(&c1, &group, 5).unwrap().wait_comm().unwrap();
+        let c1 = icomm_create_group(w, &group, 5)
+            .unwrap()
+            .wait_comm()
+            .unwrap();
+        let c2 = icomm_create_group(&c1, &group, 5)
+            .unwrap()
+            .wait_comm()
+            .unwrap();
         (format!("{}", c1.ctx()), format!("{}", c2.ctx()))
     });
     for (a, b) in res.per_rank {

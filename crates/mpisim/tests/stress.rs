@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use mpisim::mailbox::Mailbox;
 use mpisim::msg::{ContextId, MatchPattern, Message, SrcFilter};
-use mpisim::nbcoll::{self, Progress};
+use mpisim::nbcoll;
 use mpisim::{coll, ops, SimConfig, Src, Time, Transport, Universe};
 
 #[test]
@@ -128,15 +128,13 @@ fn repeated_universes_do_not_leak_state() {
     // Spinning universes up and down in a loop must stay correct (fresh
     // mailboxes, fresh context pools, fresh clocks).
     for round in 0..20 {
-        let res = Universe::run(
-            4,
-            SimConfig::default().with_seed(round),
-            move |env| {
-                let w = &env.world;
-                let c = w.split(u64::from(w.rank() % 2 == 0), w.rank() as u64).unwrap();
-                c.allreduce(&[round], ops::sum::<u64>()).unwrap()[0]
-            },
-        );
+        let res = Universe::run(4, SimConfig::default().with_seed(round), move |env| {
+            let w = &env.world;
+            let c = w
+                .split(u64::from(w.rank() % 2 == 0), w.rank() as u64)
+                .unwrap();
+            c.allreduce(&[round], ops::sum::<u64>()).unwrap()[0]
+        });
         assert!(res.per_rank.iter().all(|&v| v == 2 * round));
     }
 }

@@ -1,5 +1,7 @@
-//! Janus Quicksort end to end: sort a distributed array, verify the §II
-//! output contract, and print the per-rank statistics.
+//! Janus Quicksort (paper §VII, the setting of Fig. 8) end to end: sort a
+//! distributed array, verify the §II output contract (globally sorted,
+//! perfectly balanced, permutation of the input), and print the per-rank
+//! statistics.
 //!
 //! Usage: `cargo run --release --example jquick_sort [p] [n_per_proc] [backend]`
 //! where backend is `rbc` (default) or `mpi`.
@@ -26,7 +28,9 @@ fn main() {
         let layout = Layout::new(n, p as u64);
         let me = w.rank() as u64;
         let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ me);
-        let data: Vec<f64> = (0..layout.cap(me)).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let data: Vec<f64> = (0..layout.cap(me))
+            .map(|_| rng.gen_range(-1e6..1e6))
+            .collect();
         let fp = fingerprint(&data);
 
         w.barrier().unwrap();
@@ -49,9 +53,22 @@ fn main() {
     println!("permutation preserved:  {}", report.permutation_preserved);
 
     let max_time = res.per_rank.iter().map(|(_, _, t, _)| *t).max().unwrap();
-    let max_level = res.per_rank.iter().map(|(_, s, _, _)| s.max_level).max().unwrap();
-    let creations: usize = res.per_rank.iter().map(|(_, s, _, _)| s.comm_creations).sum();
-    let bases: usize = res.per_rank.iter().map(|(_, s, _, _)| s.base_1 + s.base_2).sum();
+    let max_level = res
+        .per_rank
+        .iter()
+        .map(|(_, s, _, _)| s.max_level)
+        .max()
+        .unwrap();
+    let creations: usize = res
+        .per_rank
+        .iter()
+        .map(|(_, s, _, _)| s.comm_creations)
+        .sum();
+    let bases: usize = res
+        .per_rank
+        .iter()
+        .map(|(_, s, _, _)| s.base_1 + s.base_2)
+        .sum();
 
     println!("\nvirtual sort time (makespan): {max_time}");
     println!("recursion depth:              {max_level}");

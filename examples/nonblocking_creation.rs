@@ -27,7 +27,11 @@ fn main() {
     println!("method                        | virtual time | messages");
     println!("------------------------------|--------------|---------");
 
-    for method in ["blocking create_group", "icomm_create_group (§VI)", "RBC split"] {
+    for method in [
+        "blocking create_group",
+        "icomm_create_group (§VI)",
+        "RBC split",
+    ] {
         let cfg = SimConfig::default().with_vendor(VendorProfile::intel_like());
         let res = Universe::run(p, cfg, move |env| {
             let w = &env.world;
@@ -43,9 +47,7 @@ fn main() {
                         } else {
                             (lo + half, comm.size() - half)
                         };
-                        comm = comm
-                            .create_group(&Group::range(f, 1, len), 5)
-                            .unwrap();
+                        comm = comm.create_group(&Group::range(f, 1, len), 5).unwrap();
                         lo = f;
                     }
                 }

@@ -35,9 +35,10 @@ fn main() {
         let mut left_op = left
             .as_ref()
             .map(|c| c.iallreduce(&[r as u64], ops::sum::<u64>(), None).unwrap());
-        let mut right_op = right
-            .as_ref()
-            .map(|c| c.iallreduce(&[r as u64 * 10], ops::sum::<u64>(), None).unwrap());
+        let mut right_op = right.as_ref().map(|c| {
+            c.iallreduce(&[r as u64 * 10], ops::sum::<u64>(), None)
+                .unwrap()
+        });
 
         let mut left_done_at = None;
         let mut right_done_at = None;

@@ -36,7 +36,11 @@ fn main() {
     });
 
     let (_, hull, stats, _) = &res.per_rank[0];
-    let all: Vec<Point> = res.per_rank.iter().flat_map(|(pts, ..)| pts.clone()).collect();
+    let all: Vec<Point> = res
+        .per_rank
+        .iter()
+        .flat_map(|(pts, ..)| pts.clone())
+        .collect();
     let reference = quickhull_reference(&all);
     let max_t = res.per_rank.iter().map(|(.., t)| *t).max().unwrap();
 

@@ -12,8 +12,8 @@ use jquick::{
     Layout, PivotCfg, RbcBackend, SampleSortCfg,
 };
 use mpisim::{Time, Transport, Universe};
-use rbc::RbcComm;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use rbc::RbcComm;
 
 fn skewed(rank: u64, m: usize) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(rank * 31 + 5);
@@ -29,7 +29,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let p: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let n_per: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2000);
-    assert!(p.is_power_of_two(), "hypercube quicksort needs a power of two");
+    assert!(
+        p.is_power_of_two(),
+        "hypercube quicksort needs a power of two"
+    );
     let n = (n_per * p) as u64;
 
     println!("sorting {n} skewed doubles on {p} processes\n");

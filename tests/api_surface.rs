@@ -19,7 +19,7 @@
 //! | rbc::Comm_rank        rbc::Comm_size               |
 
 use mpisim::{ops, Src, Transport, Universe};
-use rbc::{Request, RbcComm};
+use rbc::{RbcComm, Request};
 
 #[test]
 fn every_table_i_operation_runs() {
@@ -63,6 +63,7 @@ fn every_table_i_operation_runs() {
             let (v, _) = world.recv::<u64>(Src::Rank(0), 5).unwrap(); // rbc::Recv
             assert_eq!(v, vec![11]);
             let mut req = world.irecv::<u64>(Src::Rank(0), 6); // rbc::Irecv
+
             // rbc::Test / rbc::Wait on the request.
             while !req.test().unwrap() {
                 std::thread::yield_now();

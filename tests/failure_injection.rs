@@ -20,7 +20,9 @@ fn unmatched_recv_times_out_with_context() {
         }
     });
     match &res.per_rank[0] {
-        Some(MpiError::Timeout { rank, waited_for, .. }) => {
+        Some(MpiError::Timeout {
+            rank, waited_for, ..
+        }) => {
             assert_eq!(*rank, 0);
             assert!(waited_for.contains("tag=42"), "got: {waited_for}");
         }
@@ -56,7 +58,10 @@ fn type_mismatch_is_detected() {
     });
     assert!(matches!(
         res.per_rank[1],
-        Some(MpiError::TypeMismatch { expected: "u32", .. })
+        Some(MpiError::TypeMismatch {
+            expected: "u32",
+            ..
+        })
     ));
 }
 
@@ -69,8 +74,14 @@ fn invalid_rank_is_rejected_immediately() {
         (send_err, recv_err)
     });
     for (s, r) in res.per_rank {
-        assert!(matches!(s, Some(MpiError::InvalidRank { rank: 5, size: 2 })));
-        assert!(matches!(r, Some(MpiError::InvalidRank { rank: 9, size: 2 })));
+        assert!(matches!(
+            s,
+            Some(MpiError::InvalidRank { rank: 5, size: 2 })
+        ));
+        assert!(matches!(
+            r,
+            Some(MpiError::InvalidRank { rank: 9, size: 2 })
+        ));
     }
 }
 

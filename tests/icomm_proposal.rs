@@ -63,7 +63,10 @@ fn derived_communicators_do_not_interfere() {
         } else {
             Group::range(2, 1, 2)
         };
-        let half = icomm_create_group(&all, &sub, 1).unwrap().wait_comm().unwrap();
+        let half = icomm_create_group(&all, &sub, 1)
+            .unwrap()
+            .wait_comm()
+            .unwrap();
         // Rank 0 sends on BOTH communicators with the same tag.
         if w.rank() == 0 {
             all.send(&[111u64], 1, 9).unwrap();
@@ -145,7 +148,10 @@ fn range_case_cost_independent_of_group_size() {
     };
     let small = cost_at(4);
     let large = cost_at(256);
-    assert_eq!(small, large, "range creation must be O(1): {small} vs {large}");
+    assert_eq!(
+        small, large,
+        "range creation must be O(1): {small} vs {large}"
+    );
 }
 
 #[test]

@@ -13,9 +13,7 @@ use proptest::prelude::*;
 /// Generate each rank's input slice from a seed + distribution selector.
 fn input_for(layout: &Layout, rank: u64, seed: u64, dist: u8) -> Vec<u64> {
     let m = layout.cap(rank) as usize;
-    let mut state = seed
-        .wrapping_mul(0x9E3779B97F4A7C15)
-        .wrapping_add(rank + 1);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(rank + 1);
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;

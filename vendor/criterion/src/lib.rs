@@ -1,0 +1,177 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container cannot reach crates.io, so this shim supplies the API
+//! subset the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`], and
+//! [`criterion_main!`] — with a simple calibrated-loop timer instead of
+//! criterion's statistical machinery. Results print as
+//! `group/name  ...  <mean> ns/iter`; there is no outlier analysis, HTML
+//! report, or saved baseline.
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to the closure, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time `f`, first calibrating an iteration count that fits the budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it takes >= ~1ms or caps out.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break dt.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 2;
+        };
+        // Measure: as many batches as fit in the budget, at least 3.
+        let budget_ns = MEASURE_BUDGET.as_nanos() as f64;
+        let rounds = ((budget_ns / (per_iter_ns * batch as f64 + 1.0)) as u64).clamp(3, 1000);
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for _ in 0..batch {
+                black_box(f());
+            }
+        }
+        self.mean_ns = t0.elapsed().as_nanos() as f64 / (rounds * batch) as f64;
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one display id.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { mean_ns: f64::NAN };
+        f(&mut b);
+        println!(
+            "{:<52} {:>14.1} ns/iter",
+            format!("{}/{id}", self.name),
+            b.mean_ns
+        );
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream consumes `self`; here it is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Create a harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: f64::NAN };
+        f(&mut b);
+        println!("{id:<52} {:>14.1} ns/iter", b.mean_ns);
+        self
+    }
+}
+
+/// Bundle benchmark functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a set of groups, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 7)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_smoke() {
+        let mut c = Criterion::new();
+        trivial(&mut c);
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build container cannot reach crates.io, so this shim implements the
+//! subset of the proptest 1.x surface the workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), integer/float range strategies, [`any`], [`prop_assert!`], and
+//! [`prop_assert_eq!`].
+//!
+//! Semantics differ from upstream in two deliberate ways: case generation is
+//! a fixed deterministic stream per (test name, case index) — reruns always
+//! see identical inputs — and there is **no shrinking**; a failing case
+//! reports its inputs via the standard panic message instead.
+#![warn(missing_docs)]
+
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default. Tests that spawn simulated universes lower it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Per-test deterministic input source handed to [`Strategy::sample`].
+pub struct Sampler {
+    rng: rand::rngs::StdRng,
+}
+
+impl Sampler {
+    /// Build the sampler for one case of one property.
+    ///
+    /// The seed mixes the property name and case index (FNV-1a) so every
+    /// property sees an independent but fully reproducible stream.
+    pub fn for_case(test_name: &str, case: u32) -> Sampler {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h = (h ^ case as u64).wrapping_mul(0x100000001b3);
+        Sampler {
+            rng: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, sampler: &mut Sampler) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, s: &mut Sampler) -> $t {
+                s.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, s: &mut Sampler) -> $t {
+                s.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, s: &mut Sampler) -> f64 {
+        s.rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy returned by [`any`]: the full uniform domain of `T`.
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Produce a strategy covering the whole domain of `T`, mirroring
+/// `proptest::prelude::any`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! any_strategy {
+    ($($t:ty => $gen:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, s: &mut Sampler) -> $t {
+                s.rng.gen::<$gen>() as $t
+            }
+        }
+    )*};
+}
+
+any_strategy!(u64 => u64, u32 => u32, usize => usize, u16 => u64, u8 => u64,
+              i64 => u64, i32 => u32, i16 => u64, i8 => u64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, s: &mut Sampler) -> bool {
+        s.rng.gen()
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, s: &mut Sampler) -> f64 {
+        s.rng.gen()
+    }
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the form used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items whose
+/// parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..cfg.cases {
+                let mut __sampler = $crate::Sampler::for_case(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __sampler);)*
+                let __inputs = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                    __case $(, $arg)*
+                );
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(e) = result {
+                    eprintln!("proptest {} failed at {}", stringify!($name), __inputs);
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Sampler,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respected(a in 3usize..12, b in 0u8..5, f in 0.0f64..1.0, x in any::<u64>()) {
+            prop_assert!((3..12).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = x;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0u64..10) {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut s1 = Sampler::for_case("t", 3);
+        let mut s2 = Sampler::for_case("t", 3);
+        let st = 0u64..1_000_000;
+        assert_eq!(st.sample(&mut s1), st.sample(&mut s2));
+    }
+}
