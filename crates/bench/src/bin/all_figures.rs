@@ -8,4 +8,5 @@ fn main() {
     rbc_bench::figs::fig8::run();
     rbc_bench::figs::fig9::run();
     rbc_bench::figs::ablations::run();
+    rbc_bench::figs::largep::run();
 }

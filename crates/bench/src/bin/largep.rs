@@ -1,0 +1,6 @@
+//! Regenerates the large-p sweep (p = 2^10..2^15, cooperative scheduler
+//! backend): communicator creation at scale and JQuick end to end.
+//! `BENCH_QUICK=1` caps the sweep at 2^12.
+fn main() {
+    rbc_bench::figs::largep::run();
+}

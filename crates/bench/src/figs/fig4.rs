@@ -21,7 +21,7 @@ fn vendor_iscan(p: usize, n_per: usize, vendor: VendorProfile) -> Time {
         let t0 = env.now();
         let mut sm = w.iscan(&data, ops::sum::<f64>()).unwrap();
         while !sm.poll().unwrap() {
-            std::thread::yield_now();
+            mpisim::yield_now();
         }
         env.now() - t0
     })
@@ -36,7 +36,7 @@ fn rbc_iscan(p: usize, n_per: usize, vendor: VendorProfile) -> Time {
         let t0 = env.now();
         let mut sm = w.iscan(&data, ops::sum::<f64>(), None).unwrap();
         while !sm.poll().unwrap() {
-            std::thread::yield_now();
+            mpisim::yield_now();
         }
         env.now() - t0
     })

@@ -61,7 +61,7 @@ fn native_time(
                 let data = (sub.rank() == 0).then(|| vec![1.0f64; n]);
                 let mut sm = sub.ibcast(data, 0).unwrap();
                 while !sm.poll().unwrap() {
-                    std::thread::yield_now();
+                    mpisim::yield_now();
                 }
             }
             env.now() - t0
@@ -86,7 +86,7 @@ fn rbc_time(p: usize, n: usize, bcasts: usize, vendor: VendorProfile) -> Time {
                 let data = (sub.rank() == 0).then(|| vec![1.0f64; n]);
                 let mut sm = sub.ibcast(data, 0, None).unwrap();
                 while !sm.poll().unwrap() {
-                    std::thread::yield_now();
+                    mpisim::yield_now();
                 }
             }
             env.now() - t0

@@ -48,25 +48,25 @@ fn run_native(env: &mpisim::ProcEnv, op: Op, n: usize, rep: usize) -> Time {
             let payload = (w.rank() == 0).then(|| data.clone());
             let mut sm = w.ibcast(payload, 0).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
         Op::Reduce => {
             let mut sm = w.ireduce(&data, 0, ops::sum::<f64>()).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
         Op::Scan => {
             let mut sm = w.iscan(&data, ops::sum::<f64>()).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
         Op::Gather => {
             let mut sm = w.igather(data, 0).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
     }
@@ -83,25 +83,25 @@ fn run_rbc(env: &mpisim::ProcEnv, op: Op, n: usize, rep: usize) -> Time {
             let payload = (w.rank() == 0).then(|| data.clone());
             let mut sm = w.ibcast(payload, 0, None).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
         Op::Reduce => {
             let mut sm = w.ireduce(&data, 0, ops::sum::<f64>(), None).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
         Op::Scan => {
             let mut sm = w.iscan(&data, ops::sum::<f64>(), None).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
         Op::Gather => {
             let mut sm = w.igather(data, 0, None).unwrap();
             while !sm.poll().unwrap() {
-                std::thread::yield_now();
+                mpisim::yield_now();
             }
         }
     }

@@ -1,0 +1,136 @@
+//! Large-p sweep: the paper's headline regime, p = 2^10 .. 2^15 simulated
+//! processes, runnable only on the cooperative scheduler backend (the
+//! thread backend tops out around 2^9 OS threads).
+//!
+//! Two tables:
+//!
+//! 1. **Communicator creation at scale** — RBC `split` (O(1), local) vs
+//!    native `MPI_Comm_create_group` (mask agreement over the new group)
+//!    vs native `MPI_Comm_split` (all-gather over the parent). The split
+//!    column stops at 2^12: its all-gather materialises p `(color, key)`
+//!    pairs *per rank* — Θ(p²) simulator memory — which is exactly the
+//!    paper's point about heavyweight construction at scale.
+//! 2. **JQuick at scale** — RBC split + barrier + a small Janus Quicksort
+//!    (n/p = 8) end to end, the acceptance scenario of the scheduler.
+//!
+//! Expected shape (EXPERIMENTS.md): RBC flat in p; `create_group` growing
+//! with log p (agreement tree depth) plus the linear group build;
+//! JQuick's makespan polylogarithmic in p at fixed n/p.
+
+use jquick::{jquick_sort, JQuickConfig, Layout, RbcBackend};
+use mpisim::{coll, SimConfig, Time, Transport};
+use rbc::RbcComm;
+
+use crate::{measure, ms, quick_mode, reps, Table};
+
+/// Largest process exponent of this sweep (paper: 2^15).
+fn max_exp() -> u32 {
+    if quick_mode() {
+        12
+    } else {
+        15
+    }
+}
+
+/// `MPI_Comm_split` is Θ(p²) simulator memory; cap it where it stays
+/// comfortable on a dev machine.
+const SPLIT_MAX_EXP: u32 = 12;
+
+fn coop() -> SimConfig {
+    SimConfig::cooperative()
+}
+
+fn rbc_split_time(p: usize) -> Time {
+    measure(p, coop(), reps(3), move |env, _| {
+        let world = RbcComm::create(&env.world);
+        let r = world.rank();
+        let (f, l) = if r < p / 2 {
+            (0, p / 2 - 1)
+        } else {
+            (p / 2, p - 1)
+        };
+        world.barrier().unwrap();
+        let t0 = env.now();
+        let _c = world.split(f, l).unwrap();
+        env.now() - t0
+    })
+}
+
+fn create_group_time(p: usize) -> Time {
+    measure(p, coop(), reps(3), move |env, rep| {
+        let w = &env.world;
+        let g = if w.rank() < p / 2 {
+            mpisim::Group::range(0, 1, p / 2)
+        } else {
+            mpisim::Group::range(p / 2, 1, p - p / 2)
+        };
+        w.barrier().unwrap();
+        let t0 = env.now();
+        let _c = w.create_group(&g, 100 + rep as u64).unwrap();
+        env.now() - t0
+    })
+}
+
+fn native_split_time(p: usize) -> Time {
+    measure(p, coop(), reps(3), move |env, _| {
+        let w = &env.world;
+        let color = u64::from(w.rank() >= p / 2);
+        w.barrier().unwrap();
+        let t0 = env.now();
+        let _c = w.split(color, w.rank() as u64).unwrap();
+        env.now() - t0
+    })
+}
+
+fn jquick_time(p: usize, n_per: u64) -> Time {
+    let n = n_per * p as u64;
+    measure(p, coop(), reps(2), move |env, rep| {
+        let w = &env.world;
+        let layout = Layout::new(n, p as u64);
+        let m = layout.cap(w.rank() as u64);
+        let data: Vec<u64> = (0..m)
+            .map(|i| (i * p as u64 + (p as u64 - 1 - w.rank() as u64) + rep as u64) % n.max(1))
+            .collect();
+        coll::barrier(w, 3).unwrap();
+        let t0 = env.now();
+        let out = jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default())
+            .unwrap()
+            .0;
+        let dt = env.now() - t0;
+        assert_eq!(out.len() as u64, m, "JQuick must stay perfectly balanced");
+        dt
+    })
+}
+
+/// Regenerate the large-p tables and write their CSVs.
+pub fn run() -> Vec<Table> {
+    let mut comms = Table::new(
+        "Large p — splitting a communicator of p processes into halves (cooperative backend)",
+        "p",
+        &["RBC split", "MPI_Comm_create_group", "MPI_Comm_split"],
+    );
+    let mut sort = Table::new(
+        "Large p — RBC split + barrier + JQuick sort, n/p = 8 (cooperative backend)",
+        "p",
+        &["JQuick (RBC)"],
+    );
+    for e in 10..=max_exp() {
+        let p = 1usize << e;
+        let split_ms = if e <= SPLIT_MAX_EXP {
+            ms(native_split_time(p))
+        } else {
+            f64::NAN // Θ(p²) memory: see module docs
+        };
+        comms.push(
+            p as u64,
+            vec![ms(rbc_split_time(p)), ms(create_group_time(p)), split_ms],
+        );
+        sort.push(p as u64, vec![ms(jquick_time(p, 8))]);
+        eprintln!("largep: finished p = 2^{e}");
+    }
+    comms.print();
+    comms.write_csv("largep_comms");
+    sort.print();
+    sort.write_csv("largep_jquick");
+    vec![comms, sort]
+}

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod largep;
 pub mod sorters;
 
 /// Scaled-down stand-ins for the paper's 2^15 cores (see DESIGN.md §1).

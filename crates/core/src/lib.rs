@@ -96,6 +96,6 @@ pub fn wait(req: &mut impl Progress) -> Result<()> {
                 virtual_now: mpisim::Time::ZERO,
             });
         }
-        std::thread::yield_now();
+        mpisim::yield_now();
     }
 }

@@ -311,7 +311,7 @@ where
                 virtual_now: world.proc_state().now(),
             });
         }
-        std::thread::yield_now();
+        mpisim::yield_now();
     }
     for mut sm in bsms {
         settled.push(sm.take().expect("base complete"));
@@ -380,7 +380,7 @@ where
                 virtual_now: Time::ZERO,
             });
         }
-        std::thread::yield_now();
+        mpisim::yield_now();
     }
 }
 

@@ -138,7 +138,7 @@ impl IcommCreate {
                     virtual_now: Time::ZERO,
                 });
             }
-            std::thread::yield_now();
+            crate::sched::yield_now();
         }
     }
 }

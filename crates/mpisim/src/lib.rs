@@ -4,9 +4,12 @@
 //! Communicators with Applications to Perfectly Balanced Quicksort"*
 //! (Axtmann, Wiebigke, Sanders; IPDPS 2018). It provides, from scratch:
 //!
-//! * a thread-per-rank runtime ([`Universe`]) with MPI matching semantics:
+//! * a simulated-rank runtime ([`Universe`]) with MPI matching semantics —
 //!   `(context, source, tag)` matching, `ANY_SOURCE` wildcards,
-//!   non-overtaking per sender and context;
+//!   non-overtaking per sender and context — under two backends: one OS
+//!   thread per rank, or the cooperative fiber scheduler ([`sched`]) that
+//!   multiplexes up to 2^15 ranks over a small worker pool with
+//!   seed-deterministic message-delivery order;
 //! * native communicators ([`Comm`]) whose construction runs the *real*
 //!   algorithms (all-gather for `MPI_Comm_split`, context-ID-mask
 //!   all-reduce for `MPI_Comm_create_group`) so that their costs emerge
@@ -38,6 +41,7 @@ pub mod model;
 pub mod msg;
 pub mod nbcoll;
 pub mod proc;
+pub mod sched;
 pub mod tags;
 pub mod time;
 pub mod transport;
@@ -50,6 +54,8 @@ pub use group::Group;
 pub use model::{CostModel, CostScale, CreateGroupAlgo, VendorProfile};
 pub use msg::{ContextId, MsgInfo, Tag};
 pub use nbcoll::{Progress, Request};
-pub use time::Time;
+pub use proc::WaitReason;
+pub use sched::yield_now;
+pub use time::{Time, VirtualClock};
 pub use transport::{Scaled, Src, Status, Transport};
-pub use universe::{ProcEnv, SimConfig, SimResult, Universe};
+pub use universe::{Backend, ProcEnv, SimConfig, SimResult, Universe};

@@ -12,17 +12,119 @@
 //!   message to physically arrive wins" of a real network, independent of
 //!   the real-time interleaving of simulator threads.
 //!
-//! Blocking operations carry a wall-clock timeout that acts as a deadlock
-//! detector (`MpiError::Timeout`).
+//! # Indexed storage
+//!
+//! Patterns always pin an exact `(context, tag)` pair (the libraries never
+//! wildcard those), so messages are bucketed by that key, and within a key
+//! by source. Each key keeps a [`BTreeSet`] of its per-source FIFO heads
+//! ordered by `(arrival, src)`: an exact-source claim is a hash lookup, a
+//! wildcard claim is the first element of the set — **O(log s) in the
+//! number of distinct pending sources, independent of the number of pending
+//! messages**. The previous implementation scanned every pending message
+//! per claim, which made message storms O(pending²).
+//!
+//! # Blocking and wake-ups
+//!
+//! Thread-backend receivers block on the internal condvar with a wall-clock
+//! timeout that acts as a deadlock detector ([`MpiError::Timeout`]).
+//! Cooperative-backend receivers instead subscribe a [`Wake`] hook with
+//! their pattern ([`Mailbox::claim_or_subscribe`]); a push wakes exactly
+//! the subscribers whose pattern matches the new message, so a rank is only
+//! scheduled when its message actually arrived.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{MpiError, Result};
-use crate::msg::{MatchPattern, Message, MsgInfo};
+use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, SrcFilter, Tag};
 use crate::time::Time;
+
+/// Wake-up hook subscribed by a parked cooperative task.
+pub trait Wake: Send + Sync {
+    /// Make the subscriber runnable again.
+    fn wake(&self);
+}
+
+/// Handle for cancelling a subscription made by
+/// [`Mailbox::claim_or_subscribe`] / [`Mailbox::probe_or_subscribe`].
+#[derive(Debug)]
+pub struct WaitToken(u64);
+
+/// Outcome of a claim-or-subscribe style operation.
+pub enum Subscribed<T> {
+    /// A matching message/probe hit was available immediately.
+    Hit(T),
+    /// Nothing matched; the waker was subscribed and will fire on a
+    /// matching push. Cancel with [`Mailbox::unsubscribe`].
+    Waiting(WaitToken),
+}
+
+struct WaiterEntry {
+    token: u64,
+    pat: MatchPattern,
+    waker: Arc<dyn Wake>,
+}
+
+/// Messages of one `(context, tag)` bucket: per-source FIFO queues plus an
+/// ordered set of the current heads keyed by `(arrival, src)`.
+#[derive(Default)]
+struct KeyQueue {
+    per_src: HashMap<usize, VecDeque<Message>>,
+    heads: BTreeSet<(Time, usize)>,
+}
+
+impl KeyQueue {
+    fn push(&mut self, m: Message) {
+        let q = self.per_src.entry(m.src_global).or_default();
+        if q.is_empty() {
+            self.heads.insert((m.arrival, m.src_global));
+        }
+        q.push_back(m);
+    }
+
+    /// Source of the best matching candidate under MPI semantics: per-source
+    /// FIFO heads only, earliest `(arrival, src)` among acceptable sources.
+    fn best_src(&self, src: &SrcFilter) -> Option<usize> {
+        match src {
+            SrcFilter::Exact(s) => self.per_src.contains_key(s).then_some(*s),
+            SrcFilter::Any => self.heads.iter().next().map(|&(_, s)| s),
+            SrcFilter::Filter(f) => self.heads.iter().find(|&&(_, s)| f(s)).map(|&(_, s)| s),
+        }
+    }
+
+    fn head(&self, src: usize) -> &Message {
+        self.per_src[&src].front().expect("non-empty source queue")
+    }
+
+    fn pop(&mut self, src: usize) -> Message {
+        let q = self.per_src.get_mut(&src).expect("non-empty source queue");
+        let m = q.pop_front().expect("non-empty source queue");
+        self.heads.remove(&(m.arrival, src));
+        match q.front() {
+            Some(next) => {
+                self.heads.insert((next.arrival, src));
+            }
+            None => {
+                self.per_src.remove(&src);
+            }
+        }
+        m
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+}
+
+struct Inner {
+    keys: HashMap<(ContextId, Tag), KeyQueue>,
+    count: usize,
+    waiters: Vec<WaiterEntry>,
+    next_token: u64,
+}
 
 /// One rank's incoming-message queue with MPI matching semantics:
 /// `(context, source, tag)` matching, FIFO per sender, earliest-arrival
@@ -30,13 +132,6 @@ use crate::time::Time;
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cv: Condvar,
-}
-
-struct Inner {
-    msgs: VecDeque<Message>,
-    /// Monotone counter of pushes, used to detect "something new arrived"
-    /// between blocking waits without re-scanning spuriously.
-    pushes: u64,
 }
 
 impl Default for Mailbox {
@@ -50,25 +145,42 @@ impl Mailbox {
     pub fn new() -> Mailbox {
         Mailbox {
             inner: Mutex::new(Inner {
-                msgs: VecDeque::new(),
-                pushes: 0,
+                keys: HashMap::new(),
+                count: 0,
+                waiters: Vec::new(),
+                next_token: 0,
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Deposit a message and wake blocked receivers.
+    /// Deposit a message and wake blocked receivers — the condvar for
+    /// thread-backend receivers, and exactly the matching [`Wake`]
+    /// subscribers for cooperative ones.
     pub fn push(&self, m: Message) {
-        let mut g = self.inner.lock();
-        g.msgs.push_back(m);
-        g.pushes += 1;
-        drop(g);
+        let mut to_wake: Vec<Arc<dyn Wake>> = Vec::new();
+        {
+            let mut g = self.inner.lock();
+            let mut i = 0;
+            while i < g.waiters.len() {
+                if g.waiters[i].pat.matches(&m) {
+                    to_wake.push(g.waiters.remove(i).waker);
+                } else {
+                    i += 1;
+                }
+            }
+            g.keys.entry((m.ctx, m.tag)).or_default().push(m);
+            g.count += 1;
+        }
         self.cv.notify_all();
+        for w in to_wake {
+            w.wake();
+        }
     }
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().msgs.len()
+        self.inner.lock().count
     }
 
     /// Whether no messages are queued.
@@ -76,46 +188,82 @@ impl Mailbox {
         self.len() == 0
     }
 
-    /// Index of the best match: among the first matching message of each
-    /// source (FIFO per source), the one with minimal (arrival, src) — the
-    /// src tiebreak keeps selection deterministic.
-    fn best_match(inner: &Inner, pat: &MatchPattern) -> Option<usize> {
-        let mut seen_srcs: Vec<usize> = Vec::new();
-        let mut best: Option<(Time, usize, usize)> = None; // (arrival, src, idx)
-        for (idx, m) in inner.msgs.iter().enumerate() {
-            // FIFO per (src, ctx, tag): if we already saw an earlier message
-            // from this src in this ctx with this tag, skip later ones.
-            if m.ctx == pat.ctx && m.tag == pat.tag {
-                if seen_srcs.contains(&m.src_global) {
-                    continue;
-                }
-                seen_srcs.push(m.src_global);
-            }
-            if pat.matches(m) {
-                let key = (m.arrival, m.src_global, idx);
-                if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
-                    best = Some(key);
-                }
-                // An Exact-source pattern can't do better than this source's
-                // FIFO head.
-                if matches!(pat.src, crate::msg::SrcFilter::Exact(_)) {
-                    break;
-                }
-            }
+    fn claim_inner(g: &mut Inner, pat: &MatchPattern) -> Option<Message> {
+        let key = (pat.ctx, pat.tag);
+        let (m, empty) = {
+            let kq = g.keys.get_mut(&key)?;
+            let src = kq.best_src(&pat.src)?;
+            let m = kq.pop(src);
+            (m, kq.is_empty())
+        };
+        if empty {
+            g.keys.remove(&key);
         }
-        best.map(|(_, _, idx)| idx)
+        g.count -= 1;
+        Some(m)
+    }
+
+    fn probe_inner(g: &Inner, pat: &MatchPattern) -> Option<MsgInfo> {
+        let kq = g.keys.get(&(pat.ctx, pat.tag))?;
+        let src = kq.best_src(&pat.src)?;
+        Some(kq.head(src).info())
+    }
+
+    fn subscribe(g: &mut Inner, pat: &MatchPattern, waker: &Arc<dyn Wake>) -> WaitToken {
+        let token = g.next_token;
+        g.next_token += 1;
+        g.waiters.push(WaiterEntry {
+            token,
+            pat: pat.clone(),
+            waker: Arc::clone(waker),
+        });
+        WaitToken(token)
     }
 
     /// Remove and return the best matching message, if any.
     pub fn try_claim(&self, pat: &MatchPattern) -> Option<Message> {
-        let mut g = self.inner.lock();
-        Self::best_match(&g, pat).map(|idx| g.msgs.remove(idx).expect("index valid"))
+        Self::claim_inner(&mut self.inner.lock(), pat)
     }
 
     /// Non-destructive probe.
     pub fn probe(&self, pat: &MatchPattern) -> Option<MsgInfo> {
-        let g = self.inner.lock();
-        Self::best_match(&g, pat).map(|idx| g.msgs[idx].info())
+        Self::probe_inner(&self.inner.lock(), pat)
+    }
+
+    /// Claim the best match, or — if nothing matches — subscribe `waker` to
+    /// fire on the next matching push. The check and the subscription are
+    /// one atomic step under the mailbox lock, so a push can never slip
+    /// between them.
+    pub fn claim_or_subscribe(
+        &self,
+        pat: &MatchPattern,
+        waker: &Arc<dyn Wake>,
+    ) -> Subscribed<Message> {
+        let mut g = self.inner.lock();
+        if let Some(m) = Self::claim_inner(&mut g, pat) {
+            return Subscribed::Hit(m);
+        }
+        Subscribed::Waiting(Self::subscribe(&mut g, pat, waker))
+    }
+
+    /// Probe the best match, or subscribe `waker` as in
+    /// [`Mailbox::claim_or_subscribe`].
+    pub fn probe_or_subscribe(
+        &self,
+        pat: &MatchPattern,
+        waker: &Arc<dyn Wake>,
+    ) -> Subscribed<MsgInfo> {
+        let mut g = self.inner.lock();
+        if let Some(info) = Self::probe_inner(&g, pat) {
+            return Subscribed::Hit(info);
+        }
+        Subscribed::Waiting(Self::subscribe(&mut g, pat, waker))
+    }
+
+    /// Cancel a subscription. Idempotent: wake-ups triggered by a push
+    /// already removed their entry.
+    pub fn unsubscribe(&self, token: WaitToken) {
+        self.inner.lock().waiters.retain(|w| w.token != token.0);
     }
 
     /// Block (in wall-clock time) until a matching message can be claimed.
@@ -128,8 +276,8 @@ impl Mailbox {
     ) -> Result<Message> {
         let mut g = self.inner.lock();
         loop {
-            if let Some(idx) = Self::best_match(&g, pat) {
-                return Ok(g.msgs.remove(idx).expect("index valid"));
+            if let Some(m) = Self::claim_inner(&mut g, pat) {
+                return Ok(m);
             }
             if self.cv.wait_for(&mut g, timeout).timed_out() {
                 return Err(MpiError::Timeout {
@@ -151,8 +299,8 @@ impl Mailbox {
     ) -> Result<MsgInfo> {
         let mut g = self.inner.lock();
         loop {
-            if let Some(idx) = Self::best_match(&g, pat) {
-                return Ok(g.msgs[idx].info());
+            if let Some(info) = Self::probe_inner(&g, pat) {
+                return Ok(info);
             }
             if self.cv.wait_for(&mut g, timeout).timed_out() {
                 return Err(MpiError::Timeout {
@@ -169,6 +317,7 @@ impl Mailbox {
 mod tests {
     use super::*;
     use crate::msg::{ContextId, SrcFilter};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn msg(src: usize, tag: u64, ctx: u32, arrival: u64, val: u64) -> Message {
@@ -291,5 +440,66 @@ mod tests {
         // Exact(2) must take src 2's head even though src 1 arrives earlier.
         let m = mb.try_claim(&pat(SrcFilter::Exact(2), 5, 0)).unwrap();
         assert_eq!(m.src_global, 2);
+    }
+
+    #[test]
+    fn heads_index_tracks_pops_and_reinserts() {
+        // Regression for the indexed storage: popping a head must expose
+        // the source's next message at its own arrival key.
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 0, 10, 1)); // src 1 head, arrival 10
+        mb.push(msg(1, 5, 0, 5, 2)); //  src 1 second, arrival 5 (no overtake)
+        mb.push(msg(2, 5, 0, 7, 3)); //  src 2 head, arrival 7
+        let p = pat(SrcFilter::Any, 5, 0);
+        // Heads are (10, src1) and (7, src2): src2 wins.
+        assert_eq!(mb.try_claim(&p).unwrap().src_global, 2);
+        // Now heads are (10, src1) only.
+        let (v, _) = mb.try_claim(&p).unwrap().take::<u64>().unwrap();
+        assert_eq!(v, vec![1]);
+        // src1's second message surfaced with arrival 5.
+        let (v, _) = mb.try_claim(&p).unwrap().take::<u64>().unwrap();
+        assert_eq!(v, vec![2]);
+        assert!(mb.is_empty());
+    }
+
+    struct CountWake(AtomicUsize);
+    impl Wake for CountWake {
+        fn wake(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn subscription_fires_only_on_match() {
+        let mb = Mailbox::new();
+        let counter = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waker: Arc<dyn Wake> = Arc::<CountWake>::clone(&counter);
+        let token = match mb.claim_or_subscribe(&pat(SrcFilter::Exact(1), 5, 0), &waker) {
+            Subscribed::Waiting(t) => t,
+            Subscribed::Hit(_) => panic!("mailbox is empty"),
+        };
+        mb.push(msg(2, 5, 0, 1, 0)); // wrong source: no wake
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+        mb.push(msg(1, 6, 0, 1, 0)); // wrong tag: no wake
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+        mb.push(msg(1, 5, 0, 1, 0)); // match: wake fires and unsubscribes
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        mb.push(msg(1, 5, 0, 2, 0)); // already unsubscribed: no second wake
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        mb.unsubscribe(token); // idempotent
+    }
+
+    #[test]
+    fn immediate_hit_does_not_subscribe() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, 5, 0, 1, 42));
+        let counter = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waker: Arc<dyn Wake> = Arc::<CountWake>::clone(&counter);
+        match mb.claim_or_subscribe(&pat(SrcFilter::Any, 5, 0), &waker) {
+            Subscribed::Hit(m) => assert_eq!(m.src_global, 1),
+            Subscribed::Waiting(_) => panic!("message was present"),
+        }
+        mb.push(msg(1, 5, 0, 2, 0));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
     }
 }

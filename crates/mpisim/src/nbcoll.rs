@@ -71,7 +71,7 @@ fn wait_on(p: &mut dyn Progress) -> Result<()> {
                 virtual_now: crate::time::Time::ZERO,
             });
         }
-        std::thread::yield_now();
+        crate::sched::yield_now();
     }
 }
 
@@ -98,7 +98,7 @@ pub fn waitall(reqs: &mut [Request]) -> Result<()> {
                 virtual_now: crate::time::Time::ZERO,
             });
         }
-        std::thread::yield_now();
+        crate::sched::yield_now();
     }
 }
 

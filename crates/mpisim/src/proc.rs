@@ -20,6 +20,27 @@ use crate::model::{CostModel, CostScale, VendorProfile};
 use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, Tag};
 use crate::time::Time;
 
+/// Why a rank is parked at a blocking point — the explicit wait state a
+/// cooperative task carries while suspended. Surfaced in deadlock
+/// diagnostics ("rank 5 blocked in recv(Exact(3), tag=7, ctx#2)").
+#[derive(Clone, Debug)]
+pub enum WaitReason {
+    /// Blocked in a receive for this pattern.
+    Recv(MatchPattern),
+    /// Blocked in a probe for this pattern.
+    Probe(MatchPattern),
+}
+
+impl std::fmt::Display for WaitReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (verb, pat) = match self {
+            WaitReason::Recv(p) => ("recv", p),
+            WaitReason::Probe(p) => ("probe", p),
+        };
+        write!(f, "{verb}({:?}, tag={}, {})", pat.src, pat.tag, pat.ctx)
+    }
+}
+
 /// Cumulative message traffic of a simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Traffic {
@@ -79,7 +100,7 @@ impl Router {
 pub struct ProcState {
     /// This process's rank in `MPI_COMM_WORLD`.
     pub global_rank: usize,
-    clock: AtomicU64,
+    clock: crate::time::VirtualClock,
     /// The shared fabric.
     pub router: Arc<Router>,
     /// Deterministic per-rank random stream (pivot selection, jitter).
@@ -96,7 +117,7 @@ impl ProcState {
     pub fn new(global_rank: usize, router: Arc<Router>, seed: u64) -> Arc<ProcState> {
         Arc::new(ProcState {
             global_rank,
-            clock: AtomicU64::new(0),
+            clock: crate::time::VirtualClock::new(),
             router,
             rng: Mutex::new(StdRng::seed_from_u64(
                 seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -111,22 +132,22 @@ impl ProcState {
 
     /// This rank's current virtual clock.
     pub fn now(&self) -> Time {
-        Time(self.clock.load(Ordering::Relaxed))
+        self.clock.now()
     }
 
     /// Advance the clock by `dt`.
     pub fn advance(&self, dt: Time) {
-        self.clock.fetch_add(dt.as_nanos(), Ordering::Relaxed);
+        self.clock.advance(dt);
     }
 
     /// `clock = max(clock, t)` — applied when a receive completes.
     pub fn advance_to(&self, t: Time) {
-        self.clock.fetch_max(t.as_nanos(), Ordering::Relaxed);
+        self.clock.advance_to(t);
     }
 
     /// Overwrite the clock (used by barrier-style resynchronisation).
     pub fn set_clock(&self, t: Time) {
-        self.clock.store(t.as_nanos(), Ordering::Relaxed);
+        self.clock.set(t);
     }
 
     /// Charge local computation over `elems` elements.
@@ -178,14 +199,16 @@ impl ProcState {
     }
 
     /// Blocking receive matching `pat`; applies the virtual-time rule
-    /// `clock = max(clock, arrival) + recv_overhead`.
+    /// `clock = max(clock, arrival) + recv_overhead`. On a scheduler fiber
+    /// the wait yields to the cooperative scheduler; on a rank thread it
+    /// parks on the mailbox condvar.
     pub fn recv_match(&self, pat: &MatchPattern) -> Result<Message> {
-        let m = self.router.mailboxes[self.global_rank].claim_blocking(
-            pat,
-            self.router.recv_timeout,
-            self.global_rank,
-            self.now(),
-        )?;
+        let mb = &self.router.mailboxes[self.global_rank];
+        let m = if crate::sched::on_fiber() {
+            crate::sched::claim_coop(mb, pat, self.global_rank, self.now())?
+        } else {
+            mb.claim_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())?
+        };
         self.advance_to(m.arrival);
         self.advance(self.router.cost.recv_overhead);
         Ok(m)
@@ -204,12 +227,12 @@ impl ProcState {
     /// removing it. Does not advance the clock past the arrival (the
     /// subsequent receive does).
     pub fn probe_match(&self, pat: &MatchPattern) -> Result<MsgInfo> {
-        self.router.mailboxes[self.global_rank].probe_blocking(
-            pat,
-            self.router.recv_timeout,
-            self.global_rank,
-            self.now(),
-        )
+        let mb = &self.router.mailboxes[self.global_rank];
+        if crate::sched::on_fiber() {
+            crate::sched::probe_coop(mb, pat, self.global_rank, self.now())
+        } else {
+            mb.probe_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())
+        }
     }
 
     /// Nonblocking probe.

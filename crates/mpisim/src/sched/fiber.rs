@@ -1,0 +1,225 @@
+//! Stackful fibers: the context-switch primitive under the cooperative
+//! scheduler.
+//!
+//! A fiber is a resumable computation with its own call stack. The worker
+//! thread enters it with [`Fiber::resume`]; the code running on the fiber
+//! returns control with [`Fiber::switch_to_worker`]. Both are the same
+//! symmetric operation: save the callee-saved register state and stack
+//! pointer of the current side, load the other side's.
+//!
+//! The switch itself is ~20 instructions of assembly per architecture
+//! (x86-64 System V and AArch64 AAPCS are provided — between them they
+//! cover every machine this project targets). Only callee-saved state needs
+//! saving because a switch is always performed *by a function call*
+//! ([`mpisim_ctx_switch`]), so the caller-saved half is already dead by the
+//! ABI contract. On x86-64 the MXCSR and x87 control words are saved too,
+//! matching what Boost.Context and glibc's `swapcontext` preserve.
+//!
+//! # Safety model
+//!
+//! * Fiber stacks are plain heap memory carved from one slab — there is
+//!   **no guard page**. A fiber that overruns its stack corrupts the
+//!   neighbouring fiber's stack silently. As a probabilistic backstop each
+//!   stack's lowest word holds a canary that the scheduler checks when the
+//!   fiber finishes, aborting the process on corruption.
+//! * A `Fiber` must only be resumed by one thread at a time (the scheduler
+//!   guarantees this via the task state machine).
+//! * Dropping a suspended (not yet finished) fiber frees its stack without
+//!   unwinding it: values live on that stack are leaked, not dropped. The
+//!   scheduler only drops fibers after their bodies return.
+
+use std::arch::global_asm;
+
+/// Written to the lowest word of every fiber stack; checked on finish.
+pub(crate) const STACK_CANARY: u64 = 0xB0A7_F1BE_25_C0FFEE;
+
+// The context-switch symbol: `fn(save: *mut *mut u8, load: *const *mut u8)`.
+// Saves the current callee-saved state on the current stack, stores the
+// resulting stack pointer through `save`, then loads the stack pointer from
+// `load` and restores the state found there. "Returning" from this function
+// therefore resumes whatever context was previously saved through `load`.
+#[cfg(target_arch = "x86_64")]
+global_asm!(
+    r#"
+    .text
+    .globl mpisim_ctx_switch
+    .p2align 4
+mpisim_ctx_switch:
+    push rbp
+    push rbx
+    push r12
+    push r13
+    push r14
+    push r15
+    sub rsp, 8
+    stmxcsr dword ptr [rsp]
+    fnstcw  word ptr [rsp + 4]
+    mov qword ptr [rdi], rsp
+    mov rsp, qword ptr [rsi]
+    ldmxcsr dword ptr [rsp]
+    fldcw   word ptr [rsp + 4]
+    add rsp, 8
+    pop r15
+    pop r14
+    pop r13
+    pop r12
+    pop rbx
+    pop rbp
+    ret
+
+    .globl mpisim_fiber_start
+    .p2align 4
+mpisim_fiber_start:
+    mov rdi, r12
+    and rsp, -16
+    call mpisim_fiber_main
+    ud2
+"#
+);
+
+#[cfg(target_arch = "aarch64")]
+global_asm!(
+    r#"
+    .text
+    .globl mpisim_ctx_switch
+    .p2align 2
+mpisim_ctx_switch:
+    sub sp, sp, #160
+    stp x19, x20, [sp, #0]
+    stp x21, x22, [sp, #16]
+    stp x23, x24, [sp, #32]
+    stp x25, x26, [sp, #48]
+    stp x27, x28, [sp, #64]
+    stp x29, x30, [sp, #80]
+    stp d8,  d9,  [sp, #96]
+    stp d10, d11, [sp, #112]
+    stp d12, d13, [sp, #128]
+    stp d14, d15, [sp, #144]
+    mov x9, sp
+    str x9, [x0]
+    ldr x9, [x1]
+    mov sp, x9
+    ldp x19, x20, [sp, #0]
+    ldp x21, x22, [sp, #16]
+    ldp x23, x24, [sp, #32]
+    ldp x25, x26, [sp, #48]
+    ldp x27, x28, [sp, #64]
+    ldp x29, x30, [sp, #80]
+    ldp d8,  d9,  [sp, #96]
+    ldp d10, d11, [sp, #112]
+    ldp d12, d13, [sp, #128]
+    ldp d14, d15, [sp, #144]
+    add sp, sp, #160
+    ret
+
+    .globl mpisim_fiber_start
+    .p2align 2
+mpisim_fiber_start:
+    mov x0, x19
+    bl mpisim_fiber_main
+    brk #0x1
+"#
+);
+
+extern "C" {
+    fn mpisim_ctx_switch(save: *mut *mut u8, load: *const *mut u8);
+}
+
+/// A suspended-or-running resumable context bound to one stack region.
+pub(crate) struct Fiber {
+    /// Stack pointer of the suspended fiber side (valid while suspended).
+    task_sp: *mut u8,
+    /// Stack pointer of the suspended worker side (valid while the fiber
+    /// runs; the fiber switches back through it).
+    ret_sp: *mut u8,
+    /// Lowest address of this fiber's stack region (canary location).
+    stack_lo: *mut u8,
+}
+
+// The raw pointers reference the stack slab owned by the scheduler, which
+// outlives every fiber; access is serialised by the task state machine.
+unsafe impl Send for Fiber {}
+
+impl Fiber {
+    /// Prepare a fiber on the stack region `[stack_lo, stack_lo + size)`
+    /// such that the first [`Fiber::resume`] enters `mpisim_fiber_start`,
+    /// which tail-calls `mpisim_fiber_main(task)`.
+    ///
+    /// # Safety
+    /// The region must be valid, exclusively owned, at least 1 KiB, and
+    /// outlive the fiber. `task` must point to the fiber's `TaskSlot` and
+    /// stay valid until the fiber finishes.
+    pub unsafe fn new(stack_lo: *mut u8, size: usize, task: *mut u8) -> Fiber {
+        debug_assert!(size >= 1024);
+        // Canary at the very bottom: overruns clobber it first.
+        (stack_lo as *mut u64).write(STACK_CANARY);
+        // 16-align the top; build the initial frame the restore path of
+        // `mpisim_ctx_switch` expects.
+        let top = ((stack_lo as usize + size) & !15) as *mut u8;
+        let start = mpisim_fiber_start_addr();
+        #[cfg(target_arch = "x86_64")]
+        {
+            let f = top.sub(72) as *mut u64;
+            // [0]: MXCSR (dword) + x87 CW (word) in their power-on defaults.
+            f.add(0).write(0x1F80 | (0x037F << 32));
+            f.add(1).write(0); // r15
+            f.add(2).write(0); // r14
+            f.add(3).write(0); // r13
+            f.add(4).write(task as u64); // r12 -> first arg in the trampoline
+            f.add(5).write(0); // rbx
+            f.add(6).write(0); // rbp
+            f.add(7).write(start as u64); // return address -> trampoline
+            f.add(8).write(0); // fake caller frame, keeps unwinders sane
+            Fiber {
+                task_sp: f as *mut u8,
+                ret_sp: std::ptr::null_mut(),
+                stack_lo,
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            let f = top.sub(160) as *mut u64;
+            for i in 0..20 {
+                f.add(i).write(0);
+            }
+            f.add(0).write(task as u64); // x19 -> first arg in the trampoline
+            f.add(11).write(start as u64); // x30 (lr) -> trampoline
+            Fiber {
+                task_sp: f as *mut u8,
+                ret_sp: std::ptr::null_mut(),
+                stack_lo,
+            }
+        }
+    }
+
+    /// Enter the fiber from a worker thread. Returns when the fiber calls
+    /// [`Fiber::switch_to_worker`] (or announces it finished).
+    ///
+    /// # Safety
+    /// Must not be called while the fiber is already running anywhere, and
+    /// never again after the fiber finished.
+    pub unsafe fn resume(&mut self) {
+        mpisim_ctx_switch(&mut self.ret_sp, &self.task_sp);
+    }
+
+    /// Suspend the fiber, returning control to the worker that resumed it.
+    ///
+    /// # Safety
+    /// Must be called *from code running on this fiber's stack*.
+    pub unsafe fn switch_to_worker(&mut self) {
+        mpisim_ctx_switch(&mut self.task_sp, &self.ret_sp);
+    }
+
+    /// Whether the bottom-of-stack canary is still intact.
+    pub fn canary_intact(&self) -> bool {
+        unsafe { (self.stack_lo as *const u64).read() == STACK_CANARY }
+    }
+}
+
+/// Address of the architecture trampoline declared in `global_asm!`.
+fn mpisim_fiber_start_addr() -> usize {
+    extern "C" {
+        fn mpisim_fiber_start();
+    }
+    mpisim_fiber_start as *const () as usize
+}

@@ -1,0 +1,618 @@
+//! Cooperative rank scheduler: N simulated ranks multiplexed over a small
+//! worker pool.
+//!
+//! The thread backend of [`crate::universe::Universe`] spawns one OS thread
+//! per rank, which tops out around a few hundred ranks — far short of the
+//! paper's 2^15-process evaluations. This module runs every rank body on a
+//! *fiber* (a stackful coroutine; see `sched/fiber.rs`) instead: a
+//! blocking point (`recv`,
+//! `probe`, a poll loop inside a nonblocking collective) **yields to the
+//! scheduler** rather than parking an OS thread, and the mailbox layer
+//! wakes exactly the ranks whose matching message arrived.
+//!
+//! # Scheduling discipline
+//!
+//! The ready queue is FIFO; its initial order is a permutation of the ranks
+//! derived deterministically from the simulation seed. All wake-ups are
+//! triggered by mailbox pushes, which happen at deterministic points of the
+//! rank programs, and are processed in registration order — so with one
+//! worker (the default) **the entire interleaving, and hence the
+//! message-delivery order, is a pure function of `(program, seed)`**. Runs
+//! are reproducible; see DESIGN.md §4 for why this cooperative schedule
+//! preserves the MPI progress semantics the RBC correctness arguments
+//! assume. With `coop_workers > 1` results stay correct but the
+//! interleaving is no longer reproducible.
+//!
+//! # Blocking protocol (no lost wake-ups)
+//!
+//! A rank that finds no matching message executes, in order:
+//!
+//! 1. set its state to `Blocking` (announce intent),
+//! 2. subscribe a waker in the mailbox *under the mailbox lock*,
+//! 3. switch back to the worker, which downgrades `Blocking -> Blocked`.
+//!
+//! A sender's wake-up can only happen after step 2 observed the
+//! subscription, hence after step 1: the waker either sees `Blocked` (task
+//! fully parked — make it ready) or `Blocking` (task still switching out —
+//! mark it `WokenEarly`, and the worker re-enqueues it instead of parking).
+//! Either way the wake-up is never dropped.
+//!
+//! # Deadlock detection
+//!
+//! Sends never block, so if no task is ready and none is running, no
+//! message can ever arrive again: the remaining blocked tasks are
+//! deadlocked. The scheduler then *poisons* them — each is woken and its
+//! pending receive returns [`MpiError::Timeout`] carrying the
+//! [`WaitReason`] it was parked on. This replaces the thread backend's
+//! wall-clock timeout with an exact, instantaneous detector.
+
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MpiError, Result};
+use crate::mailbox::{Mailbox, Subscribed, Wake};
+use crate::msg::{MatchPattern, Message, MsgInfo};
+use crate::proc::WaitReason;
+use crate::time::Time;
+
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod fiber;
+
+/// Whether the fiber backend exists on this target. On unsupported targets
+/// the cooperative backend transparently falls back to the thread backend.
+pub const SUPPORTED: bool = cfg!(all(
+    unix,
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+// ---------------------------------------------------------------------------
+// Task states and park intents
+// ---------------------------------------------------------------------------
+
+/// In the ready queue or about to be enqueued.
+const ST_READY: u8 = 0;
+/// Executing on some worker right now.
+const ST_RUNNING: u8 = 1;
+/// Announced intent to block; still switching out on its worker.
+const ST_BLOCKING: u8 = 2;
+/// Fully parked; only a wake-up can move it.
+const ST_BLOCKED: u8 = 3;
+/// Woken while still in `Blocking`; the worker re-enqueues instead of parking.
+const ST_WOKEN_EARLY: u8 = 4;
+/// Body returned; never scheduled again.
+const ST_FINISHED: u8 = 5;
+
+const INTENT_NONE: u8 = 0;
+const INTENT_YIELD: u8 = 1;
+const INTENT_BLOCK: u8 = 2;
+const INTENT_FINISH: u8 = 3;
+
+/// Task state shared with mailbox wakers (kept alive by `Arc` so a stray
+/// waker can never dangle).
+struct TaskCore {
+    rank: usize,
+    status: AtomicU8,
+    /// Set by the deadlock detector; blocking operations observe it and
+    /// return `MpiError::Timeout` instead of parking again.
+    poisoned: AtomicBool,
+    /// Why the task is parked (diagnostics; surfaced in deadlock errors).
+    wait_reason: Mutex<Option<WaitReason>>,
+}
+
+/// Scheduler state shared between workers and wakers.
+pub(crate) struct SchedShared {
+    ready: Mutex<VecDeque<usize>>,
+    work_cv: Condvar,
+    /// Unfinished tasks.
+    live: AtomicUsize,
+    /// Tasks currently executing on some worker.
+    running: AtomicUsize,
+    /// Context switches performed (diagnostics).
+    switches: AtomicU64,
+    /// First recorded panic payload, with the rank it came from.
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+}
+
+impl SchedShared {
+    fn enqueue(&self, rank: usize) {
+        self.ready.lock().push_back(rank);
+        self.work_cv.notify_one();
+    }
+}
+
+/// Moves a task out of its blocked state. Called by mailbox pushes (via the
+/// [`Wake`] impl) and by the deadlock poisoner.
+fn wake_core(core: &TaskCore, shared: &SchedShared) {
+    loop {
+        match core.status.load(Ordering::Acquire) {
+            ST_BLOCKED => {
+                if core
+                    .status
+                    .compare_exchange(ST_BLOCKED, ST_READY, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    shared.enqueue(core.rank);
+                    return;
+                }
+            }
+            ST_BLOCKING => {
+                if core
+                    .status
+                    .compare_exchange(
+                        ST_BLOCKING,
+                        ST_WOKEN_EARLY,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // Ready / Running / WokenEarly / Finished: already awake (or
+            // past caring); the claim loop re-checks the mailbox anyway.
+            _ => return,
+        }
+    }
+}
+
+/// The waker subscribed into mailboxes while a task is parked.
+struct TaskWaker {
+    core: Arc<TaskCore>,
+    shared: Arc<SchedShared>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(&self) {
+        wake_core(&self.core, &self.shared);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task slots
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+struct TaskSlot {
+    core: Arc<TaskCore>,
+    /// Pre-built waker, cloned into mailbox subscriptions.
+    waker: Arc<dyn Wake>,
+    /// What the task asked its worker to do when it switched out.
+    intent: AtomicU8,
+    fiber: std::cell::UnsafeCell<fiber::Fiber>,
+    body: std::cell::UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+// Safety: `fiber` and `body` are only touched by the single worker that
+// holds the task in `Running` state (enforced by the status state machine),
+// or by the fiber itself while that worker is suspended inside `resume`.
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe impl Sync for TaskSlot {}
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe impl Send for TaskSlot {}
+
+thread_local! {
+    /// The task currently executing on this worker thread (null outside).
+    static CURRENT: Cell<*const ()> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Whether the calling code runs on a scheduler fiber (vs a plain thread).
+pub fn on_fiber() -> bool {
+    CURRENT.with(|c| !c.get().is_null())
+}
+
+// ---------------------------------------------------------------------------
+// Fiber-backed implementation
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    use super::*;
+    use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+
+    /// One allocation holding every fiber stack, carved into equal regions.
+    /// A single mapping keeps the kernel's VMA count at O(1) instead of
+    /// O(p), and untouched pages cost nothing: at the default 128 KiB per
+    /// rank a 2^15-rank universe reserves 4 GiB of address space (small
+    /// enough for Linux heuristic overcommit on ordinary dev machines) but
+    /// commits only the few pages each rank actually touches.
+    struct StackSlab {
+        ptr: *mut u8,
+        layout: Layout,
+        per: usize,
+    }
+
+    unsafe impl Send for StackSlab {}
+    unsafe impl Sync for StackSlab {}
+
+    impl StackSlab {
+        fn new(n: usize, per: usize) -> StackSlab {
+            let per = per.max(16 * 1024) & !15;
+            let layout = Layout::from_size_align(n * per, 16).expect("stack slab layout");
+            let ptr = unsafe { alloc(layout) };
+            if ptr.is_null() {
+                handle_alloc_error(layout);
+            }
+            StackSlab { ptr, layout, per }
+        }
+
+        fn region(&self, i: usize) -> *mut u8 {
+            unsafe { self.ptr.add(i * self.per) }
+        }
+    }
+
+    impl Drop for StackSlab {
+        fn drop(&mut self) {
+            unsafe { dealloc(self.ptr, self.layout) };
+        }
+    }
+
+    /// The cooperative scheduler for one universe run.
+    pub(crate) struct Scheduler {
+        shared: Arc<SchedShared>,
+        slots: Vec<TaskSlot>,
+        _stacks: StackSlab,
+    }
+
+    impl Scheduler {
+        /// Prepare `p` task slots with `stack_size` bytes of stack each.
+        pub fn new(p: usize, stack_size: usize) -> Scheduler {
+            let stacks = StackSlab::new(p, stack_size);
+            let shared = Arc::new(SchedShared {
+                ready: Mutex::new(VecDeque::with_capacity(p)),
+                work_cv: Condvar::new(),
+                live: AtomicUsize::new(p),
+                running: AtomicUsize::new(0),
+                switches: AtomicU64::new(0),
+                panic: Mutex::new(None),
+            });
+            let mut slots = Vec::with_capacity(p);
+            for rank in 0..p {
+                let core = Arc::new(TaskCore {
+                    rank,
+                    status: AtomicU8::new(ST_READY),
+                    poisoned: AtomicBool::new(false),
+                    wait_reason: Mutex::new(None),
+                });
+                let waker: Arc<dyn Wake> = Arc::new(TaskWaker {
+                    core: Arc::clone(&core),
+                    shared: Arc::clone(&shared),
+                });
+                slots.push(TaskSlot {
+                    core,
+                    waker,
+                    intent: AtomicU8::new(INTENT_NONE),
+                    // Placeholder; the real fiber is built in `spawn` once
+                    // the slot has its final address.
+                    fiber: std::cell::UnsafeCell::new(unsafe {
+                        fiber::Fiber::new(stacks.region(rank), stacks.per, std::ptr::null_mut())
+                    }),
+                    body: std::cell::UnsafeCell::new(None),
+                });
+            }
+            let mut sched = Scheduler {
+                shared,
+                slots,
+                _stacks: stacks,
+            };
+            // Now that the slots are at their final addresses, point each
+            // fiber's entry argument at its slot.
+            for rank in 0..p {
+                let slot_ptr = &sched.slots[rank] as *const TaskSlot as *mut u8;
+                let region = sched._stacks.region(rank);
+                let per = sched._stacks.per;
+                sched.slots[rank].fiber =
+                    std::cell::UnsafeCell::new(unsafe { fiber::Fiber::new(region, per, slot_ptr) });
+            }
+            sched
+        }
+
+        /// Handle for recording a rank body's panic (first one wins).
+        pub fn panic_store(&self) -> Arc<SchedShared> {
+            Arc::clone(&self.shared)
+        }
+
+        /// Install the body of `rank`'s task.
+        ///
+        /// # Safety
+        /// The boxed closure's true lifetime must outlive [`Scheduler::run`]
+        /// (the caller transmutes it to `'static`); `run` completes or
+        /// poisons every task before returning, so the borrow never escapes.
+        pub unsafe fn spawn(&self, rank: usize, body: Box<dyn FnOnce() + Send>) {
+            *self.slots[rank].body.get() = Some(body);
+        }
+
+        /// Run every spawned task to completion on `workers` OS threads,
+        /// starting in `initial_order`. Returns the first recorded panic.
+        pub fn run(
+            &self,
+            workers: usize,
+            initial_order: &[usize],
+        ) -> Option<(usize, Box<dyn Any + Send>)> {
+            {
+                let mut q = self.shared.ready.lock();
+                q.extend(initial_order.iter().copied());
+            }
+            let workers = workers.max(1);
+            if workers == 1 {
+                self.worker_loop();
+            } else {
+                std::thread::scope(|scope| {
+                    for w in 0..workers {
+                        let this = &*self;
+                        std::thread::Builder::new()
+                            .name(format!("sched-worker{w}"))
+                            .spawn_scoped(scope, move || this.worker_loop())
+                            .expect("spawn scheduler worker");
+                    }
+                });
+            }
+            self.shared.panic.lock().take()
+        }
+
+        /// Total context switches performed (diagnostics).
+        #[allow(dead_code)]
+        pub fn switches(&self) -> u64 {
+            self.shared.switches.load(Ordering::Relaxed)
+        }
+
+        fn worker_loop(&self) {
+            loop {
+                let tid = {
+                    let mut q = self.shared.ready.lock();
+                    loop {
+                        if let Some(t) = q.pop_front() {
+                            // Claim the task while still holding the ready
+                            // lock: another worker's "queue empty ∧ running
+                            // == 0" deadlock check must never observe the
+                            // window between our pop and our increment.
+                            self.shared.running.fetch_add(1, Ordering::AcqRel);
+                            break t;
+                        }
+                        if self.shared.live.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                        if self.shared.running.load(Ordering::Acquire) == 0 {
+                            // Nothing ready, nothing running, sends never
+                            // block: the blocked remainder is deadlocked.
+                            drop(q);
+                            self.poison_all();
+                            q = self.shared.ready.lock();
+                            continue;
+                        }
+                        self.shared.work_cv.wait(&mut q);
+                    }
+                };
+                self.run_task(tid);
+                self.shared.running.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+
+        fn run_task(&self, tid: usize) {
+            let slot = &self.slots[tid];
+            slot.core.status.store(ST_RUNNING, Ordering::Release);
+            slot.intent.store(INTENT_NONE, Ordering::Release);
+            self.shared.switches.fetch_add(1, Ordering::Relaxed);
+            let prev = CURRENT.with(|c| c.replace(slot as *const TaskSlot as *const ()));
+            unsafe { (*slot.fiber.get()).resume() };
+            CURRENT.with(|c| c.set(prev));
+            match slot.intent.load(Ordering::Acquire) {
+                INTENT_YIELD => {
+                    slot.core.status.store(ST_READY, Ordering::Release);
+                    self.shared.enqueue(tid);
+                }
+                INTENT_BLOCK => {
+                    if slot
+                        .core
+                        .status
+                        .compare_exchange(
+                            ST_BLOCKING,
+                            ST_BLOCKED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_err()
+                    {
+                        // WokenEarly: a message landed while we switched out.
+                        slot.core.status.store(ST_READY, Ordering::Release);
+                        self.shared.enqueue(tid);
+                    }
+                }
+                INTENT_FINISH => {
+                    slot.core.status.store(ST_FINISHED, Ordering::Release);
+                    if !unsafe { &*slot.fiber.get() }.canary_intact() {
+                        eprintln!(
+                            "mpisim: rank {tid} overflowed its {}-byte fiber stack; \
+                             raise SimConfig::coop_stack_size",
+                            self._stacks.per
+                        );
+                        std::process::abort();
+                    }
+                    if self.shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.shared.work_cv.notify_all();
+                    }
+                }
+                other => {
+                    // A fiber switched out without announcing an intent:
+                    // scheduler invariant broken.
+                    eprintln!("mpisim: fiber {tid} suspended with invalid intent {other}");
+                    std::process::abort();
+                }
+            }
+        }
+
+        /// Wake every blocked task with the poison flag set: their pending
+        /// blocking operation returns a deadlock [`MpiError::Timeout`].
+        fn poison_all(&self) {
+            for slot in &self.slots {
+                if slot.core.status.load(Ordering::Acquire) == ST_BLOCKED {
+                    slot.core.poisoned.store(true, Ordering::Release);
+                    wake_core(&slot.core, &self.shared);
+                }
+            }
+        }
+    }
+
+    /// Entry point every fiber starts in (called by the asm trampoline with
+    /// the `TaskSlot` pointer that was planted in the initial frame).
+    #[no_mangle]
+    unsafe extern "C" fn mpisim_fiber_main(task: *mut u8) -> ! {
+        let slot = &*(task as *const TaskSlot);
+        let body = (*slot.body.get()).take().expect("fiber body installed");
+        body(); // catches its own panics
+        slot.intent.store(INTENT_FINISH, Ordering::Release);
+        (*slot.fiber.get()).switch_to_worker();
+        // Resuming a finished fiber is a scheduler bug.
+        std::process::abort();
+    }
+
+    /// Record a rank body's panic payload; the first one wins and is
+    /// re-thrown by `Universe::run` after the scheduler drains.
+    pub(crate) fn record_panic(store: &SchedShared, rank: usize, payload: Box<dyn Any + Send>) {
+        let mut g = store.panic.lock();
+        if g.is_none() {
+            *g = Some((rank, payload));
+        }
+    }
+
+    fn current_slot() -> Option<&'static TaskSlot> {
+        let p = CURRENT.with(|c| c.get());
+        if p.is_null() {
+            None
+        } else {
+            // Slots outlive every fiber execution; the 'static is internal.
+            Some(unsafe { &*(p as *const TaskSlot) })
+        }
+    }
+
+    /// Cooperatively yield: re-enqueue the current task at the back of the
+    /// ready queue and run someone else. On a plain thread this is
+    /// `std::thread::yield_now` — poll loops in the libraries call this so
+    /// they behave correctly under both backends.
+    pub fn yield_now() {
+        match current_slot() {
+            None => std::thread::yield_now(),
+            Some(slot) => {
+                slot.intent.store(INTENT_YIELD, Ordering::Release);
+                unsafe { (*slot.fiber.get()).switch_to_worker() };
+            }
+        }
+    }
+
+    /// Park the current task until a waker fires. The caller must already
+    /// have announced `ST_BLOCKING` and subscribed a waker.
+    fn park(slot: &TaskSlot, reason: WaitReason) {
+        *slot.core.wait_reason.lock() = Some(reason);
+        slot.intent.store(INTENT_BLOCK, Ordering::Release);
+        unsafe { (*slot.fiber.get()).switch_to_worker() };
+        slot.core.wait_reason.lock().take();
+    }
+
+    fn deadlock_err(rank: usize, reason: &WaitReason, vnow: Time) -> MpiError {
+        MpiError::Timeout {
+            rank,
+            waited_for: format!("{reason} [cooperative deadlock: every rank is blocked]"),
+            virtual_now: vnow,
+        }
+    }
+
+    /// Blocking claim under the cooperative scheduler: yields to the
+    /// scheduler instead of parking the OS thread.
+    pub(crate) fn claim_coop(
+        mb: &Mailbox,
+        pat: &MatchPattern,
+        rank: usize,
+        vnow: Time,
+    ) -> Result<Message> {
+        let slot = current_slot().expect("claim_coop runs on a fiber");
+        loop {
+            if slot.core.poisoned.load(Ordering::Acquire) {
+                return Err(deadlock_err(rank, &WaitReason::Recv(pat.clone()), vnow));
+            }
+            // Announce intent to block *before* subscribing so a wake-up
+            // arriving between subscription and the switch is never lost.
+            slot.core.status.store(ST_BLOCKING, Ordering::Release);
+            match mb.claim_or_subscribe(pat, &slot.waker) {
+                Subscribed::Hit(m) => {
+                    slot.core.status.store(ST_RUNNING, Ordering::Release);
+                    return Ok(m);
+                }
+                Subscribed::Waiting(token) => {
+                    park(slot, WaitReason::Recv(pat.clone()));
+                    // Normal wake-ups remove the subscription; the poison
+                    // path does not. Idempotent either way.
+                    mb.unsubscribe(token);
+                }
+            }
+        }
+    }
+
+    /// Blocking probe under the cooperative scheduler.
+    pub(crate) fn probe_coop(
+        mb: &Mailbox,
+        pat: &MatchPattern,
+        rank: usize,
+        vnow: Time,
+    ) -> Result<MsgInfo> {
+        let slot = current_slot().expect("probe_coop runs on a fiber");
+        loop {
+            if slot.core.poisoned.load(Ordering::Acquire) {
+                return Err(deadlock_err(rank, &WaitReason::Probe(pat.clone()), vnow));
+            }
+            slot.core.status.store(ST_BLOCKING, Ordering::Release);
+            match mb.probe_or_subscribe(pat, &slot.waker) {
+                Subscribed::Hit(info) => {
+                    slot.core.status.store(ST_RUNNING, Ordering::Release);
+                    return Ok(info);
+                }
+                Subscribed::Waiting(token) => {
+                    park(slot, WaitReason::Probe(pat.clone()));
+                    mb.unsubscribe(token);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub use imp::yield_now;
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) use imp::{claim_coop, probe_coop, record_panic, Scheduler};
+
+// ---------------------------------------------------------------------------
+// Fallback for targets without a fiber implementation
+// ---------------------------------------------------------------------------
+
+/// On unsupported targets there are no fibers: yielding degrades to the OS
+/// hint and `Universe` silently uses the thread backend.
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub fn yield_now() {
+    std::thread::yield_now();
+}
+
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) fn claim_coop(
+    _mb: &Mailbox,
+    _pat: &MatchPattern,
+    _rank: usize,
+    _vnow: Time,
+) -> Result<Message> {
+    unreachable!("cooperative backend unavailable on this target")
+}
+
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) fn probe_coop(
+    _mb: &Mailbox,
+    _pat: &MatchPattern,
+    _rank: usize,
+    _vnow: Time,
+) -> Result<MsgInfo> {
+    unreachable!("cooperative backend unavailable on this target")
+}

@@ -9,6 +9,7 @@
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A point in (or span of) virtual time, in nanoseconds.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -78,6 +79,45 @@ impl Time {
     /// Scale a span by a dimensionless factor (used by vendor cost profiles).
     pub fn scale(self, factor: f64) -> Time {
         Time((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+/// A shared-state virtual clock: per-rank simulated time that several
+/// parties may advance — the rank's own operations, and (under the
+/// cooperative backend) the scheduler, which moves a rank's clock forward
+/// through the ready-queue when a wake-up delivers a message whose arrival
+/// lies in the rank's future.
+///
+/// All operations are monotone except [`VirtualClock::set`], which
+/// barrier-style resynchronisation uses deliberately.
+#[derive(Debug, Default)]
+pub struct VirtualClock(AtomicU64);
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock(AtomicU64::new(0))
+    }
+
+    /// Current reading.
+    pub fn now(&self) -> Time {
+        Time(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Advance by a span.
+    pub fn advance(&self, dt: Time) {
+        self.0.fetch_add(dt.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Merge with an event time: `clock = max(clock, t)` — the receive rule
+    /// of the α–β model.
+    pub fn advance_to(&self, t: Time) {
+        self.0.fetch_max(t.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Overwrite the reading (barrier-style resynchronisation).
+    pub fn set(&self, t: Time) {
+        self.0.store(t.as_nanos(), Ordering::Relaxed);
     }
 }
 

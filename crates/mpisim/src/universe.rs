@@ -1,4 +1,7 @@
-//! The universe: spawns one OS thread per simulated MPI process.
+//! The universe: runs `p` simulated MPI processes under one of two
+//! backends — an OS thread per rank, or the cooperative fiber scheduler
+//! ([`crate::sched`]) that multiplexes all ranks over a small worker pool
+//! and scales to the paper's 2^15 processes.
 //!
 //! ```
 //! use mpisim::{Universe, SimConfig, Transport};
@@ -11,16 +14,44 @@
 //! });
 //! assert_eq!(res.per_rank, vec![0, 0, 0, 0]);
 //! ```
+//!
+//! The same program at 2^15 ranks, which the thread backend cannot reach:
+//!
+//! ```
+//! use mpisim::{Universe, SimConfig, Transport};
+//!
+//! let res = Universe::run(1 << 10, SimConfig::cooperative(), |env| {
+//!     env.world.allreduce(&[1u64], |a, b| a + b).unwrap()[0]
+//! });
+//! assert!(res.per_rank.iter().all(|&s| s == 1 << 10));
+//! ```
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::comm::Comm;
 use crate::model::{CostModel, VendorProfile};
 use crate::proc::{ProcState, Router};
+use crate::sched;
 use crate::time::Time;
+
+/// Which runtime executes the rank bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One OS thread per simulated rank. Simple and preemptive; practical
+    /// up to a few hundred ranks.
+    Threads,
+    /// The cooperative fiber scheduler: all ranks multiplexed over
+    /// [`SimConfig::coop_workers`] OS threads, blocking points yield, and
+    /// with one worker (the default) runs are fully deterministic in the
+    /// seed. Required for the paper's large-p regime (up to 2^15 ranks).
+    /// On targets without fiber support this falls back to `Threads`.
+    Cooperative,
+}
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -29,13 +60,28 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// The MPI-implementation personality to simulate.
     pub vendor: VendorProfile,
-    /// Wall-clock deadlock-detection timeout for blocking operations.
+    /// Wall-clock deadlock-detection timeout for blocking operations
+    /// (thread backend; the cooperative backend detects deadlock exactly).
     pub recv_timeout: Duration,
-    /// Base seed for per-rank deterministic RNG streams.
+    /// Base seed for per-rank deterministic RNG streams and the cooperative
+    /// scheduler's initial run order.
     pub seed: u64,
-    /// Stack size per rank thread. Rank bodies are shallow; the default of
-    /// 1 MiB supports thousands of ranks.
+    /// OS thread stack size per rank under [`Backend::Threads`].
     pub stack_size: usize,
+    /// Which runtime executes rank bodies.
+    pub backend: Backend,
+    /// Worker threads of the cooperative scheduler. 1 (the default) makes
+    /// the schedule — and therefore message-delivery order — a pure
+    /// function of the seed.
+    pub coop_workers: usize,
+    /// Fiber stack size per rank under [`Backend::Cooperative`]. All fiber
+    /// stacks are carved from one commit-on-touch slab, so the virtual
+    /// reservation is `p * coop_stack_size` — the 128 KiB default keeps a
+    /// 2^15-rank universe at a 4 GiB reservation, which Linux's heuristic
+    /// overcommit admits on ordinary dev machines. Raise it for rank
+    /// bodies with deep recursion (there are no guard pages; an overrun
+    /// is caught only probabilistically, by a bottom-of-stack canary).
+    pub coop_stack_size: usize,
 }
 
 impl Default for SimConfig {
@@ -46,11 +92,34 @@ impl Default for SimConfig {
             recv_timeout: Duration::from_secs(30),
             seed: 0x5bc,
             stack_size: 1 << 20,
+            backend: Backend::Threads,
+            coop_workers: 1,
+            coop_stack_size: 128 << 10,
         }
     }
 }
 
 impl SimConfig {
+    /// Default configuration on the cooperative scheduler backend.
+    pub fn cooperative() -> SimConfig {
+        SimConfig {
+            backend: Backend::Cooperative,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Replace the backend.
+    pub fn with_backend(mut self, backend: Backend) -> SimConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Replace the cooperative worker count (1 = deterministic).
+    pub fn with_workers(mut self, workers: usize) -> SimConfig {
+        self.coop_workers = workers.max(1);
+        self
+    }
+
     /// Replace the vendor profile.
     pub fn with_vendor(mut self, vendor: VendorProfile) -> SimConfig {
         self.vendor = vendor;
@@ -66,6 +135,18 @@ impl SimConfig {
     /// Replace the deadlock-detection timeout.
     pub fn with_timeout(mut self, t: Duration) -> SimConfig {
         self.recv_timeout = t;
+        self
+    }
+
+    /// Replace the per-rank OS thread stack size (thread backend).
+    pub fn with_stack_size(mut self, bytes: usize) -> SimConfig {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Replace the per-rank fiber stack size (cooperative backend).
+    pub fn with_coop_stack_size(mut self, bytes: usize) -> SimConfig {
+        self.coop_stack_size = bytes;
         self
     }
 }
@@ -126,13 +207,12 @@ impl<R> SimResult<R> {
     }
 }
 
-/// Entry point: spawns one thread per simulated process. Stateless; see
-/// [`Universe::run`].
+/// Entry point; stateless. See [`Universe::run`].
 pub struct Universe;
 
 impl Universe {
-    /// Run `f` on `p` simulated processes and collect results. Panics in
-    /// any rank propagate (with the rank name in the thread name).
+    /// Run `f` on `p` simulated processes under `cfg.backend` and collect
+    /// results. Panics in any rank propagate.
     pub fn run<R, F>(p: usize, cfg: SimConfig, f: F) -> SimResult<R>
     where
         R: Send,
@@ -148,14 +228,44 @@ impl Universe {
         let states: Vec<Arc<ProcState>> = (0..p)
             .map(|r| ProcState::new(r, Arc::clone(&router), cfg.seed))
             .collect();
-
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
-        let f = &f;
+
+        match cfg.backend {
+            Backend::Cooperative if sched::SUPPORTED => {
+                Self::run_coop(p, &cfg, &f, &states, &results)
+            }
+            _ => Self::run_threads(p, &cfg, &f, &states, &results),
+        }
+
+        let per_rank = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("rank completed"))
+            .collect();
+        let clocks = states.iter().map(|s| s.now()).collect();
+        let traffic = router.traffic();
+        SimResult {
+            per_rank,
+            clocks,
+            traffic,
+        }
+    }
+
+    /// Thread backend: one scoped OS thread per rank.
+    fn run_threads<R, F>(
+        p: usize,
+        cfg: &SimConfig,
+        f: &F,
+        states: &[Arc<ProcState>],
+        results: &Mutex<Vec<Option<R>>>,
+    ) where
+        R: Send,
+        F: Fn(ProcEnv) -> R + Send + Sync,
+    {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for state in &states {
+            for state in states {
                 let state = Arc::clone(state);
-                let results = &results;
                 let h = std::thread::Builder::new()
                     .name(format!("rank{}", state.global_rank))
                     .stack_size(cfg.stack_size)
@@ -176,22 +286,78 @@ impl Universe {
                 }
             }
         });
+    }
 
-        let per_rank = results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("rank completed"))
-            .collect();
-        let clocks = states.iter().map(|s| s.now()).collect();
-        let traffic = router.traffic();
-        SimResult {
-            per_rank,
-            clocks,
-            traffic,
+    /// Cooperative backend: every rank is a fiber on the shared scheduler.
+    #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn run_coop<R, F>(
+        p: usize,
+        cfg: &SimConfig,
+        f: &F,
+        states: &[Arc<ProcState>],
+        results: &Mutex<Vec<Option<R>>>,
+    ) where
+        R: Send,
+        F: Fn(ProcEnv) -> R + Send + Sync,
+    {
+        let scheduler = sched::Scheduler::new(p, cfg.coop_stack_size);
+        let store = scheduler.panic_store();
+        for rank in 0..p {
+            let state = Arc::clone(&states[rank]);
+            let store = Arc::clone(&store);
+            let body = move || {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let env = ProcEnv {
+                        world: Comm::world(state),
+                    };
+                    f(env)
+                }));
+                match out {
+                    Ok(v) => results.lock()[rank] = Some(v),
+                    Err(e) => sched::record_panic(&store, rank, e),
+                }
+            };
+            // Safety: `run` below drives every fiber to completion before
+            // returning, so the body's borrows of `f` and `results` never
+            // outlive this stack frame.
+            unsafe {
+                scheduler.spawn(rank, erase_body_lifetime(Box::new(body)));
+            }
+        }
+        // Deterministic seeded initial run order.
+        let mut order: Vec<usize> = (0..p).collect();
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0xD1B5_4A32_D192_ED03)
+                .wrapping_add(0x9E6D),
+        );
+        for i in (1..p).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        if let Some((_rank, payload)) = scheduler.run(cfg.coop_workers, &order) {
+            std::panic::resume_unwind(payload);
         }
     }
 
-    /// Convenience wrapper with default configuration.
+    /// Fallback for targets without a fiber implementation: the dispatch
+    /// in [`Universe::run`] never reaches this arm there (`sched::SUPPORTED`
+    /// is false), but the call must still compile.
+    #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    fn run_coop<R, F>(
+        p: usize,
+        cfg: &SimConfig,
+        f: &F,
+        states: &[Arc<ProcState>],
+        results: &Mutex<Vec<Option<R>>>,
+    ) where
+        R: Send,
+        F: Fn(ProcEnv) -> R + Send + Sync,
+    {
+        Self::run_threads(p, cfg, f, states, results)
+    }
+
+    /// Convenience wrapper with default configuration (thread backend).
     pub fn run_default<R, F>(p: usize, f: F) -> SimResult<R>
     where
         R: Send,
@@ -199,6 +365,15 @@ impl Universe {
     {
         Universe::run(p, SimConfig::default(), f)
     }
+}
+
+/// Erase a rank body's borrow lifetime so it can live in a task slot; see
+/// the safety comment at the call site.
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe fn erase_body_lifetime<'a>(
+    b: Box<dyn FnOnce() + Send + 'a>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute(b)
 }
 
 #[cfg(test)]
@@ -256,5 +431,47 @@ mod tests {
             .per_rank
         };
         assert_eq!(run(), run());
+    }
+
+    // ---- cooperative backend mirrors ---------------------------------------
+
+    #[test]
+    fn coop_ranks_see_world() {
+        let res = Universe::run(5, SimConfig::cooperative(), |env| (env.rank(), env.size()));
+        assert_eq!(res.per_rank, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+    }
+
+    #[test]
+    fn coop_ring_send_recv() {
+        let res = Universe::run(4, SimConfig::cooperative(), |env| {
+            let w = &env.world;
+            let next = (w.rank() + 1) % 4;
+            let prev = (w.rank() + 3) % 4;
+            w.send(&[w.rank() as u64], next, 1).unwrap();
+            let (v, st) = w.recv::<u64>(Src::Rank(prev), 1).unwrap();
+            assert_eq!(st.source, prev);
+            v[0]
+        });
+        assert_eq!(res.per_rank, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coop_rank_panic_propagates() {
+        Universe::run(2, SimConfig::cooperative(), |env| {
+            if env.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn coop_bcast_works() {
+        let res = Universe::run(8, SimConfig::cooperative(), |env| {
+            let mut x = vec![env.rank() as u64 * 100];
+            env.world.bcast(&mut x, 3).unwrap();
+            x[0]
+        });
+        assert_eq!(res.per_rank, vec![300; 8]);
     }
 }
