@@ -138,11 +138,44 @@ fn bench_jquick_local(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_exchange_encoding(c: &mut Criterion) {
+    use jquick::exchange::{decode_runs, encode_runs};
+    let mut g = c.benchmark_group("staged_exchange");
+    // The shape a bisection round ships: a few contiguous partition
+    // chunks. 64k elements in 4 runs — the wire format collapses the old
+    // 16-byte (value, pos) pairs into 8-byte values + 4 run headers,
+    // halving staged-path bytes.
+    let tagged: Vec<(u64, u64)> = (0..4u64)
+        .flat_map(|chunk| {
+            let base = chunk * 1_000_000;
+            (base..base + (1 << 14)).map(move |p| (p * 7, p))
+        })
+        .collect();
+    g.bench_function("encode_runs_64k_4chunks", |b| {
+        b.iter(|| encode_runs(black_box(tagged.clone())))
+    });
+    let (runs, vals) = encode_runs(tagged.clone());
+    assert_eq!(runs.len(), 4);
+    // Report the compression itself alongside the timing: pair bytes vs
+    // encoded bytes (values + headers).
+    let pair_bytes = tagged.len() * std::mem::size_of::<(u64, u64)>();
+    let run_bytes = vals.len() * 8 + runs.len() * 16;
+    println!(
+        "staged_exchange/bytes: pairs {pair_bytes} -> runs {run_bytes} ({:.1}% of pairs)",
+        100.0 * run_bytes as f64 / pair_bytes as f64
+    );
+    g.bench_function("decode_runs_64k_4chunks", |b| {
+        b.iter(|| decode_runs(black_box(&runs), black_box(vals.clone())))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_group_ops,
     bench_context_masks,
     bench_mailbox,
-    bench_jquick_local
+    bench_jquick_local,
+    bench_exchange_encoding
 );
 criterion_main!(benches);

@@ -21,7 +21,7 @@ use jquick::{jquick_sort, JQuickConfig, Layout, RbcBackend};
 use mpisim::{coll, SimConfig, Time, Transport};
 use rbc::RbcComm;
 
-use crate::{measure, ms, quick_mode, reps, Table};
+use crate::{measure, ms, quick_mode, reps, write_bench_json, Table};
 
 /// Largest process exponent of this sweep (paper: 2^15).
 fn max_exp() -> u32 {
@@ -102,8 +102,15 @@ fn jquick_time(p: usize, n_per: u64) -> Time {
     })
 }
 
-/// Regenerate the large-p tables and write their CSVs.
+/// Regenerate the large-p tables and write their CSVs plus a
+/// machine-readable `results/BENCH_largep.json` (virtual times, per-point
+/// host wall-clock, and the cooperative worker count — the artefact CI
+/// diffs byte-wise across worker counts: the virtual-time columns must be
+/// identical for any `MPISIM_COOP_WORKERS`, only wall-clock may differ,
+/// which is why wall-clock lives in the JSON and not the CSVs).
 pub fn run() -> Vec<Table> {
+    let workers = SimConfig::cooperative().coop_workers;
+    let t_start = std::time::Instant::now();
     let mut comms = Table::new(
         "Large p — splitting a communicator of p processes into halves (cooperative backend)",
         "p",
@@ -113,6 +120,12 @@ pub fn run() -> Vec<Table> {
         "Large p — RBC split + barrier + JQuick sort, n/p = 8 (cooperative backend)",
         "p",
         &["JQuick (RBC)"],
+    );
+    let mut wall = Table::with_unit(
+        &format!("Large p — host wall-clock of the JQuick sweep ({workers} worker(s))"),
+        "p",
+        &["JQuick sweep wall-clock"],
+        "s",
     );
     for e in 10..=max_exp() {
         let p = 1usize << e;
@@ -125,12 +138,17 @@ pub fn run() -> Vec<Table> {
             p as u64,
             vec![ms(rbc_split_time(p)), ms(create_group_time(p)), split_ms],
         );
+        let t0 = std::time::Instant::now();
         sort.push(p as u64, vec![ms(jquick_time(p, 8))]);
+        wall.push(p as u64, vec![t0.elapsed().as_secs_f64()]);
         eprintln!("largep: finished p = 2^{e}");
     }
     comms.print();
     comms.write_csv("largep_comms");
     sort.print();
     sort.write_csv("largep_jquick");
-    vec![comms, sort]
+    wall.print();
+    let tables = vec![comms, sort, wall];
+    write_bench_json("largep", &tables, t_start.elapsed().as_secs_f64(), workers);
+    tables
 }

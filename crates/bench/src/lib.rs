@@ -121,6 +121,64 @@ impl Table {
             eprintln!("wrote {}", path.display());
         }
     }
+
+    /// Serialise the table as a JSON object (title, unit, series, rows).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"title\":{:?},\"xlabel\":{:?},\"unit\":{:?},\"series\":[",
+            self.title, self.xlabel, self.unit
+        );
+        for (i, name) in self.series.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{name:?}"));
+        }
+        s.push_str("],\"rows\":[");
+        for (i, (x, vals)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"x\":{x},\"values\":["));
+            for (j, v) in vals.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                // NaN is not JSON; emit null for skipped cells.
+                if v.is_finite() {
+                    s.push_str(&format!("{v:.6}"));
+                } else {
+                    s.push_str("null");
+                }
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Write `results/BENCH_<name>.json`: the machine-readable counterpart of a
+/// figure run — every table plus the run's wall-clock seconds and relevant
+/// environment (worker count), so CI can archive and diff bench results
+/// without scraping stdout.
+pub fn write_bench_json(name: &str, tables: &[Table], wall_clock_s: f64, workers: usize) {
+    let dir = Path::new("results");
+    let _ = fs::create_dir_all(dir);
+    let mut out = format!(
+        "{{\"bench\":{name:?},\"workers\":{workers},\"wall_clock_s\":{wall_clock_s:.3},\"tables\":["
+    );
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push_str("]}\n");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if fs::write(&path, out).is_ok() {
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 /// Run `op` on `p` ranks `reps` times and report the mean over reps of the

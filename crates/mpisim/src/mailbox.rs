@@ -42,7 +42,11 @@ use crate::error::{MpiError, Result};
 use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, SrcFilter, Tag};
 use crate::time::Time;
 
-/// Wake-up hook subscribed by a parked cooperative task.
+/// Wake-up hook subscribed by a parked cooperative task. Under the epoch
+/// scheduler every push — and therefore every wake — happens during the
+/// single-threaded commit phase, in the deterministic global delivery
+/// order (see [`crate::sched`]); the woken tasks join the next epoch in
+/// exactly that order.
 pub trait Wake: Send + Sync {
     /// Make the subscriber runnable again.
     fn wake(&self);

@@ -4,6 +4,21 @@
 //! of the communicator it was sent over — exactly the header fields MPI uses
 //! for matching (§III of the paper). Payloads are typed `Vec<T>` behind
 //! `dyn Any`; no serialization happens.
+//!
+//! # Zero-copy fan-out
+//!
+//! One-to-many patterns (broadcast trees, scatter setup, RBC tree stages)
+//! send the *same* buffer to many destinations. Cloning a `Vec<T>` per
+//! destination puts O(children · bytes) of copying on the critical path of
+//! every interior tree node, so a payload can instead be **shared**: an
+//! [`std::sync::Arc`]`<Vec<T>>` cloned per destination in O(1)
+//! ([`Message::new_shared`]). Receivers that only read or forward keep the
+//! `Arc` ([`Message::take_shared`]); a receiver that needs ownership pays
+//! at most one copy, at its own rank, off the sender's critical path
+//! ([`Message::take`] unwraps without copying when it holds the last
+//! reference). Virtual-time cost accounting is unchanged — a shared send is
+//! still a full `α + bytes·β` message; only the *simulator's* wall-clock
+//! copying is elided.
 
 use std::any::Any;
 use std::fmt;
@@ -144,7 +159,17 @@ pub struct Message {
     pub send_time: Time,
     /// `send_time + α + bytes·β` under the sender's cost model.
     pub arrival: Time,
-    payload: Box<dyn Any + Send>,
+    payload: Payload,
+}
+
+/// Payload storage: exclusively owned (ordinary point-to-point) or shared
+/// among the messages of one fan-out (see the module docs).
+enum Payload {
+    /// A `Vec<T>` owned by this message alone.
+    Owned(Box<dyn Any + Send>),
+    /// A `Vec<T>` behind an `Arc`, shared with the sibling messages of a
+    /// one-to-many send (and possibly with the sender itself).
+    Shared(Arc<dyn Any + Send + Sync>),
 }
 
 impl Message {
@@ -166,7 +191,31 @@ impl Message {
             type_name: std::any::type_name::<T>(),
             send_time,
             arrival,
-            payload: Box::new(data),
+            payload: Payload::Owned(Box::new(data)),
+        }
+    }
+
+    /// Package a shared buffer into a message without copying it: the `Arc`
+    /// is cloned per destination, so a p-way fan-out of `l` bytes costs
+    /// O(p) instead of O(p·l) at the sender.
+    pub fn new_shared<T: Datum>(
+        src_global: usize,
+        tag: Tag,
+        ctx: ContextId,
+        data: Arc<Vec<T>>,
+        send_time: Time,
+        arrival: Time,
+    ) -> Message {
+        Message {
+            src_global,
+            tag,
+            ctx,
+            count: data.len(),
+            bytes: data.len() * T::width(),
+            type_name: std::any::type_name::<T>(),
+            send_time,
+            arrival,
+            payload: Payload::Shared(data),
         }
     }
 
@@ -181,15 +230,48 @@ impl Message {
         }
     }
 
-    /// Consume the message, extracting its typed payload.
+    /// Consume the message, extracting its typed payload. A shared payload
+    /// is unwrapped without copying when this message holds the last
+    /// reference, and cloned otherwise (at most one copy per receiver).
     pub fn take<T: Datum>(self) -> Result<(Vec<T>, MsgInfo)> {
         let info = self.info();
-        match self.payload.downcast::<Vec<T>>() {
-            Ok(v) => Ok((*v, info)),
-            Err(_) => Err(MpiError::TypeMismatch {
-                expected: std::any::type_name::<T>(),
-                got: self.type_name,
-            }),
+        let type_name = self.type_name;
+        let mismatch = || MpiError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            got: type_name,
+        };
+        match self.payload {
+            Payload::Owned(b) => match b.downcast::<Vec<T>>() {
+                Ok(v) => Ok((*v, info)),
+                Err(_) => Err(mismatch()),
+            },
+            Payload::Shared(a) => match a.downcast::<Vec<T>>() {
+                Ok(v) => Ok((Arc::unwrap_or_clone(v), info)),
+                Err(_) => Err(mismatch()),
+            },
+        }
+    }
+
+    /// Consume the message, extracting its payload behind an `Arc` without
+    /// copying — the receive path of fan-out stages that only read or
+    /// forward the buffer. An owned payload is wrapped in a fresh `Arc`
+    /// (moves the `Vec`, no element copy).
+    pub fn take_shared<T: Datum>(self) -> Result<(Arc<Vec<T>>, MsgInfo)> {
+        let info = self.info();
+        let type_name = self.type_name;
+        let mismatch = || MpiError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            got: type_name,
+        };
+        match self.payload {
+            Payload::Owned(b) => match b.downcast::<Vec<T>>() {
+                Ok(v) => Ok((Arc::new(*v), info)),
+                Err(_) => Err(mismatch()),
+            },
+            Payload::Shared(a) => match a.downcast::<Vec<T>>() {
+                Ok(v) => Ok((v, info)),
+                Err(_) => Err(mismatch()),
+            },
         }
     }
 }
@@ -220,6 +302,63 @@ mod tests {
         assert_eq!(info.src_global, 2);
         assert_eq!(info.count, 3);
         assert_eq!(info.bytes, 24);
+    }
+
+    #[test]
+    fn shared_payload_roundtrip_and_last_ref_moves() {
+        let buf = Arc::new(vec![1u64, 2, 3]);
+        let a =
+            Message::new_shared::<u64>(0, 1, ContextId::WORLD, Arc::clone(&buf), Time(0), Time(5));
+        let b =
+            Message::new_shared::<u64>(0, 1, ContextId::WORLD, Arc::clone(&buf), Time(0), Time(5));
+        assert_eq!(a.bytes, 24);
+        // Reader path: no copy, still shared.
+        let (shared, info) = a.take_shared::<u64>().unwrap();
+        assert_eq!(*shared, vec![1, 2, 3]);
+        assert_eq!(info.count, 3);
+        // Owner path while other refs live: one clone.
+        let (owned, _) = b.take::<u64>().unwrap();
+        assert_eq!(owned, vec![1, 2, 3]);
+        // Last reference: take() must move, not clone.
+        drop((buf, shared));
+        let last = Message::new_shared::<u64>(
+            0,
+            1,
+            ContextId::WORLD,
+            Arc::new(vec![9u64]),
+            Time(0),
+            Time(5),
+        );
+        let (v, _) = last.take::<u64>().unwrap();
+        assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn shared_payload_type_mismatch_detected() {
+        let m = Message::new_shared::<u64>(
+            0,
+            0,
+            ContextId::WORLD,
+            Arc::new(vec![1u64]),
+            Time(0),
+            Time(1),
+        );
+        assert!(matches!(
+            m.take::<f64>().unwrap_err(),
+            MpiError::TypeMismatch { .. }
+        ));
+        let m = Message::new_shared::<u64>(
+            0,
+            0,
+            ContextId::WORLD,
+            Arc::new(vec![1u64]),
+            Time(0),
+            Time(1),
+        );
+        assert!(matches!(
+            m.take_shared::<f64>().unwrap_err(),
+            MpiError::TypeMismatch { .. }
+        ));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! several operations can be in flight simultaneously on overlapping
 //! communicators — the property Janus Quicksort relies on.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::datum::Datum;
@@ -141,12 +142,14 @@ fn to_rel(rank: usize, root: usize, p: usize) -> usize {
 // Ibcast
 // ---------------------------------------------------------------------------
 
-/// Nonblocking binomial broadcast.
+/// Nonblocking binomial broadcast. The payload is held and forwarded as a
+/// shared `Arc` buffer (zero-copy fan-out, like [`crate::coll::bcast`]);
+/// it is materialised into a `Vec` only when the caller takes ownership.
 pub struct Ibcast<T: Datum, C: Transport> {
     tr: C,
     root: usize,
     tag: Tag,
-    data: Option<Vec<T>>,
+    data: Option<Arc<Vec<T>>>,
     started: bool,
     done: bool,
 }
@@ -168,7 +171,7 @@ pub fn ibcast<T: Datum, C: Transport>(
         tr: tr.clone(),
         root,
         tag,
-        data,
+        data: data.map(Arc::new),
         started: false,
         done: false,
     };
@@ -183,7 +186,8 @@ impl<T: Datum, C: Transport> Ibcast<T, C> {
         let (_, children) = binom_tree(rel, p);
         let data = self.data.as_ref().expect("data present when forwarding");
         for c in children {
-            self.tr.send(data, from_rel(c, self.root, p), self.tag)?;
+            self.tr
+                .send_shared(data, from_rel(c, self.root, p), self.tag)?;
         }
         self.done = true;
         Ok(())
@@ -191,12 +195,19 @@ impl<T: Datum, C: Transport> Ibcast<T, C> {
 
     /// Broadcast payload; `None` until complete on non-root ranks.
     pub fn data(&self) -> Option<&[T]> {
-        self.done.then_some(self.data.as_deref()).flatten()
+        if !self.done {
+            return None;
+        }
+        self.data.as_ref().map(|a| a.as_slice())
     }
 
-    /// Consume the request, returning the payload if complete.
+    /// Consume the request, returning the payload if complete (at most one
+    /// copy — none when this rank holds the last reference).
     pub fn into_data(self) -> Option<Vec<T>> {
-        self.done.then_some(self.data).flatten()
+        self.done
+            .then_some(self.data)
+            .flatten()
+            .map(Arc::unwrap_or_clone)
     }
 
     /// Whether the broadcast is locally complete.
@@ -228,7 +239,7 @@ impl<T: Datum, C: Transport> Progress for Ibcast<T, C> {
         // Interior/leaf rank: wait for the parent's message.
         let (parent, _) = binom_tree(rel, p);
         let parent = from_rel(parent.expect("non-root has parent"), self.root, p);
-        match self.tr.try_recv::<T>(Src::Rank(parent), self.tag)? {
+        match self.tr.try_recv_shared::<T>(Src::Rank(parent), self.tag)? {
             None => Ok(false),
             Some((v, _)) => {
                 self.data = Some(v);

@@ -50,10 +50,24 @@ pub struct Traffic {
     pub bytes: u64,
 }
 
+/// Per-sender traffic counters, padded to a cache line so that parallel
+/// scheduler workers incrementing different ranks' counters never false-share
+/// — the old pair of global `AtomicU64`s was a guaranteed all-workers
+/// contention point (two `fetch_add`s on shared lines per send).
+#[repr(align(64))]
+#[derive(Default)]
+struct TrafficCell {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
 /// Shared fabric connecting all ranks: one mailbox per rank plus the
-/// cost model. Sends deposit messages directly into the destination mailbox.
+/// cost model. Sends deposit messages directly into the destination mailbox
+/// (thread backend) or stage them with the cooperative scheduler for
+/// commit at the next epoch boundary (see [`crate::sched`]).
 pub struct Router {
-    /// Destination mailboxes, indexed by global rank.
+    /// Destination mailboxes, indexed by global rank. Each mailbox carries
+    /// its own lock: two ranks' deliveries never contend.
     pub mailboxes: Vec<Mailbox>,
     /// The α–β cost model all messages are priced under.
     pub cost: CostModel,
@@ -61,10 +75,8 @@ pub struct Router {
     pub vendor: VendorProfile,
     /// Wall-clock deadlock-detector timeout for blocking receives/probes.
     pub recv_timeout: Duration,
-    /// Global traffic accounting (messages / payload bytes deposited).
-    pub msgs_sent: AtomicU64,
-    /// Payload bytes counterpart of [`Router::msgs_sent`].
-    pub bytes_sent: AtomicU64,
+    /// Traffic accounting, sharded by sender rank (summed on read).
+    traffic: Vec<TrafficCell>,
 }
 
 impl Router {
@@ -76,17 +88,24 @@ impl Router {
             cost,
             vendor,
             recv_timeout,
-            msgs_sent: AtomicU64::new(0),
-            bytes_sent: AtomicU64::new(0),
+            traffic: (0..p).map(|_| TrafficCell::default()).collect(),
         }
     }
 
-    /// Snapshot of global traffic so far.
+    /// Snapshot of global traffic so far (sums the per-sender shards).
     pub fn traffic(&self) -> Traffic {
-        Traffic {
-            messages: self.msgs_sent.load(Ordering::Relaxed),
-            bytes: self.bytes_sent.load(Ordering::Relaxed),
+        let mut t = Traffic::default();
+        for cell in &self.traffic {
+            t.messages += cell.messages.load(Ordering::Relaxed);
+            t.bytes += cell.bytes.load(Ordering::Relaxed);
         }
+        t
+    }
+
+    fn count_send(&self, src: usize, bytes: usize) {
+        let cell = &self.traffic[src];
+        cell.messages.fetch_add(1, Ordering::Relaxed);
+        cell.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Number of ranks this router connects.
@@ -162,18 +181,10 @@ impl ProcState {
 
     // ---- point-to-point on global ranks ------------------------------------
 
-    /// Deposit `data` into `dest_global`'s mailbox. Buffered semantics:
-    /// never blocks. `scale` models vendor-internal collective traffic;
-    /// plain point-to-point uses `CostScale::NEUTRAL`.
-    pub fn send_global<T: Datum>(
-        &self,
-        dest_global: usize,
-        tag: Tag,
-        ctx: ContextId,
-        data: Vec<T>,
-        scale: CostScale,
-    ) {
-        let bytes = data.len() * T::width();
+    /// Price one outgoing message of `bytes` payload bytes: charge the send
+    /// overhead, apply vendor jitter, record traffic, and return the
+    /// `(send_time, arrival)` pair stamped onto the message.
+    fn price_send(&self, bytes: usize, scale: CostScale) -> (Time, Time) {
         let t0 = self.now();
         self.advance(self.router.cost.send_overhead);
         let mut transfer = self.router.cost.transfer_time_scaled(bytes, scale);
@@ -189,13 +200,53 @@ impl ProcState {
             let f: f64 = self.rng.lock().gen_range(1.0..jitter_cap);
             transfer = transfer.scale(f);
         }
-        let arrival = t0 + transfer;
-        self.router.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.router
-            .bytes_sent
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.router.count_send(self.global_rank, bytes);
+        (t0, t0 + transfer)
+    }
+
+    /// Hand a finished message to the fabric. On a scheduler fiber the
+    /// message is staged with the current task and committed — in global
+    /// virtual-time order — at the next epoch boundary, which is what makes
+    /// multi-worker cooperative runs deterministic; on a plain thread it is
+    /// deposited into the destination mailbox immediately.
+    fn dispatch(&self, dest_global: usize, msg: Message) {
+        if let Some(msg) = crate::sched::try_stage_send(dest_global, msg) {
+            self.router.mailboxes[dest_global].push(msg);
+        }
+    }
+
+    /// Deposit `data` into `dest_global`'s mailbox. Buffered semantics:
+    /// never blocks. `scale` models vendor-internal collective traffic;
+    /// plain point-to-point uses `CostScale::NEUTRAL`.
+    pub fn send_global<T: Datum>(
+        &self,
+        dest_global: usize,
+        tag: Tag,
+        ctx: ContextId,
+        data: Vec<T>,
+        scale: CostScale,
+    ) {
+        let (t0, arrival) = self.price_send(data.len() * T::width(), scale);
         let msg = Message::new(self.global_rank, tag, ctx, data, t0, arrival);
-        self.router.mailboxes[dest_global].push(msg);
+        self.dispatch(dest_global, msg);
+    }
+
+    /// Like [`ProcState::send_global`], but shipping a shared buffer: the
+    /// `Arc` is cloned into the message in O(1) instead of copying the
+    /// payload, so a fan-out of the same buffer to many destinations costs
+    /// O(destinations) at the sender. Virtual-time pricing is identical to
+    /// an owned send of the same bytes.
+    pub fn send_global_shared<T: Datum>(
+        &self,
+        dest_global: usize,
+        tag: Tag,
+        ctx: ContextId,
+        data: Arc<Vec<T>>,
+        scale: CostScale,
+    ) {
+        let (t0, arrival) = self.price_send(data.len() * T::width(), scale);
+        let msg = Message::new_shared(self.global_rank, tag, ctx, data, t0, arrival);
+        self.dispatch(dest_global, msg);
     }
 
     /// Blocking receive matching `pat`; applies the virtual-time rule

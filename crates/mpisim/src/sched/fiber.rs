@@ -17,11 +17,15 @@
 //!
 //! # Safety model
 //!
-//! * Fiber stacks are plain heap memory carved from one slab — there is
-//!   **no guard page**. A fiber that overruns its stack corrupts the
-//!   neighbouring fiber's stack silently. As a probabilistic backstop each
-//!   stack's lowest word holds a canary that the scheduler checks when the
-//!   fiber finishes, aborting the process on corruption.
+//! * Fiber stacks are carved from one `mmap` slab with a `PROT_NONE`
+//!   **guard page** below each stack (see `StackSlab` in `sched/mod.rs`):
+//!   an overrun faults immediately instead of silently corrupting the
+//!   neighbouring fiber. Each stack's lowest word additionally holds a
+//!   canary that the scheduler checks when the fiber finishes — the only
+//!   line of defence when guards are off (universes past ~30k ranks,
+//!   where 2·p guard VMAs would blow Linux's `vm.max_map_count`, or the
+//!   rare heap fallback when `mmap` fails), and a cheap second line
+//!   otherwise.
 //! * A `Fiber` must only be resumed by one thread at a time (the scheduler
 //!   guarantees this via the task state machine).
 //! * Dropping a suspended (not yet finished) fiber frees its stack without

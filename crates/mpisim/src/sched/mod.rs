@@ -1,27 +1,51 @@
 //! Cooperative rank scheduler: N simulated ranks multiplexed over a small
-//! worker pool.
+//! worker pool, **deterministically for any worker count**.
 //!
 //! The thread backend of [`crate::universe::Universe`] spawns one OS thread
 //! per rank, which tops out around a few hundred ranks — far short of the
 //! paper's 2^15-process evaluations. This module runs every rank body on a
 //! *fiber* (a stackful coroutine; see `sched/fiber.rs`) instead: a
-//! blocking point (`recv`,
-//! `probe`, a poll loop inside a nonblocking collective) **yields to the
-//! scheduler** rather than parking an OS thread, and the mailbox layer
-//! wakes exactly the ranks whose matching message arrived.
+//! blocking point (`recv`, `probe`, a poll loop inside a nonblocking
+//! collective) **yields to the scheduler** rather than parking an OS
+//! thread, and the mailbox layer wakes exactly the ranks whose matching
+//! message arrived.
 //!
-//! # Scheduling discipline
+//! # Epoch discipline (deterministic parallelism)
 //!
-//! The ready queue is FIFO; its initial order is a permutation of the ranks
-//! derived deterministically from the simulation seed. All wake-ups are
-//! triggered by mailbox pushes, which happen at deterministic points of the
-//! rank programs, and are processed in registration order — so with one
-//! worker (the default) **the entire interleaving, and hence the
-//! message-delivery order, is a pure function of `(program, seed)`**. Runs
-//! are reproducible; see DESIGN.md §4 for why this cooperative schedule
-//! preserves the MPI progress semantics the RBC correctness arguments
-//! assume. With `coop_workers > 1` results stay correct but the
-//! interleaving is no longer reproducible.
+//! Execution proceeds in **epochs** (virtual-time windows). Each epoch has
+//! a deterministically ordered set of runnable tasks; workers claim tasks
+//! from that set lock-free (an atomic cursor over an immutable round
+//! vector) and run them *in parallel*. Parallelism inside an epoch cannot
+//! perturb the simulation because epoch-concurrent tasks are **isolated**:
+//!
+//! * sends are not delivered immediately — they are *staged* in the
+//!   sending task's private buffer (`try_stage_send`);
+//! * a rank only ever claims messages from its *own* mailbox, and nothing
+//!   is pushed into any mailbox while tasks run;
+//! * clocks, RNG streams, and context pools are per-rank.
+//!
+//! So within an epoch no task can observe another epoch-mate's progress,
+//! and the OS's thread interleaving is irrelevant. When every task of the
+//! epoch has switched out (yielded, blocked, or finished), the last worker
+//! **commits** the epoch, single-threaded:
+//!
+//! 1. tasks that yielded re-enter the next round, in their epoch order;
+//! 2. all staged messages are delivered in global **virtual-time order** —
+//!    sorted by `(matchable_time, sender, seq)`, where `matchable_time` is
+//!    the running maximum of arrival times along each sender's program
+//!    order (per-sender monotone, so per-sender FIFO non-overtaking is
+//!    preserved) and `seq` the sender's send counter. Deliveries wake
+//!    blocked receivers, which join the next round in commit order;
+//! 3. if the next round is empty while unfinished tasks remain, those
+//!    tasks are deadlocked (sends never block) — they are *poisoned* and
+//!    woken to return [`MpiError::Timeout`].
+//!
+//! Every input to this procedure — the round order, each task's behaviour
+//! against a frozen mailbox state, the staged-message sort key — is a pure
+//! function of `(program, seed)`. Hence **the merged delivery order, and
+//! with it every simulation output, is bit-for-bit identical for any
+//! `coop_workers`**, including 1. See DESIGN.md §5 for why committing
+//! deliveries at epoch boundaries preserves MPI matching semantics.
 //!
 //! # Blocking protocol (no lost wake-ups)
 //!
@@ -31,30 +55,30 @@
 //! 2. subscribe a waker in the mailbox *under the mailbox lock*,
 //! 3. switch back to the worker, which downgrades `Blocking -> Blocked`.
 //!
-//! A sender's wake-up can only happen after step 2 observed the
-//! subscription, hence after step 1: the waker either sees `Blocked` (task
-//! fully parked — make it ready) or `Blocking` (task still switching out —
-//! mark it `WokenEarly`, and the worker re-enqueues it instead of parking).
-//! Either way the wake-up is never dropped.
+//! Under the epoch discipline all wake-ups fire at commit time, when every
+//! task of the round has fully parked — but the `WokenEarly` intermediate
+//! state is kept as a defensive backstop: a waker that observes `Blocking`
+//! (task still switching out) marks it `WokenEarly` and the worker
+//! re-enqueues it via the yield path instead of parking it.
 //!
 //! # Deadlock detection
 //!
-//! Sends never block, so if no task is ready and none is running, no
-//! message can ever arrive again: the remaining blocked tasks are
-//! deadlocked. The scheduler then *poisons* them — each is woken and its
-//! pending receive returns [`MpiError::Timeout`] carrying the
-//! [`WaitReason`] it was parked on. This replaces the thread backend's
-//! wall-clock timeout with an exact, instantaneous detector.
+//! Sends never block, so if a committed epoch produces no runnable task
+//! and no staged message woke anyone, no message can ever arrive again:
+//! the remaining blocked tasks are deadlocked. The scheduler *poisons*
+//! them — each is woken and its pending receive returns
+//! [`MpiError::Timeout`] carrying the [`WaitReason`] it was parked on.
+//! This replaces the thread backend's wall-clock timeout with an exact,
+//! instantaneous detector.
 
 #![allow(unsafe_code)]
 
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::error::{MpiError, Result};
 use crate::mailbox::{Mailbox, Subscribed, Wake};
@@ -76,7 +100,7 @@ pub const SUPPORTED: bool = cfg!(all(
 // Task states and park intents
 // ---------------------------------------------------------------------------
 
-/// In the ready queue or about to be enqueued.
+/// In a round (or about to be placed in one).
 const ST_READY: u8 = 0;
 /// Executing on some worker right now.
 const ST_RUNNING: u8 = 1;
@@ -108,27 +132,21 @@ struct TaskCore {
 
 /// Scheduler state shared between workers and wakers.
 pub(crate) struct SchedShared {
-    ready: Mutex<VecDeque<usize>>,
-    work_cv: Condvar,
+    /// Tasks woken during the current commit, in commit order — the tail
+    /// of the next round. Only the committing worker pushes deliveries, so
+    /// the order is deterministic.
+    woken: Mutex<Vec<usize>>,
     /// Unfinished tasks.
     live: AtomicUsize,
-    /// Tasks currently executing on some worker.
-    running: AtomicUsize,
     /// Context switches performed (diagnostics).
     switches: AtomicU64,
     /// First recorded panic payload, with the rank it came from.
     panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
 }
 
-impl SchedShared {
-    fn enqueue(&self, rank: usize) {
-        self.ready.lock().push_back(rank);
-        self.work_cv.notify_one();
-    }
-}
-
-/// Moves a task out of its blocked state. Called by mailbox pushes (via the
-/// [`Wake`] impl) and by the deadlock poisoner.
+/// Moves a task out of its blocked state into the next round. Called by
+/// mailbox pushes (via the [`Wake`] impl) and by the deadlock poisoner —
+/// both only ever during an epoch commit.
 fn wake_core(core: &TaskCore, shared: &SchedShared) {
     loop {
         match core.status.load(Ordering::Acquire) {
@@ -138,7 +156,7 @@ fn wake_core(core: &TaskCore, shared: &SchedShared) {
                     .compare_exchange(ST_BLOCKED, ST_READY, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    shared.enqueue(core.rank);
+                    shared.woken.lock().push(core.rank);
                     return;
                 }
             }
@@ -186,13 +204,19 @@ struct TaskSlot {
     waker: Arc<dyn Wake>,
     /// What the task asked its worker to do when it switched out.
     intent: AtomicU8,
+    /// Messages sent by this task during the current epoch, in program
+    /// order; drained by the commit phase. Only the task (while `Running`)
+    /// and the committing worker (while the task is parked) touch this.
+    staged: std::cell::UnsafeCell<Vec<(usize, Message)>>,
     fiber: std::cell::UnsafeCell<fiber::Fiber>,
     body: std::cell::UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
 }
 
-// Safety: `fiber` and `body` are only touched by the single worker that
-// holds the task in `Running` state (enforced by the status state machine),
-// or by the fiber itself while that worker is suspended inside `resume`.
+// Safety: `fiber`, `body`, and `staged` are only touched by the single
+// worker that holds the task in `Running` state (enforced by the status
+// state machine), by the fiber itself while that worker is suspended inside
+// `resume`, or by the committing worker after the epoch barrier (when no
+// task of the round is `Running`).
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 unsafe impl Sync for TaskSlot {}
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
@@ -215,61 +239,240 @@ pub fn on_fiber() -> bool {
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod imp {
     use super::*;
+    use crate::proc::Router;
+    use parking_lot::Condvar;
     use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+    use std::ffi::c_void;
+    use std::os::raw::{c_int, c_long};
 
-    /// One allocation holding every fiber stack, carved into equal regions.
-    /// A single mapping keeps the kernel's VMA count at O(1) instead of
-    /// O(p), and untouched pages cost nothing: at the default 128 KiB per
-    /// rank a 2^15-rank universe reserves 4 GiB of address space (small
-    /// enough for Linux heuristic overcommit on ordinary dev machines) but
-    /// commits only the few pages each rank actually touches.
-    struct StackSlab {
-        ptr: *mut u8,
-        layout: Layout,
-        per: usize,
+    // Raw mmap/mprotect bindings (std links libc on every unix target, so
+    // no external crate is needed).
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn mprotect(addr: *mut c_void, len: usize, prot: c_int) -> c_int;
+        fn sysconf(name: c_int) -> c_long;
+    }
+
+    const PROT_NONE: c_int = 0;
+    const PROT_READ: c_int = 1;
+    const PROT_WRITE: c_int = 2;
+    const MAP_PRIVATE: c_int = 0x02;
+    #[cfg(target_os = "linux")]
+    const MAP_ANON: c_int = 0x20;
+    #[cfg(not(target_os = "linux"))]
+    const MAP_ANON: c_int = 0x1000;
+    /// Don't charge the (huge, mostly untouched) reservation against
+    /// commit limits under strict overcommit accounting.
+    #[cfg(target_os = "linux")]
+    const MAP_NORESERVE: c_int = 0x4000;
+    #[cfg(not(target_os = "linux"))]
+    const MAP_NORESERVE: c_int = 0;
+    #[cfg(target_os = "linux")]
+    const SC_PAGESIZE: c_int = 30;
+    #[cfg(not(target_os = "linux"))]
+    const SC_PAGESIZE: c_int = 29;
+
+    fn page_size() -> usize {
+        let v = unsafe { sysconf(SC_PAGESIZE) };
+        if v <= 0 {
+            4096
+        } else {
+            v as usize
+        }
+    }
+
+    /// One mapping holding every fiber stack, carved into equal regions,
+    /// each preceded by a `PROT_NONE` **guard page**: a fiber that overruns
+    /// its stack faults immediately instead of silently corrupting its
+    /// neighbour (the canary check on finish remains as a second line).
+    /// Untouched pages cost nothing: at the default 128 KiB per rank a
+    /// 2^15-rank universe reserves ~4 GiB of address space but commits only
+    /// the few pages each rank actually touches.
+    ///
+    /// Every guard splits the mapping, so a guarded slab costs ~2·p kernel
+    /// VMAs — and Linux caps VMAs per process (`vm.max_map_count`, default
+    /// 65530). At the paper's p = 2^15 the guards alone would exhaust that
+    /// budget: the last `mprotect`s fail and, worse, later `mmap`s (worker
+    /// thread stacks!) start failing too. Guards are therefore installed
+    /// only when 2·p fits comfortably under the budget; above that the
+    /// slab stays one O(1)-VMA mapping protected by canaries alone, as it
+    /// was before guards existed. If `mmap` is unavailable entirely the
+    /// slab falls back to a plain heap allocation (canary-only).
+    pub(super) struct StackSlab {
+        base: *mut u8,
+        /// Total mapping length (guards included).
+        total: usize,
+        /// Distance between consecutive usable regions (= guard + per).
+        stride: usize,
+        /// Guard bytes before each region (0 on the heap fallback).
+        guard: usize,
+        /// Usable stack bytes per region.
+        pub(super) per: usize,
+        /// Heap-fallback layout (`None` when mmapped).
+        heap_layout: Option<Layout>,
     }
 
     unsafe impl Send for StackSlab {}
     unsafe impl Sync for StackSlab {}
 
+    /// VMA headroom kept free for everything else in the process (worker
+    /// thread stacks, allocator arenas, mapped files).
+    const VMA_MARGIN: usize = 4096;
+
+    /// The process's VMA budget, if this platform has one.
+    fn vma_budget() -> Option<usize> {
+        if cfg!(target_os = "linux") {
+            Some(
+                std::fs::read_to_string("/proc/sys/vm/max_map_count")
+                    .ok()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+                    // Unreadable: assume the kernel default, conservatively.
+                    .unwrap_or(65530),
+            )
+        } else {
+            None
+        }
+    }
+
     impl StackSlab {
-        fn new(n: usize, per: usize) -> StackSlab {
-            let per = per.max(16 * 1024) & !15;
+        pub(super) fn new(n: usize, per: usize) -> StackSlab {
+            let page = page_size();
+            // Round the usable size up to whole pages so every guard page
+            // is page-aligned.
+            let per = (per.max(16 * 1024)).div_ceil(page) * page;
+            // Guards cost ~2n VMAs; skip them when that would crowd the
+            // process's VMA budget (see the struct docs).
+            let guard = match vma_budget() {
+                Some(limit) if 2 * n + VMA_MARGIN > limit => 0,
+                _ => page,
+            };
+            let stride = per + guard;
+            let total = n * stride;
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    total,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANON | MAP_NORESERVE,
+                    -1,
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                let base = ptr as *mut u8;
+                if guard != 0 {
+                    for i in 0..n {
+                        // A failed mprotect leaves that one stack unguarded
+                        // (still canary-checked); not worth aborting over.
+                        unsafe { mprotect(base.add(i * stride) as *mut c_void, guard, PROT_NONE) };
+                    }
+                }
+                return StackSlab {
+                    base,
+                    total,
+                    stride,
+                    guard,
+                    per,
+                    heap_layout: None,
+                };
+            }
+            // Fallback: plain heap slab, no guard pages.
             let layout = Layout::from_size_align(n * per, 16).expect("stack slab layout");
-            let ptr = unsafe { alloc(layout) };
-            if ptr.is_null() {
+            let base = unsafe { alloc(layout) };
+            if base.is_null() {
                 handle_alloc_error(layout);
             }
-            StackSlab { ptr, layout, per }
+            StackSlab {
+                base,
+                total: n * per,
+                stride: per,
+                guard: 0,
+                per,
+                heap_layout: Some(layout),
+            }
         }
 
-        fn region(&self, i: usize) -> *mut u8 {
-            unsafe { self.ptr.add(i * self.per) }
+        /// Base of region `i`'s *usable* stack (just above its guard page).
+        pub(super) fn region(&self, i: usize) -> *mut u8 {
+            unsafe { self.base.add(i * self.stride + self.guard) }
+        }
+
+        /// Whether overruns fault (guard pages active) on this slab.
+        #[cfg(test)]
+        pub(super) fn guarded(&self) -> bool {
+            self.guard != 0
         }
     }
 
     impl Drop for StackSlab {
         fn drop(&mut self) {
-            unsafe { dealloc(self.ptr, self.layout) };
+            match self.heap_layout {
+                Some(layout) => unsafe { dealloc(self.base, layout) },
+                None => unsafe {
+                    munmap(self.base as *mut c_void, self.total);
+                },
+            }
         }
+    }
+
+    /// A staged message annotated with its global commit key.
+    struct CommitEntry {
+        /// Running max of the sender's arrival times in program order: the
+        /// virtual time at which this message becomes *matchable* (MPI
+        /// non-overtaking: it cannot be received before its predecessors).
+        matchable: Time,
+        src: usize,
+        /// The sender's per-epoch send counter (program order).
+        seq: u32,
+        dest: usize,
+        msg: Message,
+    }
+
+    /// Epoch control: the current round and the lock-free claim cursor.
+    struct EpochGate {
+        /// Tasks of the current epoch, in deterministic order.
+        round: Arc<Vec<usize>>,
+        /// Epoch counter (also embedded in the claim cursor).
+        epoch: u64,
+        /// All tasks finished: workers should exit.
+        done: bool,
     }
 
     /// The cooperative scheduler for one universe run.
     pub(crate) struct Scheduler {
         shared: Arc<SchedShared>,
         slots: Vec<TaskSlot>,
+        router: Arc<Router>,
+        gate: Mutex<EpochGate>,
+        gate_cv: Condvar,
+        /// `((epoch mod 2^32) << 32) | next_index` — claims CAS the low
+        /// half after validating the high half, so a worker holding a
+        /// stale round can never steal an index from the next epoch.
+        cursor: AtomicU64,
+        /// Tasks of the current round that have finished executing; the
+        /// worker that completes the round commits the epoch.
+        round_done: AtomicUsize,
+        /// Scratch for the commit phase (reused across epochs).
+        commit_buf: Mutex<Vec<CommitEntry>>,
         _stacks: StackSlab,
     }
 
     impl Scheduler {
         /// Prepare `p` task slots with `stack_size` bytes of stack each.
-        pub fn new(p: usize, stack_size: usize) -> Scheduler {
+        /// `router` is where committed messages are delivered.
+        pub fn new(p: usize, stack_size: usize, router: Arc<Router>) -> Scheduler {
             let stacks = StackSlab::new(p, stack_size);
             let shared = Arc::new(SchedShared {
-                ready: Mutex::new(VecDeque::with_capacity(p)),
-                work_cv: Condvar::new(),
+                woken: Mutex::new(Vec::new()),
                 live: AtomicUsize::new(p),
-                running: AtomicUsize::new(0),
                 switches: AtomicU64::new(0),
                 panic: Mutex::new(None),
             });
@@ -289,8 +492,9 @@ mod imp {
                     core,
                     waker,
                     intent: AtomicU8::new(INTENT_NONE),
-                    // Placeholder; the real fiber is built in `spawn` once
-                    // the slot has its final address.
+                    staged: std::cell::UnsafeCell::new(Vec::new()),
+                    // Placeholder; the real fiber is built below once the
+                    // slot has its final address.
                     fiber: std::cell::UnsafeCell::new(unsafe {
                         fiber::Fiber::new(stacks.region(rank), stacks.per, std::ptr::null_mut())
                     }),
@@ -300,6 +504,16 @@ mod imp {
             let mut sched = Scheduler {
                 shared,
                 slots,
+                router,
+                gate: Mutex::new(EpochGate {
+                    round: Arc::new(Vec::new()),
+                    epoch: 0,
+                    done: false,
+                }),
+                gate_cv: Condvar::new(),
+                cursor: AtomicU64::new(0),
+                round_done: AtomicUsize::new(0),
+                commit_buf: Mutex::new(Vec::new()),
                 _stacks: stacks,
             };
             // Now that the slots are at their final addresses, point each
@@ -330,15 +544,20 @@ mod imp {
         }
 
         /// Run every spawned task to completion on `workers` OS threads,
-        /// starting in `initial_order`. Returns the first recorded panic.
+        /// starting epoch 1 in `initial_order`. Returns the first recorded
+        /// panic.
         pub fn run(
             &self,
             workers: usize,
             initial_order: &[usize],
         ) -> Option<(usize, Box<dyn Any + Send>)> {
             {
-                let mut q = self.shared.ready.lock();
-                q.extend(initial_order.iter().copied());
+                let mut g = self.gate.lock();
+                g.round = Arc::new(initial_order.to_vec());
+                g.epoch = 1;
+                g.done = initial_order.is_empty();
+                self.round_done.store(0, Ordering::Relaxed);
+                self.cursor.store(1 << 32, Ordering::Release);
             }
             let workers = workers.max(1);
             if workers == 1 {
@@ -363,35 +582,146 @@ mod imp {
             self.shared.switches.load(Ordering::Relaxed)
         }
 
-        fn worker_loop(&self) {
+        /// Claim the next task of `round` if `epoch` is still current.
+        /// `None` means: round drained or epoch advanced — refresh via the
+        /// gate.
+        fn try_claim(&self, epoch: u64, round: &[usize]) -> Option<usize> {
             loop {
-                let tid = {
-                    let mut q = self.shared.ready.lock();
-                    loop {
-                        if let Some(t) = q.pop_front() {
-                            // Claim the task while still holding the ready
-                            // lock: another worker's "queue empty ∧ running
-                            // == 0" deadlock check must never observe the
-                            // window between our pop and our increment.
-                            self.shared.running.fetch_add(1, Ordering::AcqRel);
-                            break t;
+                let c = self.cursor.load(Ordering::Acquire);
+                // The cursor carries epoch mod 2^32; compare masked, or a
+                // run past 2^32 epochs would never match again and hang.
+                if c >> 32 != epoch & 0xffff_ffff {
+                    return None;
+                }
+                let i = (c & 0xffff_ffff) as usize;
+                if i >= round.len() {
+                    return None;
+                }
+                if self
+                    .cursor
+                    .compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return Some(round[i]);
+                }
+            }
+        }
+
+        fn worker_loop(&self) {
+            let (mut epoch, mut round) = {
+                let g = self.gate.lock();
+                (g.epoch, Arc::clone(&g.round))
+            };
+            loop {
+                match self.try_claim(epoch, &round) {
+                    Some(tid) => {
+                        self.run_task(tid);
+                        if self.round_done.fetch_add(1, Ordering::AcqRel) + 1 == round.len() {
+                            // Last task of the epoch: commit and publish
+                            // the next round (single-threaded by
+                            // construction — every other worker is either
+                            // waiting on the gate or about to).
+                            self.advance_epoch(&round);
                         }
-                        if self.shared.live.load(Ordering::Acquire) == 0 {
-                            return;
-                        }
-                        if self.shared.running.load(Ordering::Acquire) == 0 {
-                            // Nothing ready, nothing running, sends never
-                            // block: the blocked remainder is deadlocked.
-                            drop(q);
-                            self.poison_all();
-                            q = self.shared.ready.lock();
-                            continue;
-                        }
-                        self.shared.work_cv.wait(&mut q);
                     }
-                };
-                self.run_task(tid);
-                self.shared.running.fetch_sub(1, Ordering::AcqRel);
+                    None => {
+                        let mut g = self.gate.lock();
+                        loop {
+                            if g.done {
+                                return;
+                            }
+                            if g.epoch != epoch {
+                                epoch = g.epoch;
+                                round = Arc::clone(&g.round);
+                                break;
+                            }
+                            self.gate_cv.wait(&mut g);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Commit the finished epoch: requeue yielded tasks, deliver staged
+        /// messages in virtual-time order (waking receivers), detect
+        /// deadlock, and publish the next round.
+        fn advance_epoch(&self, round: &[usize]) {
+            let mut next: Vec<usize> = Vec::new();
+            // 1. Yielded tasks re-enter first, in their epoch order.
+            for &tid in round {
+                if self.slots[tid].intent.load(Ordering::Acquire) == INTENT_YIELD {
+                    next.push(tid);
+                }
+            }
+            // 2. Deliver staged messages in global (matchable, src, seq)
+            // order. The key is monotone along each sender's program order
+            // (running max), so per-sender FIFO is preserved; across
+            // senders it makes wake-up order — and hence the next round's
+            // tail — follow virtual time.
+            let mut staged = self.commit_buf.lock();
+            for &tid in round {
+                let out = unsafe { &mut *self.slots[tid].staged.get() };
+                let mut matchable = Time::ZERO;
+                for (seq, (dest, msg)) in out.drain(..).enumerate() {
+                    matchable = matchable.max(msg.arrival);
+                    staged.push(CommitEntry {
+                        matchable,
+                        src: tid,
+                        seq: seq as u32,
+                        dest,
+                        msg,
+                    });
+                }
+            }
+            staged.sort_by(|a, b| (a.matchable, a.src, a.seq).cmp(&(b.matchable, b.src, b.seq)));
+            for e in staged.drain(..) {
+                self.router.mailboxes[e.dest].push(e.msg);
+            }
+            drop(staged);
+            // 3. Receivers woken by those deliveries, in commit order.
+            next.append(&mut self.shared.woken.lock());
+            // 4. Nothing runnable but tasks remain: deadlock. Poison every
+            // blocked task; the wake-ups queue them (in rank order) so
+            // their blocking operations can return the timeout error.
+            let live = self.shared.live.load(Ordering::Acquire);
+            if next.is_empty() && live > 0 {
+                for slot in &self.slots {
+                    if slot.core.status.load(Ordering::Acquire) == ST_BLOCKED {
+                        slot.core.poisoned.store(true, Ordering::Release);
+                        wake_core(&slot.core, &self.shared);
+                    }
+                }
+                next.append(&mut self.shared.woken.lock());
+                if next.is_empty() {
+                    eprintln!(
+                        "mpisim: scheduler invariant broken: {live} live tasks, none \
+                         runnable, none blocked"
+                    );
+                    std::process::abort();
+                }
+            }
+            // 5. Publish. The cursor moves last: claims validate its epoch
+            // half, so no worker can touch the new round before the gate
+            // state it pairs with is visible.
+            let mut g = self.gate.lock();
+            if live == 0 {
+                g.done = true;
+                self.gate_cv.notify_all();
+            } else {
+                g.epoch += 1;
+                let single = next.len() == 1;
+                g.round = Arc::new(next);
+                self.round_done.store(0, Ordering::Relaxed);
+                self.cursor
+                    .store((g.epoch & 0xffff_ffff) << 32, Ordering::Release);
+                // A one-task round is fully served by the committing worker
+                // itself — waking the pool for it would just thrash the
+                // sleeping workers during serial phases of the program.
+                // They stay parked until a wider round (or `done`) arrives;
+                // the committer alone keeps the simulation live.
+                if !single {
+                    self.gate_cv.notify_all();
+                }
             }
         }
 
@@ -405,8 +735,9 @@ mod imp {
             CURRENT.with(|c| c.set(prev));
             match slot.intent.load(Ordering::Acquire) {
                 INTENT_YIELD => {
+                    // Re-entry happens at commit (the intent scan), which
+                    // keeps the next round's order deterministic.
                     slot.core.status.store(ST_READY, Ordering::Release);
-                    self.shared.enqueue(tid);
                 }
                 INTENT_BLOCK => {
                     if slot
@@ -420,9 +751,11 @@ mod imp {
                         )
                         .is_err()
                     {
-                        // WokenEarly: a message landed while we switched out.
+                        // WokenEarly (defensive; unreachable under the epoch
+                        // discipline): convert to a yield so the commit
+                        // scan re-enqueues it.
                         slot.core.status.store(ST_READY, Ordering::Release);
-                        self.shared.enqueue(tid);
+                        slot.intent.store(INTENT_YIELD, Ordering::Release);
                     }
                 }
                 INTENT_FINISH => {
@@ -435,26 +768,13 @@ mod imp {
                         );
                         std::process::abort();
                     }
-                    if self.shared.live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        self.shared.work_cv.notify_all();
-                    }
+                    self.shared.live.fetch_sub(1, Ordering::AcqRel);
                 }
                 other => {
                     // A fiber switched out without announcing an intent:
                     // scheduler invariant broken.
                     eprintln!("mpisim: fiber {tid} suspended with invalid intent {other}");
                     std::process::abort();
-                }
-            }
-        }
-
-        /// Wake every blocked task with the poison flag set: their pending
-        /// blocking operation returns a deadlock [`MpiError::Timeout`].
-        fn poison_all(&self) {
-            for slot in &self.slots {
-                if slot.core.status.load(Ordering::Acquire) == ST_BLOCKED {
-                    slot.core.poisoned.store(true, Ordering::Release);
-                    wake_core(&slot.core, &self.shared);
                 }
             }
         }
@@ -492,10 +812,23 @@ mod imp {
         }
     }
 
-    /// Cooperatively yield: re-enqueue the current task at the back of the
-    /// ready queue and run someone else. On a plain thread this is
-    /// `std::thread::yield_now` — poll loops in the libraries call this so
-    /// they behave correctly under both backends.
+    /// Stage an outgoing message with the current task for delivery at the
+    /// next epoch commit. Returns the message back when the caller is not
+    /// on a scheduler fiber (thread backend: deliver immediately).
+    pub(crate) fn try_stage_send(dest: usize, msg: Message) -> Option<Message> {
+        match current_slot() {
+            None => Some(msg),
+            Some(slot) => {
+                unsafe { (*slot.staged.get()).push((dest, msg)) };
+                None
+            }
+        }
+    }
+
+    /// Cooperatively yield: finish this task's epoch slice and run again in
+    /// the next epoch (after all staged deliveries commit). On a plain
+    /// thread this is `std::thread::yield_now` — poll loops in the
+    /// libraries call this so they behave correctly under both backends.
     pub fn yield_now() {
         match current_slot() {
             None => std::thread::yield_now(),
@@ -584,7 +917,7 @@ mod imp {
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub use imp::yield_now;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
-pub(crate) use imp::{claim_coop, probe_coop, record_panic, Scheduler};
+pub(crate) use imp::{claim_coop, probe_coop, record_panic, try_stage_send, Scheduler};
 
 // ---------------------------------------------------------------------------
 // Fallback for targets without a fiber implementation
@@ -595,6 +928,13 @@ pub(crate) use imp::{claim_coop, probe_coop, record_panic, Scheduler};
 #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
 pub fn yield_now() {
     std::thread::yield_now();
+}
+
+/// Without fibers nothing is ever staged: the message bounces straight
+/// back to the caller for immediate delivery.
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) fn try_stage_send(_dest: usize, msg: Message) -> Option<Message> {
+    Some(msg)
 }
 
 #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
@@ -615,4 +955,52 @@ pub(crate) fn probe_coop(
     _vnow: Time,
 ) -> Result<MsgInfo> {
     unreachable!("cooperative backend unavailable on this target")
+}
+
+#[cfg(all(test, unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod tests {
+    use super::imp::StackSlab;
+
+    #[test]
+    fn stack_slab_skips_guards_when_vma_budget_is_tight() {
+        // 2^15 ranks would need 2^16 VMAs for guards — past the default
+        // Linux vm.max_map_count. The slab must fall back to one unguarded
+        // mapping (canary-only) instead of exhausting the budget and
+        // starving later mmaps (e.g. worker-thread stacks).
+        #[cfg(target_os = "linux")]
+        {
+            let slab = StackSlab::new(1 << 15, 16 * 1024);
+            assert!(
+                !slab.guarded(),
+                "paper-scale slabs must stay one O(1)-VMA mapping"
+            );
+            // Regions remain usable.
+            unsafe { slab.region((1 << 15) - 1).write(0x5A) };
+        }
+    }
+
+    #[test]
+    fn stack_slab_guards_and_isolates_regions() {
+        let per = 64 * 1024;
+        let slab = StackSlab::new(4, per);
+        // On every supported CI target mmap is available, so overruns
+        // must fault (a PROT_NONE page sits below each stack).
+        #[cfg(target_os = "linux")]
+        assert!(slab.guarded(), "linux slabs must carry guard pages");
+        for i in 0..4 {
+            let r = slab.region(i);
+            // Usable regions are writable end to end and non-overlapping.
+            unsafe {
+                r.write(0xAB);
+                r.add(slab.per - 1).write(0xCD);
+            }
+            if i > 0 {
+                let prev_end = unsafe { slab.region(i - 1).add(slab.per) };
+                assert!(
+                    unsafe { prev_end.add(if slab.guarded() { 1 } else { 0 }) } <= r,
+                    "regions must not overlap"
+                );
+            }
+        }
+    }
 }

@@ -123,6 +123,56 @@ pub trait Transport: Clone + Send + 'static {
         Ok(())
     }
 
+    /// Buffered send of a shared buffer: clones the `Arc`, not the
+    /// payload — the fan-out path of broadcast/scatter trees, where the
+    /// same buffer goes to every child. Costs are identical to an owned
+    /// send of the same bytes.
+    fn send_shared<T: Datum>(&self, data: &Arc<Vec<T>>, dest: usize, tag: Tag) -> Result<()> {
+        self.check_rank(dest)?;
+        self.state().send_global_shared(
+            self.translate(dest),
+            tag,
+            self.ctx(),
+            Arc::clone(data),
+            self.cost_scale(),
+        );
+        Ok(())
+    }
+
+    /// Blocking receive keeping the payload behind an `Arc` (no copy):
+    /// the receive path of fan-out stages that forward the buffer onward
+    /// with [`Transport::send_shared`].
+    fn recv_shared<T: Datum>(&self, src: Src, tag: Tag) -> Result<(Arc<Vec<T>>, Status)> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let pat = self.pattern(src, tag);
+        let m = self.state().recv_match(&pat)?;
+        let (data, info) = m.take_shared::<T>()?;
+        let st = self.status_of(&info);
+        Ok((data, st))
+    }
+
+    /// Nonblocking shared-receive attempt (see [`Transport::recv_shared`]).
+    fn try_recv_shared<T: Datum>(
+        &self,
+        src: Src,
+        tag: Tag,
+    ) -> Result<Option<(Arc<Vec<T>>, Status)>> {
+        if let Src::Rank(r) = src {
+            self.check_rank(r)?;
+        }
+        let pat = self.pattern(src, tag);
+        match self.state().try_recv_match(&pat) {
+            None => Ok(None),
+            Some(m) => {
+                let (data, info) = m.take_shared::<T>()?;
+                let st = self.status_of(&info);
+                Ok(Some((data, st)))
+            }
+        }
+    }
+
     /// Blocking receive.
     fn recv<T: Datum>(&self, src: Src, tag: Tag) -> Result<(Vec<T>, Status)> {
         if let Src::Rank(r) = src {

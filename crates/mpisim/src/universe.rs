@@ -46,10 +46,13 @@ pub enum Backend {
     /// up to a few hundred ranks.
     Threads,
     /// The cooperative fiber scheduler: all ranks multiplexed over
-    /// [`SimConfig::coop_workers`] OS threads, blocking points yield, and
-    /// with one worker (the default) runs are fully deterministic in the
-    /// seed. Required for the paper's large-p regime (up to 2^15 ranks).
-    /// On targets without fiber support this falls back to `Threads`.
+    /// [`SimConfig::coop_workers`] OS threads under an epoch discipline
+    /// that makes runs **bit-for-bit deterministic in `(program, seed)`
+    /// for any worker count** — message deliveries commit at epoch
+    /// boundaries in global virtual-time order (see [`crate::sched`] and
+    /// DESIGN.md §5). Required for the paper's large-p regime (up to 2^15
+    /// ranks). On targets without fiber support this falls back to
+    /// `Threads`.
     Cooperative,
 }
 
@@ -70,17 +73,25 @@ pub struct SimConfig {
     pub stack_size: usize,
     /// Which runtime executes rank bodies.
     pub backend: Backend,
-    /// Worker threads of the cooperative scheduler. 1 (the default) makes
-    /// the schedule — and therefore message-delivery order — a pure
-    /// function of the seed.
+    /// Worker threads of the cooperative scheduler. The epoch discipline
+    /// makes the schedule — and therefore message-delivery order — a pure
+    /// function of `(program, seed)` for **every** worker count, so this
+    /// is purely a throughput knob: raise it to the host's core count to
+    /// run independent ranks of each epoch in parallel with identical
+    /// output.
     pub coop_workers: usize,
     /// Fiber stack size per rank under [`Backend::Cooperative`]. All fiber
-    /// stacks are carved from one commit-on-touch slab, so the virtual
-    /// reservation is `p * coop_stack_size` — the 128 KiB default keeps a
-    /// 2^15-rank universe at a 4 GiB reservation, which Linux's heuristic
-    /// overcommit admits on ordinary dev machines. Raise it for rank
-    /// bodies with deep recursion (there are no guard pages; an overrun
-    /// is caught only probabilistically, by a bottom-of-stack canary).
+    /// stacks are carved from one commit-on-touch `mmap` slab with a
+    /// `PROT_NONE` **guard page** below each stack, so an overrun faults
+    /// instead of corrupting the neighbouring fiber (plus a bottom-of-stack
+    /// canary as a second line). Guards cost ~2·p kernel VMAs, so above
+    /// roughly 30k ranks (half the default Linux `vm.max_map_count`) the
+    /// slab stays a single unguarded mapping and the canary is the only
+    /// line — as is the rare `mmap`-unavailable heap fallback. The virtual
+    /// reservation is about `p * (coop_stack_size + page)` — the 128 KiB
+    /// default keeps a 2^15-rank universe at a ~4 GiB `MAP_NORESERVE`
+    /// reservation, of which only touched pages are committed. Raise it
+    /// for rank bodies with deep recursion.
     pub coop_stack_size: usize,
 }
 
@@ -100,10 +111,19 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Default configuration on the cooperative scheduler backend.
+    /// Default configuration on the cooperative scheduler backend. The
+    /// worker-pool size honours the `MPISIM_COOP_WORKERS` environment
+    /// variable (default 1) so sweeps and CI can parallelise without code
+    /// changes — results are identical for any worker count.
     pub fn cooperative() -> SimConfig {
+        let workers = std::env::var("MPISIM_COOP_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
         SimConfig {
             backend: Backend::Cooperative,
+            coop_workers: workers,
             ..SimConfig::default()
         }
     }
@@ -114,7 +134,8 @@ impl SimConfig {
         self
     }
 
-    /// Replace the cooperative worker count (1 = deterministic).
+    /// Replace the cooperative worker count (any count is deterministic;
+    /// more workers only changes wall-clock speed).
     pub fn with_workers(mut self, workers: usize) -> SimConfig {
         self.coop_workers = workers.max(1);
         self
@@ -232,7 +253,7 @@ impl Universe {
 
         match cfg.backend {
             Backend::Cooperative if sched::SUPPORTED => {
-                Self::run_coop(p, &cfg, &f, &states, &results)
+                Self::run_coop(p, &cfg, &f, &router, &states, &results)
             }
             _ => Self::run_threads(p, &cfg, &f, &states, &results),
         }
@@ -294,13 +315,14 @@ impl Universe {
         p: usize,
         cfg: &SimConfig,
         f: &F,
+        router: &Arc<Router>,
         states: &[Arc<ProcState>],
         results: &Mutex<Vec<Option<R>>>,
     ) where
         R: Send,
         F: Fn(ProcEnv) -> R + Send + Sync,
     {
-        let scheduler = sched::Scheduler::new(p, cfg.coop_stack_size);
+        let scheduler = sched::Scheduler::new(p, cfg.coop_stack_size, Arc::clone(router));
         let store = scheduler.panic_store();
         for rank in 0..p {
             let state = Arc::clone(&states[rank]);
@@ -348,6 +370,7 @@ impl Universe {
         p: usize,
         cfg: &SimConfig,
         f: &F,
+        _router: &Arc<Router>,
         states: &[Arc<ProcState>],
         results: &Mutex<Vec<Option<R>>>,
     ) where

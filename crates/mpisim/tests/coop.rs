@@ -1,7 +1,9 @@
 //! Cooperative-backend semantics: the scheduler must preserve every MPI
-//! behaviour the thread backend exhibits, detect deadlocks exactly, and —
-//! with one worker — deliver messages in an order that is a pure function
-//! of the seed.
+//! behaviour the thread backend exhibits, detect deadlocks exactly, and
+//! deliver messages in an order that is a pure function of `(program,
+//! seed)` — **for every worker count**: the epoch discipline commits
+//! deliveries in global virtual-time order, so `coop_workers ∈ {1, 2, 4,
+//! 8}` must produce bit-identical delivery logs, clocks, and sort outputs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -134,10 +136,18 @@ fn coop_yield_fairness_under_polling() {
 /// Observed delivery log of one run: for every rank, the sequence of
 /// `(source, value)` pairs its wildcard receives matched, plus its final
 /// virtual clock.
-fn storm_delivery_log(p: usize, per: usize, seed: u64) -> Vec<(Vec<(usize, u64)>, Time)> {
+fn storm_delivery_log(
+    p: usize,
+    per: usize,
+    seed: u64,
+    workers: usize,
+) -> Vec<(Vec<(usize, u64)>, Time)> {
     let logs: Arc<Mutex<Vec<Vec<(usize, u64)>>>> = Arc::new(Mutex::new(vec![Vec::new(); p]));
     let logs2 = Arc::clone(&logs);
-    let res = Universe::run(p, SimConfig::cooperative().with_seed(seed), move |env| {
+    let cfg = SimConfig::cooperative()
+        .with_seed(seed)
+        .with_workers(workers);
+    let res = Universe::run(p, cfg, move |env| {
         let w = &env.world;
         // All-to-all storm: every rank sends `per` tagged messages to
         // every other rank, then wildcard-receives its share.
@@ -163,18 +173,34 @@ fn storm_delivery_log(p: usize, per: usize, seed: u64) -> Vec<(Vec<(usize, u64)>
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
-    // With one worker, the schedule is a pure function of the seed: two
-    // runs with the same seed deliver every message to every rank in the
-    // identical order (and reach identical virtual clocks).
+    // The schedule is a pure function of the seed: two runs with the same
+    // seed deliver every message to every rank in the identical order (and
+    // reach identical virtual clocks).
     #[test]
     fn same_seed_same_delivery_order(
         p in 2usize..10,
         per in 1usize..5,
         seed in any::<u64>(),
     ) {
-        let a = storm_delivery_log(p, per, seed);
-        let b = storm_delivery_log(p, per, seed);
+        let a = storm_delivery_log(p, per, seed, 1);
+        let b = storm_delivery_log(p, per, seed, 1);
         prop_assert_eq!(a, b);
+    }
+
+    // The epoch discipline makes the worker count irrelevant to the
+    // simulation: wildcard delivery order, per-rank clocks — everything —
+    // must be bit-identical across coop_workers ∈ {1, 2, 4, 8}.
+    #[test]
+    fn any_worker_count_same_delivery_order(
+        p in 2usize..10,
+        per in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let serial = storm_delivery_log(p, per, seed, 1);
+        for workers in [2usize, 4, 8] {
+            let parallel = storm_delivery_log(p, per, seed, workers);
+            prop_assert_eq!(&serial, &parallel, "workers = {}", workers);
+        }
     }
 
     // Cooperative and thread backends agree on all value-level results

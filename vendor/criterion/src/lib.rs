@@ -9,9 +9,19 @@
 //! criterion's statistical machinery. Results print as
 //! `group/name  ...  <mean> ns/iter`; there is no outlier analysis, HTML
 //! report, or saved baseline.
+//!
+//! One extension over upstream: every run also appends its results to a
+//! process-wide registry and — via the `criterion_main!`-generated `main` —
+//! writes `results/BENCH_<bench-binary>.json` (per-benchmark ns/iter plus
+//! total wall-clock), so CI can archive and compare benchmark output
+//! without scraping stdout.
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Completed measurements of this process, in execution order.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Opaque value barrier, mirroring `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -81,11 +91,9 @@ impl BenchmarkGroup<'_> {
     fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
         let mut b = Bencher { mean_ns: f64::NAN };
         f(&mut b);
-        println!(
-            "{:<52} {:>14.1} ns/iter",
-            format!("{}/{id}", self.name),
-            b.mean_ns
-        );
+        let full = format!("{}/{id}", self.name);
+        println!("{full:<52} {:>14.1} ns/iter", b.mean_ns);
+        record(full, b.mean_ns);
     }
 
     /// Benchmark a closure under `id`.
@@ -130,7 +138,52 @@ impl Criterion {
         let mut b = Bencher { mean_ns: f64::NAN };
         f(&mut b);
         println!("{id:<52} {:>14.1} ns/iter", b.mean_ns);
+        record(id.to_string(), b.mean_ns);
         self
+    }
+}
+
+fn record(id: String, mean_ns: f64) {
+    RESULTS.lock().unwrap().push((id, mean_ns));
+}
+
+/// Write `results/BENCH_<name>.json` with every measurement recorded so far
+/// plus the harness wall-clock. `name` is the bench binary's file stem with
+/// cargo's trailing `-<hash>` stripped. Called by the `criterion_main!`
+/// expansion; harmless to call manually.
+pub fn write_json_report(wall_clock_s: f64) {
+    let name = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|stem| match stem.rsplit_once('-') {
+            // cargo names bench binaries `<name>-<16-hex-hash>`.
+            Some((base, hash))
+                if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                base.to_string()
+            }
+            _ => stem,
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let results = RESULTS.lock().unwrap();
+    let mut out =
+        format!("{{\"bench\":{name:?},\"wall_clock_s\":{wall_clock_s:.3},\"benchmarks\":[");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if ns.is_finite() {
+            out.push_str(&format!("{{\"id\":{id:?},\"ns_per_iter\":{ns:.1}}}"));
+        } else {
+            out.push_str(&format!("{{\"id\":{id:?},\"ns_per_iter\":null}}"));
+        }
+    }
+    out.push_str("]}\n");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if std::fs::write(&path, out).is_ok() {
+        eprintln!("wrote {}", path.display());
     }
 }
 
@@ -151,7 +204,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let t0 = std::time::Instant::now();
             $($group();)+
+            $crate::write_json_report(t0.elapsed().as_secs_f64());
         }
     };
 }
