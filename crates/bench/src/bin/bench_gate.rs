@@ -1,0 +1,154 @@
+//! The CI bench-regression gate.
+//!
+//! Compares the current quick-mode bench artefacts
+//! (`results/BENCH_micro.json`, `results/BENCH_largep.json`) against the
+//! committed `results/BENCH_baseline.json` and exits non-zero on any
+//! metric more than 30 % slower than its baseline, printing a per-bench
+//! delta table. Virtual-time metrics are deterministic, so any delta there
+//! is a real model change; host-measured ns/iter metrics get the same
+//! tolerance, which absorbs normal machine jitter.
+//!
+//! Usage:
+//!
+//! * `bench_gate` — gate the current `results/` against the baseline.
+//!   `BENCH_GATE_TOLERANCE` (fractional, default `0.30`) widens the gate;
+//!   `BENCH_BASELINE` overrides the baseline path.
+//! * `bench_gate --write-baseline` — regenerate
+//!   `results/BENCH_baseline.json` from the current artefacts (run the
+//!   quick-mode micro + largep benches first).
+
+use std::process::ExitCode;
+
+use rbc_bench::gate::{self, Metric, Verdict};
+
+/// The artefacts the gate inspects, in report order. Each entry lists the
+/// candidate paths for one artefact: `cargo bench` binaries run with the
+/// package directory as cwd (so the criterion shim writes under
+/// `crates/bench/results/`), while the figure bins run from the workspace
+/// root (`results/`).
+const CURRENT: &[&[&str]] = &[
+    &[
+        "results/BENCH_micro.json",
+        "crates/bench/results/BENCH_micro.json",
+    ],
+    &["results/BENCH_largep.json"],
+];
+
+fn load_metrics(candidates: &[&str]) -> Vec<Metric> {
+    // When several candidates exist (e.g. a stale CI artifact in
+    // `results/` next to a freshly written `crates/bench/results/` file),
+    // take the most recently modified one and say so.
+    let mut existing: Vec<(&str, std::time::SystemTime)> = candidates
+        .iter()
+        .filter_map(|p| {
+            let mtime = std::fs::metadata(p).and_then(|m| m.modified()).ok()?;
+            Some((*p, mtime))
+        })
+        .collect();
+    existing.sort_by_key(|&(_, mtime)| std::cmp::Reverse(mtime));
+    if existing.len() > 1 {
+        eprintln!(
+            "bench_gate: {} copies of this artefact exist; using the newest, {}",
+            existing.len(),
+            existing[0].0
+        );
+    }
+    let Some(&(path, _)) = existing.first() else {
+        eprintln!("bench_gate: none of {candidates:?} found");
+        return Vec::new();
+    };
+    match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+        Ok(s) => match gate::parse(&s) {
+            Ok(doc) => gate::metrics_of(&doc),
+            Err(e) => {
+                eprintln!("bench_gate: {path}: malformed JSON ({e})");
+                Vec::new()
+            }
+        },
+        Err(e) => {
+            eprintln!("bench_gate: {path}: {e}");
+            Vec::new()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let baseline_path = std::env::var("BENCH_BASELINE")
+        .unwrap_or_else(|_| "results/BENCH_baseline.json".to_string());
+
+    let current: Vec<Metric> = CURRENT.iter().flat_map(|p| load_metrics(p)).collect();
+    if write_baseline {
+        if current.is_empty() {
+            eprintln!("bench_gate: no metrics found — run the quick-mode benches first");
+            return ExitCode::FAILURE;
+        }
+        let json = gate::baseline_json(&current);
+        if let Err(e) = std::fs::write(&baseline_path, json) {
+            eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_gate: wrote {baseline_path} ({} metrics)",
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => match gate::parse(&s) {
+            Ok(doc) => gate::baseline_metrics(&doc),
+            Err(e) => {
+                eprintln!("bench_gate: {baseline_path}: malformed baseline ({e})");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path}: {e} (commit one with --write-baseline)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.30);
+
+    let rows = gate::compare(&baseline, &current, tolerance);
+    println!("\n| metric | baseline ns | current ns | delta | status |\n|---|---|---|---|---|");
+    let lookup = |set: &[Metric], id: &str| {
+        set.iter()
+            .find(|m| m.id == id)
+            .map_or("-".to_string(), |m| format!("{:.1}", m.ns))
+    };
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for (id, verdict) in &rows {
+        let (delta, status) = match verdict {
+            Verdict::Ok(d) => (format!("{:+.1}%", d * 100.0), "ok"),
+            Verdict::Regressed(d) => {
+                regressions += 1;
+                (format!("{:+.1}%", d * 100.0), "REGRESSED")
+            }
+            Verdict::Missing => {
+                missing += 1;
+                ("-".to_string(), "MISSING")
+            }
+            Verdict::New => ("-".to_string(), "new"),
+        };
+        println!(
+            "| {id} | {} | {} | {delta} | {status} |",
+            lookup(&baseline, id),
+            lookup(&current, id)
+        );
+    }
+    println!(
+        "\nbench_gate: {} metrics, {regressions} regression(s) beyond {:.0}%, {missing} missing",
+        rows.len(),
+        tolerance * 100.0
+    );
+    if regressions > 0 || missing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

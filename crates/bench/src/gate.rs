@@ -1,0 +1,482 @@
+//! The bench-regression gate.
+//!
+//! CI archives machine-readable `results/BENCH_<name>.json` files — the
+//! criterion shim's per-benchmark ns/iter and the figure harness's virtual
+//! time tables. This module turns those files into a flat
+//! `metric id → ns` map, diffs a run against the committed
+//! `results/BENCH_baseline.json`, and reports regressions; the `bench_gate`
+//! binary drives it and fails the `large-universe` CI job on any
+//! regression beyond the tolerance (default +30 %).
+//!
+//! Virtual-time metrics (the figure tables, reported in ms and normalised
+//! to ns here) are **deterministic**: any delta at all is a real model or
+//! algorithm change, so the gate is noise-free for them. Host-measured
+//! metrics (criterion ns/iter) wobble with the machine; the 30 % default
+//! tolerance absorbs normal jitter, and `BENCH_GATE_TOLERANCE` can widen
+//! it for unusually noisy environments. Wall-clock tables (unit `s`) are
+//! environment, not model, and are excluded.
+//!
+//! The vendored offline shims have no serde, so this module carries a
+//! minimal JSON reader sufficient for the files the harness itself writes
+//! (objects, arrays, ASCII strings with standard escapes, numbers, `null`,
+//! booleans).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (just enough for the bench artefacts).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (skipped benchmark cells).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, or empty.
+    pub fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// The string value, or empty.
+    pub fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            _ => "",
+        }
+    }
+
+    /// The numeric value, if a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Returns `Err` with a byte offset on malformed
+/// input.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, i);
+    if *i < b.len() && b[*i] == c {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, i))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            let mut m = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, i);
+                let k = parse_string(b, i)?;
+                expect(b, i, b':')?;
+                m.push((k, parse_value(b, i)?));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut v = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, i)?)),
+        Some(b'n') if b[*i..].starts_with(b"null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(_) => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*i) {
+        *i += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let e = *b.get(*i).ok_or("unterminated escape")?;
+                *i += 1;
+                out.push(match e {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    other => other as char, // the harness never emits \uXXXX
+                });
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// One gated data point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Flat id, e.g. `micro/mailbox/wildcard_scan_32_pending` or
+    /// `largep/tbl0/MPI_Comm_split/4096`.
+    pub id: String,
+    /// Nanoseconds (per iteration for criterion metrics, virtual ns for
+    /// figure tables).
+    pub ns: f64,
+}
+
+/// Extract metrics from either artefact flavour: the criterion shim's
+/// `{"bench", "benchmarks": [{"id", "ns_per_iter"}]}` or the figure
+/// harness's `{"bench", "tables": [{"title", "unit", "series", "rows"}]}`.
+/// Wall-clock tables (unit `"s"`) are excluded — they measure the host,
+/// not the model.
+pub fn metrics_of(doc: &Json) -> Vec<Metric> {
+    let bench = doc.get("bench").map_or("", Json::str);
+    let mut out = Vec::new();
+    for b in doc.get("benchmarks").map_or(&[][..], Json::arr) {
+        if let (id, Some(ns)) = (
+            b.get("id").map_or("", Json::str),
+            b.get("ns_per_iter").and_then(Json::num),
+        ) {
+            out.push(Metric {
+                id: format!("{bench}/{id}"),
+                ns,
+            });
+        }
+    }
+    for (ti, t) in doc
+        .get("tables")
+        .map_or(&[][..], Json::arr)
+        .iter()
+        .enumerate()
+    {
+        let unit = t.get("unit").map_or("", Json::str);
+        if unit == "s" {
+            continue;
+        }
+        let scale = if unit == "ms" { 1e6 } else { 1.0 };
+        let series: Vec<&str> = t
+            .get("series")
+            .map_or(&[][..], Json::arr)
+            .iter()
+            .map(Json::str)
+            .collect();
+        for row in t.get("rows").map_or(&[][..], Json::arr) {
+            let x = row.get("x").and_then(Json::num).unwrap_or(0.0);
+            for (si, v) in row
+                .get("values")
+                .map_or(&[][..], Json::arr)
+                .iter()
+                .enumerate()
+            {
+                if let Some(v) = v.num() {
+                    let name = series.get(si).copied().unwrap_or("?");
+                    out.push(Metric {
+                        id: format!("{bench}/tbl{ti}/{name}/{x}"),
+                        ns: v * scale,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Read metrics straight from a baseline document
+/// (`{"metrics": [{"id", "ns"}]}`).
+pub fn baseline_metrics(doc: &Json) -> Vec<Metric> {
+    doc.get("metrics")
+        .map_or(&[][..], Json::arr)
+        .iter()
+        .filter_map(|m| {
+            Some(Metric {
+                id: m.get("id")?.str().to_string(),
+                ns: m.get("ns").and_then(Json::num)?,
+            })
+        })
+        .collect()
+}
+
+/// Serialise metrics as a baseline document.
+pub fn baseline_json(metrics: &[Metric]) -> String {
+    let mut out = String::from("{\"metrics\":[\n");
+    for (i, m) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  {{\"id\":{:?},\"ns\":{:.3}}}", m.id, m.ns);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Outcome of one metric's comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (delta fraction recorded).
+    Ok(f64),
+    /// Slower than baseline by more than the tolerance.
+    Regressed(f64),
+    /// In the baseline but absent from the current run.
+    Missing,
+    /// In the current run but not the baseline (informational).
+    New,
+}
+
+/// Compare a run against the baseline. `tolerance` is fractional: `0.30`
+/// fails anything more than 30 % slower than its baseline value.
+pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<(String, Verdict)> {
+    let mut rows = Vec::new();
+    for b in baseline {
+        match current.iter().find(|c| c.id == b.id) {
+            Some(c) if b.ns > 0.0 => {
+                let delta = (c.ns - b.ns) / b.ns;
+                rows.push((
+                    b.id.clone(),
+                    if delta > tolerance {
+                        Verdict::Regressed(delta)
+                    } else {
+                        Verdict::Ok(delta)
+                    },
+                ));
+            }
+            // Zero-cost baseline: any positive current value is an
+            // unbounded relative regression, not a free pass.
+            Some(c) if c.ns > 0.0 => {
+                rows.push((b.id.clone(), Verdict::Regressed(f64::INFINITY)));
+            }
+            Some(_) => rows.push((b.id.clone(), Verdict::Ok(0.0))),
+            None => rows.push((b.id.clone(), Verdict::Missing)),
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            rows.push((c.id.clone(), Verdict::New));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_harness_output() {
+        let doc = parse(
+            r#"{"bench":"micro","wall_clock_s":1.5,
+                "benchmarks":[{"id":"group/subrange","ns_per_iter":12.5},
+                              {"id":"skipped","ns_per_iter":null}]}"#,
+        )
+        .unwrap();
+        let m = metrics_of(&doc);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].id, "micro/group/subrange");
+        assert_eq!(m[0].ns, 12.5);
+    }
+
+    #[test]
+    fn parses_figure_tables_and_skips_wall_clock() {
+        let doc = parse(
+            r#"{"bench":"largep","workers":1,"wall_clock_s":9.0,"tables":[
+                {"title":"comms","xlabel":"p","unit":"ms","series":["RBC","split"],
+                 "rows":[{"x":1024,"values":[0.0001,null]},{"x":2048,"values":[0.0001,1.5]}]},
+                {"title":"wall","xlabel":"p","unit":"s","series":["w"],
+                 "rows":[{"x":1024,"values":[3.5]}]}]}"#,
+        )
+        .unwrap();
+        let m = metrics_of(&doc);
+        let ids: Vec<&str> = m.iter().map(|x| x.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "largep/tbl0/RBC/1024",
+                "largep/tbl0/RBC/2048",
+                "largep/tbl0/split/2048"
+            ]
+        );
+        // ms normalised to ns.
+        assert_eq!(m[2].ns, 1.5e6);
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let metrics = vec![
+            Metric {
+                id: "micro/a \"quoted\"".into(),
+                ns: 1.5,
+            },
+            Metric {
+                id: "largep/tbl0/x/1".into(),
+                ns: 2e6,
+            },
+        ];
+        let doc = parse(&baseline_json(&metrics)).unwrap();
+        assert_eq!(baseline_metrics(&doc), metrics);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let base = vec![
+            Metric {
+                id: "a".into(),
+                ns: 100.0,
+            },
+            Metric {
+                id: "b".into(),
+                ns: 100.0,
+            },
+            Metric {
+                id: "gone".into(),
+                ns: 1.0,
+            },
+        ];
+        let cur = vec![
+            Metric {
+                id: "a".into(),
+                ns: 129.0,
+            }, // +29% — within 30%
+            Metric {
+                id: "b".into(),
+                ns: 131.0,
+            }, // +31% — regression
+            Metric {
+                id: "fresh".into(),
+                ns: 1.0,
+            },
+        ];
+        let rows = compare(&base, &cur, 0.30);
+        assert!(matches!(rows[0].1, Verdict::Ok(d) if (d - 0.29).abs() < 1e-9));
+        assert!(matches!(rows[1].1, Verdict::Regressed(d) if (d - 0.31).abs() < 1e-9));
+        assert_eq!(rows[2].1, Verdict::Missing);
+        assert_eq!(rows[3].1, Verdict::New);
+    }
+
+    #[test]
+    fn zero_baseline_is_not_a_free_pass() {
+        let base = vec![
+            Metric {
+                id: "zero".into(),
+                ns: 0.0,
+            },
+            Metric {
+                id: "still_zero".into(),
+                ns: 0.0,
+            },
+        ];
+        let cur = vec![
+            Metric {
+                id: "zero".into(),
+                ns: 5.0,
+            },
+            Metric {
+                id: "still_zero".into(),
+                ns: 0.0,
+            },
+        ];
+        let rows = compare(&base, &cur, 0.30);
+        assert!(matches!(rows[0].1, Verdict::Regressed(d) if d.is_infinite()));
+        assert_eq!(rows[1].1, Verdict::Ok(0.0));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("123 456").is_err());
+    }
+}

@@ -12,6 +12,7 @@
 use std::fs;
 
 pub mod figs;
+pub mod gate;
 use std::path::Path;
 
 use mpisim::{SimConfig, Time};
@@ -100,10 +101,9 @@ impl Table {
         }
     }
 
-    /// Write `results/<name>.csv`.
-    pub fn write_csv(&self, name: &str) {
-        let dir = Path::new("results");
-        let _ = fs::create_dir_all(dir);
+    /// Render the table as CSV. Non-finite cells render empty —
+    /// downstream plotting must never have to parse a literal `NaN`.
+    pub fn to_csv(&self) -> String {
         let mut out = self.xlabel.clone();
         for s in &self.series {
             out.push_str(&format!(",{s}"));
@@ -112,12 +112,23 @@ impl Table {
         for (x, vals) in &self.rows {
             out.push_str(&x.to_string());
             for v in vals {
-                out.push_str(&format!(",{v:.6}"));
+                if v.is_finite() {
+                    out.push_str(&format!(",{v:.6}"));
+                } else {
+                    out.push(',');
+                }
             }
             out.push('\n');
         }
+        out
+    }
+
+    /// Write `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let dir = Path::new("results");
+        let _ = fs::create_dir_all(dir);
         let path = dir.join(format!("{name}.csv"));
-        if fs::write(&path, out).is_ok() {
+        if fs::write(&path, self.to_csv()).is_ok() {
             eprintln!("wrote {}", path.display());
         }
     }
@@ -231,6 +242,19 @@ mod tests {
         t.push(2, vec![0.25, 2.5]);
         assert_eq!(t.rows.len(), 2);
         t.print(); // smoke
+    }
+
+    #[test]
+    fn non_finite_cells_serialise_as_empty_and_null() {
+        let mut t = Table::new("t", "x", &["a", "b"]);
+        t.push(1, vec![0.5, f64::NAN]);
+        let json = t.to_json();
+        assert!(json.contains("null"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        // CSV rendering of a non-finite cell is an empty field.
+        let csv = t.to_csv();
+        assert!(csv.lines().any(|l| l == "1,0.500000,"), "{csv}");
+        assert!(!csv.contains("NaN"), "{csv}");
     }
 
     #[test]

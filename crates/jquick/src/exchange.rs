@@ -38,53 +38,13 @@ pub mod tags {
     pub const X_STAGED_VALS: Tag = 46;
 }
 
-/// Run-length-encode position-tagged elements for the staged exchange's
-/// wire format. `tagged` **must be sorted by position**; consecutive
-/// positions collapse into one `(first_pos, len)` header, and the values
-/// ship position-sorted in a separate plain `Vec<T>`. Compared to the old
-/// `Vec<(T, u64)>` pair encoding (16 bytes per `u64` element), this costs
-/// `8·n + 16·runs` bytes — **half** whenever runs are long, which they are
-/// by construction: each process ships a handful of contiguous partition
-/// chunks per bisection round. Headers and values travel as two messages
-/// (payloads are typed, not serialized), so a non-empty edge pays one
-/// extra α; empty edges elide the values frame and cost one α as before.
-/// The byte claim is therefore exact while the *virtual-time* win needs
-/// rounds that ship more than a few machine words — true everywhere
-/// except the tiniest n/p.
-pub fn encode_runs<T: SortKey>(tagged: Vec<(T, u64)>) -> (Vec<(u64, u64)>, Vec<T>) {
-    let mut runs: Vec<(u64, u64)> = Vec::new();
-    let mut vals: Vec<T> = Vec::with_capacity(tagged.len());
-    for (x, pos) in tagged {
-        match runs.last_mut() {
-            Some((first, len)) if *first + *len == pos => *len += 1,
-            _ => runs.push((pos, 1)),
-        }
-        vals.push(x);
-    }
-    (runs, vals)
-}
-
-/// Inverse of [`encode_runs`]: expand `(first_pos, len)` headers and the
-/// position-sorted values back into `(value, position)` pairs.
-///
-/// # Panics
-/// If the header lengths do not sum to `vals.len()` (a framing bug).
-pub fn decode_runs<T: SortKey>(runs: &[(u64, u64)], vals: Vec<T>) -> Vec<(T, u64)> {
-    let total: u64 = runs.iter().map(|&(_, len)| len).sum();
-    assert_eq!(
-        total as usize,
-        vals.len(),
-        "staged-exchange framing mismatch"
-    );
-    let mut out = Vec::with_capacity(vals.len());
-    let mut it = vals.into_iter();
-    for &(first, len) in runs {
-        for k in 0..len {
-            out.push((it.next().expect("length checked"), first + k));
-        }
-    }
-    out
-}
+// The run wire format is shared with mpisim's distributed-sort
+// `MPI_Comm_split` and now lives in `mpisim::distsort`; re-exported here so
+// existing `jquick::exchange::{encode_runs, decode_runs}` users keep
+// working. The byte claim is exact while the *virtual-time* win needs
+// rounds that ship more than a few machine words — true everywhere except
+// the tiniest n/p.
+pub use mpisim::distsort::{decode_runs, encode_runs};
 
 /// Which exchange algorithm to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -265,6 +225,10 @@ impl<T: SortKey, C: Transport> GreedyExchange<T, C> {
 // Staged (recursive bisection)
 // ---------------------------------------------------------------------------
 
+/// A sender this round still owes us data: its task-comm rank, plus its
+/// run headers once those arrived.
+type PendingSender = (usize, Option<Vec<(u64, u64)>>);
+
 /// Staged exchange: elements move toward their final owner through
 /// O(log p) bisection rounds; each round halves the process range.
 ///
@@ -287,7 +251,7 @@ pub struct StagedExchange<T: SortKey, C: Transport> {
     /// run headers once those arrived (headers and values are separate
     /// messages; either can land first in the mailbox, but per-sender FIFO
     /// means headers — sent first — are always claimable first).
-    await_from: Vec<(usize, Option<Vec<(u64, u64)>>)>,
+    await_from: Vec<PendingSender>,
     done: bool,
 }
 
@@ -495,42 +459,6 @@ mod tests {
                 assert!(senders <= 2, "q={q} me={me} senders={senders}");
             }
         }
-    }
-
-    #[test]
-    fn runs_roundtrip_and_compress() {
-        // Two contiguous chunks (the shape every bisection round ships) and
-        // one stray element.
-        let tagged: Vec<(u64, u64)> = (100..180u64)
-            .map(|p| (p * 3, p))
-            .chain((500..520u64).map(|p| (p * 3, p)))
-            .chain(std::iter::once((9u64, 900u64)))
-            .collect();
-        let n = tagged.len();
-        let (runs, vals) = encode_runs(tagged.clone());
-        assert_eq!(runs, vec![(100, 80), (500, 20), (900, 1)]);
-        assert_eq!(vals.len(), n);
-        assert_eq!(decode_runs(&runs, vals.clone()), tagged);
-        // Wire bytes: pairs shipped 16·n; runs ship 8·n + 16·runs.
-        let pair_bytes = n * std::mem::size_of::<(u64, u64)>();
-        let run_bytes = vals.len() * 8 + runs.len() * 16;
-        assert!(
-            run_bytes * 100 <= pair_bytes * 53,
-            "run encoding must roughly halve staged bytes: {run_bytes} vs {pair_bytes}"
-        );
-    }
-
-    #[test]
-    fn runs_empty_and_singletons() {
-        let (runs, vals) = encode_runs::<u64>(Vec::new());
-        assert!(runs.is_empty() && vals.is_empty());
-        assert_eq!(decode_runs::<u64>(&runs, vals), Vec::new());
-        // Fully scattered positions degrade to one run per element (worst
-        // case: same bytes as the pair encoding, never more).
-        let tagged: Vec<(u64, u64)> = (0..10u64).map(|p| (p, p * 2)).collect();
-        let (runs, vals) = encode_runs(tagged.clone());
-        assert_eq!(runs.len(), 10);
-        assert_eq!(decode_runs(&runs, vals), tagged);
     }
 
     #[test]

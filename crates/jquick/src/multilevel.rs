@@ -221,7 +221,7 @@ mod tests {
     fn duplicates_and_empty_ranks() {
         let res = Universe::run_default(6, |env| {
             let world = RbcComm::create(&env.world);
-            let data = if world.rank() % 2 == 0 {
+            let data = if world.rank().is_multiple_of(2) {
                 vec![7u64; 30]
             } else {
                 Vec::new()

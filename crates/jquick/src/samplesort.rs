@@ -41,20 +41,10 @@ pub fn sample_sort<T: SortKey + Datum>(
         return Ok(data);
     }
 
-    // 1. Sample and select p-1 splitters on rank 0, broadcast.
+    // 1. Sample and select p-1 splitters on rank 0, broadcast — the
+    //    splitter machinery shared with mpisim's distributed comm_split.
     let samples = draw_samples(&data, cfg.oversample, world.state());
-    let gathered = coll::gatherv(world, samples, 0, TAG_SAMPLES)?;
-    let mut splitters: Vec<T> = match gathered {
-        Some(per_rank) => {
-            let mut all: Vec<T> = per_rank.into_iter().flatten().collect();
-            world.charge_compute(all.len() * 4);
-            all.sort_by(T::cmp_key);
-            // Evenly spaced splitters.
-            (1..p).map(|i| all[i * all.len() / p]).collect()
-        }
-        None => Vec::new(),
-    };
-    coll::bcast(world, &mut splitters, 0, TAG_SAMPLES + 2)?;
+    let splitters = mpisim::distsort::select_splitters(world, samples, p, TAG_SAMPLES)?;
 
     // 2. Partition into p buckets by binary search on the splitters.
     let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();

@@ -4,9 +4,12 @@
 //! The two construction paths the paper benchmarks (Fig. 5) are implemented
 //! with their real algorithms so their costs *emerge* from the α–β model:
 //!
-//! * [`Comm::split`] — `MPI_Comm_split`: an all-gather of `(color, key)`
-//!   over the **parent** communicator, a local O(p log p) grouping, and a
-//!   context-ID-mask agreement over the parent;
+//! * [`Comm::split`] — `MPI_Comm_split`: by default the distributed
+//!   sample-sort algorithm of the private `splitdist` module (O(p log p) work,
+//!   O(√p + p/groups) memory per rank — what production MPI stacks run at
+//!   scale); the textbook all-gather of `(color, key)` over the **parent**
+//!   plus local O(p log p) grouping survives behind
+//!   [`SplitAlgo::Allgather`] as the correctness oracle;
 //! * [`Comm::create_group`] — `MPI_Comm_create_group`: collective only over
 //!   the **new group**'s members, a context-ID-mask all-reduce over that
 //!   group, and explicit O(g) group-array construction (the linear cost the
@@ -21,7 +24,7 @@ use crate::context::{mask_and, CtxMask, CtxPool};
 use crate::datum::ops;
 use crate::error::{MpiError, Result};
 use crate::group::Group;
-use crate::model::CreateGroupAlgo;
+use crate::model::{CreateGroupAlgo, SplitAlgo};
 use crate::msg::{ContextId, SrcFilter, Tag};
 use crate::proc::ProcState;
 use crate::tags;
@@ -80,7 +83,7 @@ impl Comm {
         self.with_new_ctx(ctx, group)
     }
 
-    fn with_new_ctx(&self, ctx: ContextId, group: Group) -> Result<Comm> {
+    pub(crate) fn with_new_ctx(&self, ctx: ContextId, group: Group) -> Result<Comm> {
         let rank = group
             .inverse(self.state.global_rank)
             .ok_or_else(|| MpiError::Usage("calling process not in new group".into()))?;
@@ -110,7 +113,13 @@ impl Comm {
     /// Agree on a fresh small context ID over the members of `view`
     /// (mask all-reduce with `MPI_BAND`, §III), claiming `n_ids`
     /// consecutive free IDs and returning the `idx`-th of them.
-    fn agree_ctx(&self, view: &Comm, tag: Tag, n_ids: usize, idx: usize) -> Result<ContextId> {
+    pub(crate) fn agree_ctx(
+        &self,
+        view: &Comm,
+        tag: Tag,
+        n_ids: usize,
+        idx: usize,
+    ) -> Result<ContextId> {
         let snapshot: CtxMask = self.state.ctx_pool.lock().snapshot();
         let reduced = coll::allreduce(view, &[snapshot], tag, ops::band_array::<u64, 32>())?[0];
         let mut pool = self.state.ctx_pool.lock();
@@ -143,40 +152,72 @@ impl Comm {
     /// `MPI_Comm_split`: every process of the parent passes a `color` and a
     /// `key`; processes are grouped by color and ranked by `(key, rank)`.
     ///
-    /// Cost structure (all emergent or charged per the vendor profile):
-    /// all-gather of `(color, key)` over the parent (Ω(α log p + βp)),
-    /// local O(p log p) grouping, one mask agreement over the parent, and
-    /// explicit O(g) group construction.
+    /// Dispatches on [`crate::model::VendorProfile::split_algo`]: the
+    /// distributed sample sort (`splitdist`, DESIGN.md §6) by default, or the
+    /// legacy all-gather oracle. Both produce identical groups, ranks,
+    /// and context IDs; they differ only in cost and memory shape.
     pub fn split(&self, color: u64, key: u64) -> Result<Comm> {
+        Ok(self
+            .split_with(Some(color), key)?
+            .expect("defined color always yields a communicator"))
+    }
+
+    /// [`Comm::split`] with `MPI_UNDEFINED` support: ranks passing
+    /// `color = None` take part in the collective but join no group and
+    /// receive `Ok(None)` (the `MPI_COMM_NULL` analogue).
+    pub fn split_with(&self, color: Option<u64>, key: u64) -> Result<Option<Comm>> {
+        match self.state.router.vendor.split_algo {
+            SplitAlgo::DistributedSort => crate::splitdist::split_distributed(self, color, key),
+            SplitAlgo::Allgather => self.split_allgather(color, key),
+        }
+    }
+
+    /// The textbook `MPI_Comm_split`: all-gather every rank's
+    /// `(defined, color, key)` over the parent (Ω(α log p + βp), Θ(p)
+    /// memory per rank), group locally, one mask agreement over the
+    /// parent, and explicit O(g) group construction. Kept as the
+    /// correctness oracle for the distributed algorithm.
+    fn split_allgather(&self, color: Option<u64>, key: u64) -> Result<Option<Comm>> {
         let p = self.size();
-        let pairs = coll::allgather1(self, (color, key), tags::SPLIT_GATHER)?;
-        // Local grouping: sort by (color, key, parent rank).
-        let mut order: Vec<usize> = (0..p).collect();
-        order.sort_by_key(|&i| (pairs[i].0, pairs[i].1, i));
+        let triple = (u64::from(color.is_some()), color.unwrap_or(0), key);
+        let pairs = coll::allgather1(self, triple, tags::SPLIT_GATHER)?;
+        // Local grouping: sort defined ranks by (color, key, parent rank).
+        let mut order: Vec<usize> = (0..p).filter(|&i| pairs[i].0 == 1).collect();
+        order.sort_by_key(|&i| (pairs[i].1, pairs[i].2, i));
         let log_p = (usize::BITS - (p - 1).leading_zeros()).max(1) as u64;
         self.charge(Time(
             (p as f64 * log_p as f64 * self.state.router.vendor.split_sort_ns).round() as u64,
         ));
         // Distinct colors in sorted order determine each group's context-ID
         // index within one shared agreement over the parent.
-        let mut colors: Vec<u64> = pairs.iter().map(|&(c, _)| c).collect();
-        colors.sort_unstable();
+        let mut colors: Vec<u64> = order.iter().map(|&i| pairs[i].1).collect();
         colors.dedup();
-        let my_idx = colors.binary_search(&color).expect("own color present");
-        let my_ranks: Vec<usize> = order
-            .iter()
-            .copied()
-            .filter(|&i| pairs[i].0 == color)
-            .map(|i| self.inner.group.translate(i))
-            .collect();
-        let g = my_ranks.len();
-        let group = Group::from_ranks(my_ranks);
-        // Explicit group array construction, O(g).
-        self.charge(Time(
-            (g as f64 * self.state.router.vendor.group_build_ns_per_member).round() as u64,
-        ));
+        if colors.is_empty() {
+            return Ok(None); // every rank passed MPI_UNDEFINED
+        }
+        let (my_idx, group) = match color {
+            Some(c) => {
+                let idx = colors.binary_search(&c).expect("own color present");
+                let my_ranks: Vec<usize> = order
+                    .iter()
+                    .copied()
+                    .filter(|&i| pairs[i].1 == c)
+                    .map(|i| self.inner.group.translate(i))
+                    .collect();
+                let g = my_ranks.len();
+                // Explicit group array construction, O(g).
+                self.charge(Time(
+                    (g as f64 * self.state.router.vendor.group_build_ns_per_member).round() as u64,
+                ));
+                (idx, Some(Group::from_ranks(my_ranks)))
+            }
+            None => (0, None),
+        };
         let ctx = self.agree_ctx(self, tags::CTX_AGREE, colors.len(), my_idx)?;
-        self.with_new_ctx(ctx, group)
+        match group {
+            Some(g) => Ok(Some(self.with_new_ctx(ctx, g)?)),
+            None => Ok(None),
+        }
     }
 
     /// `MPI_Comm_create_group`: blocking collective over the members of

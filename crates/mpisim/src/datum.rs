@@ -88,6 +88,15 @@ impl<A: SortKey, B: SortKey> SortKey for (A, B) {
     }
 }
 
+impl<A: SortKey, B: SortKey, C: SortKey> SortKey for (A, B, C) {
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        self.0
+            .cmp_key(&other.0)
+            .then_with(|| self.1.cmp_key(&other.1))
+            .then_with(|| self.2.cmp_key(&other.2))
+    }
+}
+
 /// Reduction operators. Implemented as cloneable closures so collectives can
 /// stay generic; the helpers below cover the MPI builtins the paper needs
 /// (`MPI_SUM` for prefix sums, `MPI_BAND` for context-ID masks, min/max).

@@ -33,6 +33,7 @@ pub mod coll_large;
 pub mod comm;
 pub mod context;
 pub mod datum;
+pub mod distsort;
 pub mod error;
 pub mod group;
 pub mod icomm;
@@ -42,6 +43,7 @@ pub mod msg;
 pub mod nbcoll;
 pub mod proc;
 pub mod sched;
+mod splitdist;
 pub mod tags;
 pub mod time;
 pub mod transport;
@@ -51,7 +53,7 @@ pub use comm::Comm;
 pub use datum::{ops, Datum, SortKey, Zeroed};
 pub use error::{MpiError, Result};
 pub use group::Group;
-pub use model::{CostModel, CostScale, CreateGroupAlgo, VendorProfile};
+pub use model::{CostModel, CostScale, CreateGroupAlgo, SplitAlgo, VendorProfile};
 pub use msg::{ContextId, MsgInfo, Tag};
 pub use nbcoll::{Progress, Request};
 pub use proc::WaitReason;

@@ -121,6 +121,23 @@ pub enum CreateGroupAlgo {
     LeaderRing,
 }
 
+/// Which algorithm `MPI_Comm_split` uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SplitAlgo {
+    /// Distributed sample sort of the `(color, key, rank)` triples over the
+    /// parent communicator, followed by per-color-segment table
+    /// construction — O(p log p) total work and O(p/groups + samples)
+    /// memory per rank (what production MPICH does at scale, and the only
+    /// variant the simulator can run at p = 2^15).
+    #[default]
+    DistributedSort,
+    /// The textbook algorithm: all-gather all p `(color, key)` pairs on
+    /// every rank and group locally. Θ(p) memory per rank — Θ(p²) across
+    /// a simulated universe — which is why it is kept only as the
+    /// correctness oracle for the distributed variant.
+    Allgather,
+}
+
 /// An MPI implementation personality.
 #[derive(Clone, Debug)]
 pub struct VendorProfile {
@@ -149,9 +166,20 @@ pub struct VendorProfile {
     pub create_group_member_overhead_ns: f64,
     /// Per-member cost of building the explicit rank array during
     /// communicator construction (both `split` and `create_group`).
+    /// The distributed-sort split skips this charge for groups it can
+    /// represent as a stride range (no array is materialised).
     pub group_build_ns_per_member: f64,
-    /// Per-member·log(p) cost of the local sort inside `comm_split`.
+    /// Per-element·log(m) cost of the local sorts inside `comm_split`,
+    /// charged on the `m` elements a rank *actually* sorts. Under
+    /// [`SplitAlgo::DistributedSort`] that is each bucket leader's ≈√p
+    /// triples — a measured sort+exchange cost that emerges per rank (the
+    /// rank-0 splitter-sample sort is charged through the machine's
+    /// generic `compute_ns_per_elem`, shared with jquick's sample sort);
+    /// the legacy [`SplitAlgo::Allgather`] path sorts all p pairs on
+    /// every rank and is charged accordingly.
     pub split_sort_ns: f64,
+    /// Which `MPI_Comm_split` algorithm to run (see [`SplitAlgo`]).
+    pub split_algo: SplitAlgo,
 }
 
 /// Per-operation-class collective scaling factors.
@@ -197,6 +225,7 @@ impl VendorProfile {
             create_group_algo: CreateGroupAlgo::MaskAllreduce,
             group_build_ns_per_member: 150.0,
             split_sort_ns: 20.0,
+            split_algo: SplitAlgo::DistributedSort,
         }
     }
 
@@ -225,6 +254,7 @@ impl VendorProfile {
             // regime visible within the sweep (see EXPERIMENTS.md).
             group_build_ns_per_member: 2000.0,
             split_sort_ns: 20.0,
+            split_algo: SplitAlgo::DistributedSort,
         }
     }
 
@@ -249,6 +279,7 @@ impl VendorProfile {
             create_group_algo: CreateGroupAlgo::LeaderRing,
             group_build_ns_per_member: 3000.0,
             split_sort_ns: 20.0,
+            split_algo: SplitAlgo::DistributedSort,
         }
     }
 }

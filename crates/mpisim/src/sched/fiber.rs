@@ -35,7 +35,7 @@
 use std::arch::global_asm;
 
 /// Written to the lowest word of every fiber stack; checked on finish.
-pub(crate) const STACK_CANARY: u64 = 0xB0A7_F1BE_25_C0FFEE;
+pub(crate) const STACK_CANARY: u64 = 0xB0A7_F1BE_25C0_FFEE;
 
 // The context-switch symbol: `fn(save: *mut *mut u8, load: *const *mut u8)`.
 // Saves the current callee-saved state on the current stack, stores the

@@ -673,7 +673,7 @@ mod imp {
                     });
                 }
             }
-            staged.sort_by(|a, b| (a.matchable, a.src, a.seq).cmp(&(b.matchable, b.src, b.seq)));
+            staged.sort_by_key(|e| (e.matchable, e.src, e.seq));
             for e in staged.drain(..) {
                 self.router.mailboxes[e.dest].push(e.msg);
             }

@@ -40,7 +40,8 @@ pub const ALLTOALL: Tag = RESERVED_BASE + 18;
 
 /// Context-ID mask agreement during `split`/`dup`.
 pub const CTX_AGREE: Tag = RESERVED_BASE + 20;
-/// All-gather of `(color, key)` during `MPI_Comm_split`.
+/// All-gather of `(color, key)` during the legacy all-gather
+/// `MPI_Comm_split` (the correctness oracle, `SplitAlgo::Allgather`).
 pub const SPLIT_GATHER: Tag = RESERVED_BASE + 22;
 /// Exclusive tag of blocking `scatter`.
 pub const SCATTER: Tag = RESERVED_BASE + 24;
@@ -50,6 +51,32 @@ pub const SCATTERV: Tag = RESERVED_BASE + 26;
 pub const ALLGATHERV: Tag = RESERVED_BASE + 28; // +2, +3 for the bcasts
 /// Exclusive tag of blocking `alltoallw`.
 pub const ALLTOALLW: Tag = RESERVED_BASE + 34;
+
+// Distributed-sort `MPI_Comm_split` (`SplitAlgo::DistributedSort`, the
+// default): sample-sort of `(color, key, rank)` triples over the parent.
+/// Sample gather + splitter broadcast (claims +1 for the gatherv payload
+/// and +2 for the broadcast).
+pub const SPLIT_SAMPLE: Tag = RESERVED_BASE + 36;
+/// All-reduce of per-bucket triple counts.
+pub const SPLIT_COUNT: Tag = RESERVED_BASE + 40;
+/// Triples travelling from their origin rank to their bucket leader.
+pub const SPLIT_ROUTE: Tag = RESERVED_BASE + 42;
+/// Exclusive prefix sum of sorted-triple counts (global positions).
+pub const SPLIT_POS_SCAN: Tag = RESERVED_BASE + 44;
+/// Segmented color scan (run boundaries and color indices).
+pub const SPLIT_SEG_SCAN: Tag = RESERVED_BASE + 46;
+/// All-reduce of the distinct-color count.
+pub const SPLIT_NCOLORS: Tag = RESERVED_BASE + 48;
+/// Leader summary table: leaders -> rank 0, then a binomial tree over the
+/// leaders only.
+pub const SPLIT_LEADERS: Tag = RESERVED_BASE + 50;
+/// A leader's continuation portion of a color segment, sent to the
+/// segment's gathering leader.
+pub const SPLIT_PORTION: Tag = RESERVED_BASE + 52;
+/// New-group notification headers travelling down the member binomial tree.
+pub const SPLIT_NOTIFY: Tag = RESERVED_BASE + 54;
+/// Dense member tables accompanying [`SPLIT_NOTIFY`] headers.
+pub const SPLIT_TABLE: Tag = RESERVED_BASE + 56;
 
 // Default tags for nonblocking collectives (paper: `RBC_IBCAST_TAG` etc.).
 // Users may pass their own tag instead to run several operations of the
@@ -101,6 +128,16 @@ mod tests {
             SCATTER,
             SCATTERV,
             ALLTOALLW,
+            SPLIT_SAMPLE,
+            SPLIT_COUNT,
+            SPLIT_ROUTE,
+            SPLIT_POS_SCAN,
+            SPLIT_SEG_SCAN,
+            SPLIT_NCOLORS,
+            SPLIT_LEADERS,
+            SPLIT_PORTION,
+            SPLIT_NOTIFY,
+            SPLIT_TABLE,
             IBCAST,
             IREDUCE,
             ISCAN,

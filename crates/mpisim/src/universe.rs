@@ -147,6 +147,14 @@ impl SimConfig {
         self
     }
 
+    /// Replace the `MPI_Comm_split` algorithm (the legacy
+    /// [`crate::model::SplitAlgo::Allgather`] survives as the correctness
+    /// oracle for the default distributed sort).
+    pub fn with_split_algo(mut self, algo: crate::model::SplitAlgo) -> SimConfig {
+        self.vendor.split_algo = algo;
+        self
+    }
+
     /// Replace the base RNG seed.
     pub fn with_seed(mut self, seed: u64) -> SimConfig {
         self.seed = seed;
@@ -324,8 +332,8 @@ impl Universe {
     {
         let scheduler = sched::Scheduler::new(p, cfg.coop_stack_size, Arc::clone(router));
         let store = scheduler.panic_store();
-        for rank in 0..p {
-            let state = Arc::clone(&states[rank]);
+        for (rank, state) in states.iter().enumerate() {
+            let state = Arc::clone(state);
             let store = Arc::clone(&store);
             let body = move || {
                 let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

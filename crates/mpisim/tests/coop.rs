@@ -133,16 +133,14 @@ fn coop_yield_fairness_under_polling() {
     assert_eq!(res.per_rank[0].0, 42);
 }
 
-/// Observed delivery log of one run: for every rank, the sequence of
-/// `(source, value)` pairs its wildcard receives matched, plus its final
-/// virtual clock.
-fn storm_delivery_log(
-    p: usize,
-    per: usize,
-    seed: u64,
-    workers: usize,
-) -> Vec<(Vec<(usize, u64)>, Time)> {
-    let logs: Arc<Mutex<Vec<Vec<(usize, u64)>>>> = Arc::new(Mutex::new(vec![Vec::new(); p]));
+/// Per-rank storm observation: the sequence of `(source, value)` pairs
+/// the rank's wildcard receives matched, plus its final virtual clock.
+type DeliveryLog = (Vec<(usize, u64)>, Time);
+
+/// Observed delivery log of one run, one entry per rank.
+fn storm_delivery_log(p: usize, per: usize, seed: u64, workers: usize) -> Vec<DeliveryLog> {
+    type LogStore = Arc<Mutex<Vec<Vec<(usize, u64)>>>>;
+    let logs: LogStore = Arc::new(Mutex::new(vec![Vec::new(); p]));
     let logs2 = Arc::clone(&logs);
     let cfg = SimConfig::cooperative()
         .with_seed(seed)

@@ -20,12 +20,18 @@ use rand::{Rng, SeedableRng};
 pub struct ProptestConfig {
     /// Number of random cases each property runs.
     pub cases: u32,
+    /// Accepted for upstream API compatibility; the shim never shrinks,
+    /// so this is ignored.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         // Upstream default. Tests that spawn simulated universes lower it.
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
     }
 }
 
