@@ -74,8 +74,7 @@ fn load_metrics(candidates: &[&str]) -> Vec<Metric> {
 
 fn main() -> ExitCode {
     let write_baseline = std::env::args().any(|a| a == "--write-baseline");
-    let baseline_path = std::env::var("BENCH_BASELINE")
-        .unwrap_or_else(|_| "results/BENCH_baseline.json".to_string());
+    let baseline_path = gate::baseline_path_from(std::env::var("BENCH_BASELINE").ok().as_deref());
 
     let current: Vec<Metric> = CURRENT.iter().flat_map(|p| load_metrics(p)).collect();
     if write_baseline {
@@ -108,10 +107,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let tolerance = std::env::var("BENCH_GATE_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.30);
+    let tolerance = gate::tolerance_from(std::env::var("BENCH_GATE_TOLERANCE").ok().as_deref());
 
     let rows = gate::compare(&baseline, &current, tolerance);
     println!("\n| metric | baseline ns | current ns | delta | status |\n|---|---|---|---|---|");

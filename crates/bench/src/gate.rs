@@ -208,6 +208,35 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
     Err("unterminated string".into())
 }
 
+/// Default fractional regression tolerance of the gate (+30 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Default committed-baseline path, relative to the workspace root.
+pub const DEFAULT_BASELINE: &str = "results/BENCH_baseline.json";
+
+/// Resolve the gate tolerance from a `BENCH_GATE_TOLERANCE` override.
+///
+/// Accepts any finite, non-negative fraction (`"0.5"` = +50 %; `"0"` =
+/// strict: any slowdown fails). Unset, unparsable, negative, or
+/// non-finite values fall back to [`DEFAULT_TOLERANCE`] — a garbled CI
+/// variable must tighten nothing and loosen nothing silently.
+pub fn tolerance_from(var: Option<&str>) -> f64 {
+    match var.and_then(|v| v.trim().parse::<f64>().ok()) {
+        Some(t) if t.is_finite() && t >= 0.0 => t,
+        _ => DEFAULT_TOLERANCE,
+    }
+}
+
+/// Resolve the baseline path from a `BENCH_BASELINE` override. Unset or
+/// blank values fall back to [`DEFAULT_BASELINE`]; surrounding whitespace
+/// is trimmed.
+pub fn baseline_path_from(var: Option<&str>) -> String {
+    match var {
+        Some(p) if !p.trim().is_empty() => p.trim().to_string(),
+        _ => DEFAULT_BASELINE.to_string(),
+    }
+}
+
 /// One gated data point.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Metric {
@@ -478,5 +507,52 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("123 456").is_err());
+    }
+
+    #[test]
+    fn tolerance_override_parses_valid_fractions() {
+        assert_eq!(tolerance_from(Some("0.5")), 0.5);
+        assert_eq!(tolerance_from(Some(" 0.10 ")), 0.10);
+        // "0" is a legal strict gate, not a fallback trigger.
+        assert_eq!(tolerance_from(Some("0")), 0.0);
+        assert_eq!(tolerance_from(Some("2")), 2.0);
+    }
+
+    #[test]
+    fn tolerance_override_falls_back_on_garbage() {
+        assert_eq!(tolerance_from(None), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("")), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("thirty percent")), DEFAULT_TOLERANCE);
+        // A negative tolerance would flag *speed-ups* as regressions;
+        // non-finite ones would disable the gate entirely.
+        assert_eq!(tolerance_from(Some("-0.2")), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("inf")), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("NaN")), DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn baseline_path_override() {
+        assert_eq!(baseline_path_from(None), DEFAULT_BASELINE);
+        assert_eq!(baseline_path_from(Some("")), DEFAULT_BASELINE);
+        assert_eq!(baseline_path_from(Some("   ")), DEFAULT_BASELINE);
+        assert_eq!(baseline_path_from(Some("other/b.json")), "other/b.json");
+        assert_eq!(baseline_path_from(Some(" other/b.json ")), "other/b.json");
+    }
+
+    #[test]
+    fn zero_baseline_regression_survives_any_tolerance() {
+        // The zero-baseline rule is absolute: a metric that was free and
+        // now costs something is an infinite relative regression, and no
+        // BENCH_GATE_TOLERANCE override can wave it through.
+        let base = vec![Metric {
+            id: "zero".into(),
+            ns: 0.0,
+        }];
+        let cur = vec![Metric {
+            id: "zero".into(),
+            ns: 0.001,
+        }];
+        let rows = compare(&base, &cur, tolerance_from(Some("1000000")));
+        assert!(matches!(rows[0].1, Verdict::Regressed(d) if d.is_infinite()));
     }
 }

@@ -53,7 +53,7 @@ pub use comm::Comm;
 pub use datum::{ops, Datum, SortKey, Zeroed};
 pub use error::{MpiError, Result};
 pub use group::Group;
-pub use model::{CostModel, CostScale, CreateGroupAlgo, SplitAlgo, VendorProfile};
+pub use model::{CommitAlgo, CostModel, CostScale, CreateGroupAlgo, SplitAlgo, VendorProfile};
 pub use msg::{ContextId, MsgInfo, Tag};
 pub use nbcoll::{Progress, Request};
 pub use proc::WaitReason;

@@ -158,28 +158,67 @@ impl Mailbox {
         }
     }
 
+    /// Deposit one message under the held lock: remove every matching
+    /// subscription (returning the wakers, in subscription order) and
+    /// insert the message. Both push flavours go through this single
+    /// helper so their matching semantics can never drift apart — the
+    /// sharded commit's serial-oracle equivalence (DESIGN.md §7) depends
+    /// on [`Mailbox::push`] and [`Mailbox::push_batch`] agreeing exactly.
+    #[inline]
+    fn deposit(g: &mut Inner, m: Message) -> Vec<Arc<dyn Wake>> {
+        let mut fired: Vec<Arc<dyn Wake>> = Vec::new();
+        let mut i = 0;
+        while i < g.waiters.len() {
+            if g.waiters[i].pat.matches(&m) {
+                fired.push(g.waiters.remove(i).waker);
+            } else {
+                i += 1;
+            }
+        }
+        g.keys.entry((m.ctx, m.tag)).or_default().push(m);
+        g.count += 1;
+        fired
+    }
+
     /// Deposit a message and wake blocked receivers — the condvar for
     /// thread-backend receivers, and exactly the matching [`Wake`]
     /// subscribers for cooperative ones.
     pub fn push(&self, m: Message) {
-        let mut to_wake: Vec<Arc<dyn Wake>> = Vec::new();
-        {
-            let mut g = self.inner.lock();
-            let mut i = 0;
-            while i < g.waiters.len() {
-                if g.waiters[i].pat.matches(&m) {
-                    to_wake.push(g.waiters.remove(i).waker);
-                } else {
-                    i += 1;
-                }
-            }
-            g.keys.entry((m.ctx, m.tag)).or_default().push(m);
-            g.count += 1;
-        }
+        let to_wake = Self::deposit(&mut self.inner.lock(), m);
         self.cv.notify_all();
         for w in to_wake {
             w.wake();
         }
+    }
+
+    /// Deposit a batch of messages under **one** lock acquisition,
+    /// *without* firing wakers.
+    ///
+    /// This is the sharded epoch commit's entry point: the scheduler pushes
+    /// each destination's globally-ordered message segment as one batch
+    /// (amortising the mailbox lock over the whole fan-in), and must defer
+    /// every wake-up past its push barrier so the wake order can be merged
+    /// deterministically across shards (see [`crate::sched`]). Matching
+    /// subscriptions are removed here — under the lock, exactly as
+    /// [`Mailbox::push`] would — and returned as `(index of the triggering
+    /// message within the batch, waker)` pairs in trigger order; the caller
+    /// fires them. The condvar is still notified for any thread-backend
+    /// receiver parked on this mailbox.
+    pub fn push_batch(&self, msgs: Vec<Message>) -> Vec<(usize, Arc<dyn Wake>)> {
+        if msgs.is_empty() {
+            return Vec::new();
+        }
+        let mut fired: Vec<(usize, Arc<dyn Wake>)> = Vec::new();
+        {
+            let mut g = self.inner.lock();
+            for (idx, m) in msgs.into_iter().enumerate() {
+                for w in Self::deposit(&mut g, m) {
+                    fired.push((idx, w));
+                }
+            }
+        }
+        self.cv.notify_all();
+        fired
     }
 
     /// Number of messages currently queued.
@@ -491,6 +530,76 @@ mod tests {
         mb.push(msg(1, 5, 0, 2, 0)); // already unsubscribed: no second wake
         assert_eq!(counter.0.load(Ordering::SeqCst), 1);
         mb.unsubscribe(token); // idempotent
+    }
+
+    #[test]
+    fn push_batch_preserves_order_and_defers_wakes() {
+        let mb = Mailbox::new();
+        let counter = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waker: Arc<dyn Wake> = Arc::<CountWake>::clone(&counter);
+        let token = match mb.claim_or_subscribe(&pat(SrcFilter::Any, 5, 0), &waker) {
+            Subscribed::Waiting(t) => t,
+            Subscribed::Hit(_) => panic!("mailbox is empty"),
+        };
+        let fired = mb.push_batch(vec![
+            msg(1, 6, 0, 1, 10), // wrong tag: not a trigger
+            msg(1, 5, 0, 2, 11), // first match: the trigger, index 1
+            msg(1, 5, 0, 3, 12), // waiter already removed
+            msg(2, 5, 0, 1, 13),
+        ]);
+        // The waker came back unfired, tagged with the triggering index.
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 1);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+        fired[0].1.wake();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        // Messages landed with per-source FIFO and wildcard order exactly
+        // as a sequence of single pushes would have left them.
+        let p5 = pat(SrcFilter::Any, 5, 0);
+        assert_eq!(mb.try_claim(&p5).unwrap().src_global, 2); // arrival 1
+        let (v, _) = mb.try_claim(&p5).unwrap().take::<u64>().unwrap();
+        assert_eq!(v, vec![11]); // src 1 head, arrival 2
+        let (v, _) = mb.try_claim(&p5).unwrap().take::<u64>().unwrap();
+        assert_eq!(v, vec![12]);
+        assert_eq!(
+            mb.try_claim(&pat(SrcFilter::Any, 6, 0)).unwrap().src_global,
+            1
+        );
+        assert!(mb.is_empty());
+        mb.unsubscribe(token); // idempotent after the wake consumed it
+    }
+
+    #[test]
+    fn push_batch_fires_each_subscription_once() {
+        // Two waiters with different patterns: each is triggered by the
+        // first batch message matching *its* pattern, independently.
+        let mb = Mailbox::new();
+        let c1 = Arc::new(CountWake(AtomicUsize::new(0)));
+        let c2 = Arc::new(CountWake(AtomicUsize::new(0)));
+        let w1: Arc<dyn Wake> = Arc::<CountWake>::clone(&c1);
+        let w2: Arc<dyn Wake> = Arc::<CountWake>::clone(&c2);
+        assert!(matches!(
+            mb.claim_or_subscribe(&pat(SrcFilter::Exact(7), 5, 0), &w1),
+            Subscribed::Waiting(_)
+        ));
+        assert!(matches!(
+            mb.probe_or_subscribe(&pat(SrcFilter::Exact(8), 5, 0), &w2),
+            Subscribed::Waiting(_)
+        ));
+        let fired = mb.push_batch(vec![
+            msg(8, 5, 0, 1, 0), // triggers w2 at index 0
+            msg(7, 5, 0, 2, 0), // triggers w1 at index 1
+            msg(8, 5, 0, 3, 0), // w2 already removed
+        ]);
+        let idxs: Vec<usize> = fired.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idxs, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_push_batch_is_a_no_op() {
+        let mb = Mailbox::new();
+        assert!(mb.push_batch(Vec::new()).is_empty());
+        assert!(mb.is_empty());
     }
 
     #[test]

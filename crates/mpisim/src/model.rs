@@ -138,6 +138,32 @@ pub enum SplitAlgo {
     Allgather,
 }
 
+/// Which algorithm the cooperative scheduler's epoch **commit** uses to
+/// deliver an epoch's staged messages (see [`crate::sched`] and DESIGN.md
+/// §7).
+///
+/// This is a *simulator* knob, not a simulated-MPI one: both variants
+/// produce bit-identical simulations (delivery orders, clocks, figure
+/// CSVs) for every worker count, exactly like [`SplitAlgo`] keeps the
+/// all-gather split as the oracle for the distributed sort. The commit
+/// itself costs no virtual time — it is the mechanism that realises the
+/// α–β model's arrival order, so only its wall-clock cost differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CommitAlgo {
+    /// Destination-major commit: after the global sort the entry run is
+    /// partitioned into per-destination-rank segments and idle workers
+    /// claim segments lock-free, pushing into disjoint mailboxes in
+    /// parallel. Wake-ups are deferred and merged in global
+    /// `(matchable_time, sender, seq)` order after the push barrier, so
+    /// the next round's order stays a pure function of `(program, seed)`.
+    #[default]
+    Sharded,
+    /// The original single-threaded commit: one worker pushes every
+    /// staged message in global `(matchable_time, sender, seq)` order.
+    /// Kept as the correctness oracle for the sharded variant.
+    Serial,
+}
+
 /// An MPI implementation personality.
 #[derive(Clone, Debug)]
 pub struct VendorProfile {

@@ -27,11 +27,11 @@
 //! So within an epoch no task can observe another epoch-mate's progress,
 //! and the OS's thread interleaving is irrelevant. When every task of the
 //! epoch has switched out (yielded, blocked, or finished), the last worker
-//! **commits** the epoch, single-threaded:
+//! **commits** the epoch:
 //!
 //! 1. tasks that yielded re-enter the next round, in their epoch order;
 //! 2. all staged messages are delivered in global **virtual-time order** —
-//!    sorted by `(matchable_time, sender, seq)`, where `matchable_time` is
+//!    keyed by `(matchable_time, sender, seq)`, where `matchable_time` is
 //!    the running maximum of arrival times along each sender's program
 //!    order (per-sender monotone, so per-sender FIFO non-overtaking is
 //!    preserved) and `seq` the sender's send counter. Deliveries wake
@@ -40,11 +40,30 @@
 //!    tasks are deadlocked (sends never block) — they are *poisoned* and
 //!    woken to return [`MpiError::Timeout`].
 //!
+//! Step 2 runs under one of two algorithms
+//! ([`CommitAlgo`](crate::model::CommitAlgo)):
+//!
+//! * **Serial** (the oracle): the committing worker sorts the staged run
+//!   by the global key and pushes every message itself, waking receivers
+//!   as it goes.
+//! * **Sharded** (the default): the run is sorted *destination-major* —
+//!   `(dest, matchable_time, sender, seq)` — so each destination rank's
+//!   messages form one contiguous segment whose internal order is exactly
+//!   the serial commit's per-mailbox subsequence. Segments are grouped
+//!   into shards (never splitting a segment) and **all idle workers claim
+//!   shards lock-free** through the same epoch-tagged cursor used for
+//!   round claiming, batch-pushing into disjoint mailboxes with zero
+//!   cross-shard contention. Wake-ups are *deferred*: each shard records
+//!   `(global key of the triggering message, waker)` pairs, and after the
+//!   push barrier the finishing worker merges them in global key order —
+//!   reproducing the serial wake order bit for bit. See DESIGN.md §7.
+//!
 //! Every input to this procedure — the round order, each task's behaviour
-//! against a frozen mailbox state, the staged-message sort key — is a pure
-//! function of `(program, seed)`. Hence **the merged delivery order, and
-//! with it every simulation output, is bit-for-bit identical for any
-//! `coop_workers`**, including 1. See DESIGN.md §5 for why committing
+//! against a frozen mailbox state, the staged-message sort key, the wake
+//! merge order — is a pure function of `(program, seed)`. Hence **the
+//! merged delivery order, and with it every simulation output, is
+//! bit-for-bit identical for any `coop_workers` and either commit
+//! algorithm**, including 1 worker. See DESIGN.md §5 for why committing
 //! deliveries at epoch boundaries preserves MPI matching semantics.
 //!
 //! # Blocking protocol (no lost wake-ups)
@@ -239,6 +258,7 @@ pub fn on_fiber() -> bool {
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod imp {
     use super::*;
+    use crate::model::CommitAlgo;
     use crate::proc::Router;
     use parking_lot::Condvar;
     use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
@@ -436,15 +456,82 @@ mod imp {
         msg: Message,
     }
 
-    /// Epoch control: the current round and the lock-free claim cursor.
-    struct EpochGate {
+    /// The global commit key: total over all staged messages of one epoch
+    /// (`(src, seq)` alone is already unique). The serial commit pushes in
+    /// exactly this order; the sharded commit merges wake-ups by it.
+    type CommitKey = (Time, usize, u32);
+
+    impl CommitEntry {
+        fn key(&self) -> CommitKey {
+            (self.matchable, self.src, self.seq)
+        }
+    }
+
+    /// A wake-up recorded during a sharded commit push, deferred past the
+    /// push barrier: the global key of the triggering message plus the
+    /// waker to fire during the deterministic merge.
+    struct WakeRec {
+        key: CommitKey,
+        waker: Arc<dyn Wake>,
+    }
+
+    /// A sharded commit in flight: per-shard slices of the
+    /// destination-major-sorted commit entries, claimed by workers through
+    /// the epoch-tagged cursor exactly like round tasks.
+    struct CommitWork {
+        /// Shard `i`'s contiguous run of whole per-destination segments.
+        /// Only the worker that claimed shard `i` touches element `i`.
+        shards: Vec<std::cell::UnsafeCell<Vec<CommitEntry>>>,
+        /// Shard `i`'s deferred wake records; same exclusivity.
+        wakes: Vec<std::cell::UnsafeCell<Vec<WakeRec>>>,
+        /// Tasks that yielded during the epoch — the already-ordered head
+        /// of the next round, handed through to the finishing worker.
+        next: Mutex<Vec<usize>>,
+    }
+
+    // Safety: `shards[i]`/`wakes[i]` are only touched by the single worker
+    // that claimed index `i` through the cursor CAS, and by the finishing
+    // worker after the commit barrier (`round_done` reaching the shard
+    // count with AcqRel ordering).
+    unsafe impl Send for CommitWork {}
+    unsafe impl Sync for CommitWork {}
+
+    /// What the workers are currently claiming: an epoch's task round, or
+    /// the sharded commit of the round that just finished executing.
+    #[derive(Clone)]
+    enum Work {
         /// Tasks of the current epoch, in deterministic order.
-        round: Arc<Vec<usize>>,
-        /// Epoch counter (also embedded in the claim cursor).
-        epoch: u64,
+        Tasks(Arc<Vec<usize>>),
+        /// Shards of the finished epoch's staged messages.
+        Commit(Arc<CommitWork>),
+    }
+
+    impl Work {
+        /// Number of claimable units this phase holds.
+        fn units(&self) -> usize {
+            match self {
+                Work::Tasks(round) => round.len(),
+                Work::Commit(cw) => cw.shards.len(),
+            }
+        }
+    }
+
+    /// Phase control: the current claimable work and the generation the
+    /// lock-free claim cursor validates against.
+    struct EpochGate {
+        /// The current phase's work.
+        work: Work,
+        /// Generation counter, bumped on every publish (task round or
+        /// commit phase); also embedded in the claim cursor.
+        gen: u64,
         /// All tasks finished: workers should exit.
         done: bool,
     }
+
+    /// Auto-sharding floor: a shard below this many entries amortises
+    /// neither the claim CAS nor the per-destination mailbox lock, so
+    /// small commits stay on the committing worker.
+    const MIN_SHARD_ENTRIES: usize = 64;
 
     /// The cooperative scheduler for one universe run.
     pub(crate) struct Scheduler {
@@ -453,22 +540,40 @@ mod imp {
         router: Arc<Router>,
         gate: Mutex<EpochGate>,
         gate_cv: Condvar,
-        /// `((epoch mod 2^32) << 32) | next_index` — claims CAS the low
+        /// `((gen mod 2^32) << 32) | next_index` — claims CAS the low
         /// half after validating the high half, so a worker holding a
-        /// stale round can never steal an index from the next epoch.
+        /// stale phase can never steal an index from the next one.
         cursor: AtomicU64,
-        /// Tasks of the current round that have finished executing; the
-        /// worker that completes the round commits the epoch.
+        /// Claim units of the current phase that have completed; the
+        /// worker that completes the last one advances the phase.
         round_done: AtomicUsize,
         /// Scratch for the commit phase (reused across epochs).
         commit_buf: Mutex<Vec<CommitEntry>>,
+        /// Recycled per-shard entry vectors: `finish_commit` returns each
+        /// published shard's (drained, capacity-retaining) vector here so
+        /// steady-state sharded commits allocate nothing per epoch.
+        shard_pool: Mutex<Vec<Vec<CommitEntry>>>,
+        /// How the epoch commit delivers staged messages.
+        commit_algo: CommitAlgo,
+        /// Requested shard-count cap (0 = auto from the worker count).
+        commit_shards: usize,
+        /// Effective worker count of the current run (set by `run`).
+        workers: AtomicUsize,
         _stacks: StackSlab,
     }
 
     impl Scheduler {
         /// Prepare `p` task slots with `stack_size` bytes of stack each.
-        /// `router` is where committed messages are delivered.
-        pub fn new(p: usize, stack_size: usize, router: Arc<Router>) -> Scheduler {
+        /// `router` is where committed messages are delivered;
+        /// `commit_algo`/`commit_shards` select and size the commit
+        /// pipeline (see [`CommitAlgo`]).
+        pub fn new(
+            p: usize,
+            stack_size: usize,
+            router: Arc<Router>,
+            commit_algo: CommitAlgo,
+            commit_shards: usize,
+        ) -> Scheduler {
             let stacks = StackSlab::new(p, stack_size);
             let shared = Arc::new(SchedShared {
                 woken: Mutex::new(Vec::new()),
@@ -506,14 +611,18 @@ mod imp {
                 slots,
                 router,
                 gate: Mutex::new(EpochGate {
-                    round: Arc::new(Vec::new()),
-                    epoch: 0,
+                    work: Work::Tasks(Arc::new(Vec::new())),
+                    gen: 0,
                     done: false,
                 }),
                 gate_cv: Condvar::new(),
                 cursor: AtomicU64::new(0),
                 round_done: AtomicUsize::new(0),
                 commit_buf: Mutex::new(Vec::new()),
+                shard_pool: Mutex::new(Vec::new()),
+                commit_algo,
+                commit_shards,
+                workers: AtomicUsize::new(1),
                 _stacks: stacks,
             };
             // Now that the slots are at their final addresses, point each
@@ -551,15 +660,16 @@ mod imp {
             workers: usize,
             initial_order: &[usize],
         ) -> Option<(usize, Box<dyn Any + Send>)> {
+            let workers = workers.max(1);
+            self.workers.store(workers, Ordering::Relaxed);
             {
                 let mut g = self.gate.lock();
-                g.round = Arc::new(initial_order.to_vec());
-                g.epoch = 1;
+                g.work = Work::Tasks(Arc::new(initial_order.to_vec()));
+                g.gen = 1;
                 g.done = initial_order.is_empty();
                 self.round_done.store(0, Ordering::Relaxed);
                 self.cursor.store(1 << 32, Ordering::Release);
             }
-            let workers = workers.max(1);
             if workers == 1 {
                 self.worker_loop();
             } else {
@@ -582,19 +692,19 @@ mod imp {
             self.shared.switches.load(Ordering::Relaxed)
         }
 
-        /// Claim the next task of `round` if `epoch` is still current.
-        /// `None` means: round drained or epoch advanced — refresh via the
-        /// gate.
-        fn try_claim(&self, epoch: u64, round: &[usize]) -> Option<usize> {
+        /// Claim the next unit (task index or commit shard) of the current
+        /// phase if `gen` is still current. `None` means: phase drained or
+        /// advanced — refresh via the gate.
+        fn try_claim(&self, gen: u64, units: usize) -> Option<usize> {
             loop {
                 let c = self.cursor.load(Ordering::Acquire);
-                // The cursor carries epoch mod 2^32; compare masked, or a
-                // run past 2^32 epochs would never match again and hang.
-                if c >> 32 != epoch & 0xffff_ffff {
+                // The cursor carries gen mod 2^32; compare masked, or a
+                // run past 2^32 phases would never match again and hang.
+                if c >> 32 != gen & 0xffff_ffff {
                     return None;
                 }
                 let i = (c & 0xffff_ffff) as usize;
-                if i >= round.len() {
+                if i >= units {
                     return None;
                 }
                 if self
@@ -602,62 +712,93 @@ mod imp {
                     .compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    return Some(round[i]);
+                    return Some(i);
                 }
             }
         }
 
         fn worker_loop(&self) {
-            let (mut epoch, mut round) = {
+            let (mut gen, mut work) = {
                 let g = self.gate.lock();
-                (g.epoch, Arc::clone(&g.round))
+                (g.gen, g.work.clone())
             };
             loop {
-                match self.try_claim(epoch, &round) {
-                    Some(tid) => {
-                        self.run_task(tid);
-                        if self.round_done.fetch_add(1, Ordering::AcqRel) + 1 == round.len() {
-                            // Last task of the epoch: commit and publish
-                            // the next round (single-threaded by
-                            // construction — every other worker is either
-                            // waiting on the gate or about to).
-                            self.advance_epoch(&round);
+                let claimed = match self.try_claim(gen, work.units()) {
+                    Some(i) => {
+                        match &work {
+                            Work::Tasks(round) => self.run_task(round[i]),
+                            Work::Commit(cw) => self.push_shard(cw, i),
                         }
+                        if self.round_done.fetch_add(1, Ordering::AcqRel) + 1 == work.units() {
+                            // Last unit of the phase: advance it
+                            // (single-threaded by construction — every
+                            // other worker is either waiting on the gate
+                            // or about to).
+                            match &work {
+                                Work::Tasks(round) => self.finish_round(round),
+                                Work::Commit(cw) => self.finish_commit(cw),
+                            }
+                        }
+                        true
                     }
-                    None => {
-                        let mut g = self.gate.lock();
-                        loop {
-                            if g.done {
-                                return;
-                            }
-                            if g.epoch != epoch {
-                                epoch = g.epoch;
-                                round = Arc::clone(&g.round);
-                                break;
-                            }
-                            self.gate_cv.wait(&mut g);
+                    None => false,
+                };
+                if !claimed {
+                    let mut g = self.gate.lock();
+                    loop {
+                        if g.done {
+                            return;
                         }
+                        if g.gen != gen {
+                            gen = g.gen;
+                            work = g.work.clone();
+                            break;
+                        }
+                        self.gate_cv.wait(&mut g);
                     }
                 }
             }
         }
 
-        /// Commit the finished epoch: requeue yielded tasks, deliver staged
-        /// messages in virtual-time order (waking receivers), detect
-        /// deadlock, and publish the next round.
-        fn advance_epoch(&self, round: &[usize]) {
-            let mut next: Vec<usize> = Vec::new();
+        /// Shard-count target for a commit of `entries` staged messages:
+        /// the explicit [`SimConfig::coop_commit_shards`] cap when set,
+        /// otherwise ~2 claim units per worker with [`MIN_SHARD_ENTRIES`]
+        /// as the floor (1 worker ⇒ 1 shard ⇒ the inline fast path).
+        ///
+        /// The shard count never affects simulation output — per-mailbox
+        /// push order and the wake merge are independent of where the
+        /// segment run is cut — so this is purely a throughput knob.
+        ///
+        /// [`SimConfig::coop_commit_shards`]: crate::SimConfig::coop_commit_shards
+        fn shard_target(&self, entries: usize) -> usize {
+            if entries == 0 {
+                return 1;
+            }
+            if self.commit_shards > 0 {
+                return self.commit_shards.min(entries);
+            }
+            let w = self.workers.load(Ordering::Relaxed).max(1);
+            if w == 1 {
+                return 1;
+            }
+            (entries / MIN_SHARD_ENTRIES).clamp(1, 2 * w)
+        }
+
+        /// The executed round is complete: requeue yielded tasks, gather
+        /// the epoch's staged messages, and run — or publish — the commit.
+        fn finish_round(&self, round: &[usize]) {
             // 1. Yielded tasks re-enter first, in their epoch order.
+            let mut next: Vec<usize> = Vec::new();
             for &tid in round {
                 if self.slots[tid].intent.load(Ordering::Acquire) == INTENT_YIELD {
                     next.push(tid);
                 }
             }
-            // 2. Deliver staged messages in global (matchable, src, seq)
-            // order. The key is monotone along each sender's program order
-            // (running max), so per-sender FIFO is preserved; across
-            // senders it makes wake-up order — and hence the next round's
-            // tail — follow virtual time.
+            // 2. Gather staged messages under their global commit key. The
+            // key is monotone along each sender's program order (running
+            // max), so per-sender FIFO is preserved; across senders it
+            // makes wake-up order — and hence the next round's tail —
+            // follow virtual time.
             let mut staged = self.commit_buf.lock();
             for &tid in round {
                 let out = unsafe { &mut *self.slots[tid].staged.get() };
@@ -673,14 +814,137 @@ mod imp {
                     });
                 }
             }
-            staged.sort_by_key(|e| (e.matchable, e.src, e.seq));
-            for e in staged.drain(..) {
-                self.router.mailboxes[e.dest].push(e.msg);
+            if self.commit_algo == CommitAlgo::Serial {
+                // Oracle path: one global (matchable, src, seq)-ordered
+                // push loop on this worker; wakes fire inline, in order.
+                staged.sort_by_key(CommitEntry::key);
+                for e in staged.drain(..) {
+                    self.router.mailboxes[e.dest].push(e.msg);
+                }
+                drop(staged);
+                self.finish_epoch(next);
+                return;
             }
+            // Sharded path: destination-major sort. Each destination's
+            // segment is contiguous and internally ordered by the global
+            // key — exactly the serial commit's per-mailbox subsequence —
+            // so segments can be pushed concurrently without perturbing
+            // any mailbox's state.
+            staged.sort_by_key(|e| (e.dest, e.matchable, e.src, e.seq));
+            let target = self.shard_target(staged.len());
+            if target <= 1 {
+                // Inline fast path: no claim round-trip for small commits
+                // (or a 1-worker pool). Identical output by construction.
+                let mut wakes: Vec<WakeRec> = Vec::new();
+                push_segments(&self.router, staged.drain(..), &mut wakes);
+                drop(staged);
+                Self::fire_wakes_merged(wakes);
+                self.finish_epoch(next);
+                return;
+            }
+            // Cut the run into ≤ target shards at segment boundaries
+            // (shards own whole destinations; a `cmp` on `dest` marks the
+            // cut). Every shard except possibly the last holds ≥ ⌈n/target⌉
+            // entries, so at most `target` shards are produced. Shard
+            // vectors are recycled through `shard_pool`, so steady state
+            // moves each entry once (commit_buf → shard) without
+            // allocating. (Handing claimers disjoint raw sub-slices of
+            // `commit_buf` itself would avoid even that move, but needs
+            // `ptr::read`-style manual moves out of aliased storage; one
+            // 64-byte memcpy per message isn't worth that unsafety.)
+            let per = staged.len().div_ceil(target);
+            let mut pool = self.shard_pool.lock();
+            let take_vec = |pool: &mut Vec<Vec<CommitEntry>>| {
+                let mut v = pool.pop().unwrap_or_default();
+                v.reserve(per + 8);
+                v
+            };
+            let mut shards: Vec<std::cell::UnsafeCell<Vec<CommitEntry>>> = Vec::new();
+            let mut cur: Vec<CommitEntry> = take_vec(&mut pool);
+            for e in staged.drain(..) {
+                if cur.len() >= per && cur.last().is_some_and(|l| l.dest != e.dest) {
+                    let full = std::mem::replace(&mut cur, take_vec(&mut pool));
+                    shards.push(std::cell::UnsafeCell::new(full));
+                }
+                cur.push(e);
+            }
+            drop(pool);
             drop(staged);
-            // 3. Receivers woken by those deliveries, in commit order.
+            if shards.is_empty() {
+                // One giant destination segment (pure all-to-one fan-in):
+                // a single mailbox must be pushed in order anyway.
+                let mut wakes: Vec<WakeRec> = Vec::new();
+                push_segments(&self.router, cur.drain(..), &mut wakes);
+                self.shard_pool.lock().push(cur);
+                Self::fire_wakes_merged(wakes);
+                self.finish_epoch(next);
+                return;
+            }
+            shards.push(std::cell::UnsafeCell::new(cur));
+            let wakes = (0..shards.len())
+                .map(|_| std::cell::UnsafeCell::new(Vec::new()))
+                .collect();
+            let cw = Arc::new(CommitWork {
+                shards,
+                wakes,
+                next: Mutex::new(next),
+            });
+            // Publish the commit phase; this worker re-enters its claim
+            // loop and takes shards alongside the woken pool.
+            self.publish(Work::Commit(cw));
+        }
+
+        /// Push one claimed shard: batch-deliver its per-destination
+        /// segments, deferring every wake-up as a keyed record.
+        fn push_shard(&self, cw: &CommitWork, i: usize) {
+            // Safety: shard `i` was claimed exclusively through the cursor
+            // CAS; only this worker touches its vectors until the commit
+            // barrier passes.
+            let entries = unsafe { &mut *cw.shards[i].get() };
+            let wakes = unsafe { &mut *cw.wakes[i].get() };
+            push_segments(&self.router, entries.drain(..), wakes);
+        }
+
+        /// All shards are pushed: merge the deferred wake-ups in global
+        /// key order (bit-identical to the serial commit's wake order) and
+        /// close out the epoch.
+        fn finish_commit(&self, cw: &CommitWork) {
+            let mut recs: Vec<WakeRec> = Vec::new();
+            for slot in &cw.wakes {
+                // Safety: the commit barrier has passed; no worker holds a
+                // shard any more.
+                recs.append(unsafe { &mut *slot.get() });
+            }
+            // Recycle the drained shard vectors (their capacity) for the
+            // next epoch's commit.
+            {
+                let mut pool = self.shard_pool.lock();
+                for cell in &cw.shards {
+                    pool.push(std::mem::take(unsafe { &mut *cell.get() }));
+                }
+            }
+            Self::fire_wakes_merged(recs);
+            let next = std::mem::take(&mut *cw.next.lock());
+            self.finish_epoch(next);
+        }
+
+        /// Fire deferred wake-ups in ascending global-key order. The sort
+        /// is stable, so several waiters triggered by the *same* message
+        /// keep their subscription order — exactly what the serial
+        /// commit's inline `push` produces.
+        fn fire_wakes_merged(mut recs: Vec<WakeRec>) {
+            recs.sort_by_key(|r| r.key);
+            for r in recs {
+                r.waker.wake();
+            }
+        }
+
+        /// Deliveries are committed: append woken receivers to the next
+        /// round, detect deadlock, and publish the next round.
+        fn finish_epoch(&self, mut next: Vec<usize>) {
+            // Receivers woken by the committed deliveries, in commit order.
             next.append(&mut self.shared.woken.lock());
-            // 4. Nothing runnable but tasks remain: deadlock. Poison every
+            // Nothing runnable but tasks remain: deadlock. Poison every
             // blocked task; the wake-ups queue them (in rank order) so
             // their blocking operations can return the timeout error.
             let live = self.shared.live.load(Ordering::Acquire);
@@ -700,28 +964,33 @@ mod imp {
                     std::process::abort();
                 }
             }
-            // 5. Publish. The cursor moves last: claims validate its epoch
-            // half, so no worker can touch the new round before the gate
-            // state it pairs with is visible.
-            let mut g = self.gate.lock();
             if live == 0 {
+                let mut g = self.gate.lock();
                 g.done = true;
                 self.gate_cv.notify_all();
             } else {
-                g.epoch += 1;
-                let single = next.len() == 1;
-                g.round = Arc::new(next);
-                self.round_done.store(0, Ordering::Relaxed);
-                self.cursor
-                    .store((g.epoch & 0xffff_ffff) << 32, Ordering::Release);
-                // A one-task round is fully served by the committing worker
-                // itself — waking the pool for it would just thrash the
-                // sleeping workers during serial phases of the program.
-                // They stay parked until a wider round (or `done`) arrives;
-                // the committer alone keeps the simulation live.
-                if !single {
-                    self.gate_cv.notify_all();
-                }
+                self.publish(Work::Tasks(Arc::new(next)));
+            }
+        }
+
+        /// Install `work` as the next claimable phase. The cursor moves
+        /// last: claims validate its gen half, so no worker can touch the
+        /// new phase before the gate state it pairs with is visible.
+        fn publish(&self, work: Work) {
+            let units = work.units();
+            let mut g = self.gate.lock();
+            g.gen += 1;
+            g.work = work;
+            self.round_done.store(0, Ordering::Relaxed);
+            self.cursor
+                .store((g.gen & 0xffff_ffff) << 32, Ordering::Release);
+            // A one-unit phase is fully served by the publishing worker
+            // itself — waking the pool for it would just thrash the
+            // sleeping workers during serial phases of the program. They
+            // stay parked until a wider phase (or `done`) arrives; the
+            // publisher alone keeps the simulation live.
+            if units > 1 {
+                self.gate_cv.notify_all();
             }
         }
 
@@ -778,6 +1047,48 @@ mod imp {
                 }
             }
         }
+    }
+
+    /// Push a destination-major-sorted run of commit entries: one
+    /// [`Mailbox::push_batch`] per destination segment (one lock
+    /// acquisition per destination, however large its fan-in), recording
+    /// every triggered wake-up as a [`WakeRec`] keyed by the triggering
+    /// message's global commit key instead of firing it.
+    fn push_segments(
+        router: &Router,
+        entries: impl Iterator<Item = CommitEntry>,
+        wakes: &mut Vec<WakeRec>,
+    ) {
+        fn flush(
+            router: &Router,
+            dest: usize,
+            batch: &mut Vec<Message>,
+            keys: &mut Vec<CommitKey>,
+            wakes: &mut Vec<WakeRec>,
+        ) {
+            if batch.is_empty() {
+                return;
+            }
+            for (idx, waker) in router.mailboxes[dest].push_batch(std::mem::take(batch)) {
+                wakes.push(WakeRec {
+                    key: keys[idx],
+                    waker,
+                });
+            }
+            keys.clear();
+        }
+        let mut dest = usize::MAX;
+        let mut batch: Vec<Message> = Vec::new();
+        let mut keys: Vec<CommitKey> = Vec::new();
+        for e in entries {
+            if e.dest != dest {
+                flush(router, dest, &mut batch, &mut keys, wakes);
+                dest = e.dest;
+            }
+            keys.push(e.key());
+            batch.push(e.msg);
+        }
+        flush(router, dest, &mut batch, &mut keys, wakes);
     }
 
     /// Entry point every fiber starts in (called by the asm trampoline with

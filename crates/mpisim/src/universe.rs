@@ -34,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::comm::Comm;
-use crate::model::{CostModel, VendorProfile};
+use crate::model::{CommitAlgo, CostModel, VendorProfile};
 use crate::proc::{ProcState, Router};
 use crate::sched;
 use crate::time::Time;
@@ -93,6 +93,19 @@ pub struct SimConfig {
     /// reservation, of which only touched pages are committed. Raise it
     /// for rank bodies with deep recursion.
     pub coop_stack_size: usize,
+    /// How the cooperative scheduler's epoch commit delivers staged
+    /// messages: [`CommitAlgo::Sharded`] (default) partitions the
+    /// globally sorted run by destination rank and lets all idle workers
+    /// push segments in parallel; [`CommitAlgo::Serial`] is the original
+    /// single-threaded commit, kept as the correctness oracle. Both
+    /// produce bit-identical output for every worker count; only
+    /// wall-clock speed differs. Ignored by [`Backend::Threads`].
+    pub commit_algo: CommitAlgo,
+    /// Upper bound on the claim units of one sharded commit (0 = auto:
+    /// ~2 shards per worker, with small commits staying inline on the
+    /// committing worker). Like `coop_workers`, this is purely a
+    /// throughput knob — any value yields identical output.
+    pub coop_commit_shards: usize,
 }
 
 impl Default for SimConfig {
@@ -106,6 +119,8 @@ impl Default for SimConfig {
             backend: Backend::Threads,
             coop_workers: 1,
             coop_stack_size: 128 << 10,
+            commit_algo: CommitAlgo::Sharded,
+            coop_commit_shards: 0,
         }
     }
 }
@@ -113,17 +128,24 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Default configuration on the cooperative scheduler backend. The
     /// worker-pool size honours the `MPISIM_COOP_WORKERS` environment
-    /// variable (default 1) so sweeps and CI can parallelise without code
-    /// changes — results are identical for any worker count.
+    /// variable (default 1), the commit algorithm honours
+    /// `MPISIM_COOP_COMMIT` (`sharded`, the default, or `serial` for the
+    /// oracle), and the shard cap honours `MPISIM_COOP_COMMIT_SHARDS`
+    /// (0 = auto) — so sweeps and CI can exercise the whole matrix
+    /// without code changes. Results are identical for every combination.
     pub fn cooperative() -> SimConfig {
         let workers = std::env::var("MPISIM_COOP_WORKERS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(1)
             .max(1);
+        let commit_algo = commit_algo_from(std::env::var("MPISIM_COOP_COMMIT").ok().as_deref());
+        let shards = commit_shards_from(std::env::var("MPISIM_COOP_COMMIT_SHARDS").ok().as_deref());
         SimConfig {
             backend: Backend::Cooperative,
             coop_workers: workers,
+            commit_algo,
+            coop_commit_shards: shards,
             ..SimConfig::default()
         }
     }
@@ -144,6 +166,22 @@ impl SimConfig {
     /// Replace the vendor profile.
     pub fn with_vendor(mut self, vendor: VendorProfile) -> SimConfig {
         self.vendor = vendor;
+        self
+    }
+
+    /// Replace the cooperative scheduler's epoch-commit algorithm (the
+    /// single-threaded [`CommitAlgo::Serial`] survives as the correctness
+    /// oracle for the default destination-sharded commit; output is
+    /// bit-identical either way).
+    pub fn with_commit_algo(mut self, algo: CommitAlgo) -> SimConfig {
+        self.commit_algo = algo;
+        self
+    }
+
+    /// Replace the sharded commit's claim-unit cap (0 = auto; any value
+    /// yields identical output, see [`SimConfig::coop_commit_shards`]).
+    pub fn with_commit_shards(mut self, shards: usize) -> SimConfig {
+        self.coop_commit_shards = shards;
         self
     }
 
@@ -178,6 +216,33 @@ impl SimConfig {
         self.coop_stack_size = bytes;
         self
     }
+}
+
+/// Parse a `MPISIM_COOP_COMMIT` override (case-insensitive `sharded` /
+/// `serial`; unset or blank means the default).
+///
+/// Unknown values **panic** rather than falling back: this knob selects
+/// the correctness *oracle*, and a mistyped `MPISIM_COOP_COMMIT=Seral`
+/// silently running the sharded default would make every
+/// serial-vs-sharded byte-diff compare sharded against itself —
+/// vacuously green, with no signal that the oracle never ran.
+fn commit_algo_from(var: Option<&str>) -> CommitAlgo {
+    match var.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        None | Some("") | Some("sharded") => CommitAlgo::Sharded,
+        Some("serial") => CommitAlgo::Serial,
+        Some(other) => panic!(
+            "MPISIM_COOP_COMMIT={other:?} is not a commit algorithm \
+             (expected \"sharded\" or \"serial\")"
+        ),
+    }
+}
+
+/// Parse a `MPISIM_COOP_COMMIT_SHARDS` override (a claim-unit cap;
+/// 0 or unset = auto). Unparsable values fall back to auto — unlike the
+/// algorithm knob this only tunes throughput, never what is computed.
+fn commit_shards_from(var: Option<&str>) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 /// Handed to every rank body.
@@ -330,7 +395,13 @@ impl Universe {
         R: Send,
         F: Fn(ProcEnv) -> R + Send + Sync,
     {
-        let scheduler = sched::Scheduler::new(p, cfg.coop_stack_size, Arc::clone(router));
+        let scheduler = sched::Scheduler::new(
+            p,
+            cfg.coop_stack_size,
+            Arc::clone(router),
+            cfg.commit_algo,
+            cfg.coop_commit_shards,
+        );
         let store = scheduler.panic_store();
         for (rank, state) in states.iter().enumerate() {
             let state = Arc::clone(state);
@@ -494,6 +565,34 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn commit_algo_knob_parses_strictly() {
+        // Pure parsers so the tests never mutate process env (set_var is
+        // a data race against concurrent env reads in parallel tests).
+        assert_eq!(commit_algo_from(None), CommitAlgo::Sharded);
+        assert_eq!(commit_algo_from(Some("")), CommitAlgo::Sharded);
+        assert_eq!(commit_algo_from(Some("sharded")), CommitAlgo::Sharded);
+        assert_eq!(commit_algo_from(Some("serial")), CommitAlgo::Serial);
+        assert_eq!(commit_algo_from(Some(" Serial ")), CommitAlgo::Serial);
+        assert_eq!(commit_algo_from(Some("SHARDED")), CommitAlgo::Sharded);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a commit algorithm")]
+    fn commit_algo_knob_rejects_typos() {
+        // A mistyped oracle selector must fail loudly, not silently run
+        // the sharded default and turn the oracle diff into a no-op.
+        commit_algo_from(Some("seral"));
+    }
+
+    #[test]
+    fn commit_shards_knob_parses_with_auto_fallback() {
+        assert_eq!(commit_shards_from(None), 0);
+        assert_eq!(commit_shards_from(Some("7")), 7);
+        assert_eq!(commit_shards_from(Some(" 16 ")), 16);
+        assert_eq!(commit_shards_from(Some("lots")), 0);
     }
 
     #[test]

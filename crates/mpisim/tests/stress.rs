@@ -6,7 +6,7 @@ use std::sync::Arc;
 use mpisim::mailbox::Mailbox;
 use mpisim::msg::{ContextId, MatchPattern, Message, SrcFilter};
 use mpisim::nbcoll;
-use mpisim::{coll, ops, SimConfig, Src, Time, Transport, Universe};
+use mpisim::{coll, ops, CommitAlgo, SimConfig, Src, Time, Transport, Universe};
 
 #[test]
 fn mailbox_concurrent_producers_and_consumer() {
@@ -136,6 +136,105 @@ fn repeated_universes_do_not_leak_state() {
             c.allreduce(&[round], ops::sum::<u64>()).unwrap()[0]
         });
         assert!(res.per_rank.iter().all(|&v| v == 2 * round));
+    }
+}
+
+/// Order-sensitive FNV-style fold: two runs produce the same hash iff
+/// they observed the identical delivery sequence.
+fn fold(acc: u64, x: u64) -> u64 {
+    (acc ^ x).wrapping_mul(0x100000001b3)
+}
+
+#[test]
+fn commit_fan_in_all_to_one_4096() {
+    // Every rank floods rank 0: the epoch commit carries ~16k entries in
+    // ONE destination segment — the degenerate shape where sharding can't
+    // parallelise (a single mailbox must be filled in order) and must
+    // fall back to an in-order push without losing determinism. This is
+    // exactly the fan-in the paper's 2^15-rank MPI_Comm_split produces at
+    // its gather roots.
+    let p = 1 << 12;
+    let per = 4;
+    let run = |algo: CommitAlgo, workers: usize| {
+        let cfg = SimConfig::cooperative()
+            .with_commit_algo(algo)
+            .with_workers(workers);
+        let res = Universe::run(p, cfg, move |env| {
+            let w = &env.world;
+            if w.rank() == 0 {
+                let mut acc = 0xcbf29ce484222325u64;
+                for _ in 0..(p - 1) * per {
+                    let (v, st) = w.recv::<u64>(Src::Any, 9).unwrap();
+                    acc = fold(acc, (st.source as u64) << 32 | v[0]);
+                }
+                acc
+            } else {
+                for i in 0..per {
+                    w.send(&[(w.rank() * per + i) as u64], 0, 9).unwrap();
+                }
+                0
+            }
+        });
+        (res.per_rank[0], res.clocks)
+    };
+    let oracle = run(CommitAlgo::Serial, 1);
+    for workers in [1usize, 4, 8] {
+        assert_eq!(
+            oracle,
+            run(CommitAlgo::Sharded, workers),
+            "all-to-one fan-in diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn commit_fan_in_leader_gather_4096() {
+    // √p-leader gather storm: 64 leaders each drain their 64-member block
+    // (two messages per member, wildcard), then report to rank 0 — 64
+    // concurrent fan-in hotspots plus one final fan-in, so the commit has
+    // many per-destination segments and genuinely shards. The commit
+    // phase dominates: virtually all virtual time is message delivery.
+    let p = 1 << 12;
+    let b = 64; // block size = leader count = √p
+    let run = |algo: CommitAlgo, workers: usize| {
+        let cfg = SimConfig::cooperative()
+            .with_commit_algo(algo)
+            .with_workers(workers);
+        let res = Universe::run(p, cfg, move |env| {
+            let w = &env.world;
+            let r = w.rank();
+            let leader = (r / b) * b;
+            if r != leader {
+                w.send(&[r as u64], leader, 5).unwrap();
+                w.send(&[(r * r) as u64], leader, 5).unwrap();
+                return 0;
+            }
+            // Leader: drain the block's storm in arrival order.
+            let mut acc = 0xcbf29ce484222325u64;
+            for _ in 0..(b - 1) * 2 {
+                let (v, st) = w.recv::<u64>(Src::Any, 5).unwrap();
+                acc = fold(acc, (st.source as u64) << 32 | v[0]);
+            }
+            if r != 0 {
+                w.send(&[acc], 0, 6).unwrap();
+                acc
+            } else {
+                for _ in 0..(p / b - 1) {
+                    let (v, st) = w.recv::<u64>(Src::Any, 6).unwrap();
+                    acc = fold(acc, st.source as u64 ^ v[0]);
+                }
+                acc
+            }
+        });
+        (res.per_rank, res.clocks)
+    };
+    let oracle = run(CommitAlgo::Serial, 1);
+    for workers in [1usize, 4, 8] {
+        assert_eq!(
+            oracle,
+            run(CommitAlgo::Sharded, workers),
+            "leader-gather fan-in diverged at {workers} workers"
+        );
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use mpisim::{MpiError, SimConfig, Src, Transport, Universe};
+use mpisim::{CommitAlgo, MpiError, SimConfig, Src, Transport, Universe};
 use rbc::RbcComm;
 
 fn short_timeout() -> SimConfig {
@@ -126,6 +126,98 @@ fn nonblocking_wait_times_out_rather_than_spinning_forever() {
         }
     });
     assert!(matches!(res.per_rank[0], Some(MpiError::Timeout { .. })));
+}
+
+/// Run a 4-rank receive cycle (a textbook deadlock) under the cooperative
+/// backend and return each rank's `(rank, waited_for)` diagnostics.
+fn coop_deadlock_diagnostics(algo: CommitAlgo, workers: usize) -> Vec<Option<(usize, String)>> {
+    let cfg = SimConfig::cooperative()
+        .with_commit_algo(algo)
+        .with_workers(workers);
+    Universe::run(4, cfg, |env| {
+        let w = &env.world;
+        let from = (w.rank() + 1) % 4;
+        w.recv::<u64>(Src::Rank(from), 42).err().map(|e| match e {
+            MpiError::Timeout {
+                rank, waited_for, ..
+            } => (rank, waited_for),
+            other => panic!("expected Timeout, got {other:?}"),
+        })
+    })
+    .per_rank
+}
+
+#[test]
+fn coop_deadlock_diagnostics_exact_under_sharded_commit() {
+    // Deadlock poisoning moved behind the sharded commit's merge barrier;
+    // the diagnostics must stay *exact*: same rank, same `waited_for`
+    // text, for every worker count — byte-identical to the serial oracle.
+    let oracle = coop_deadlock_diagnostics(CommitAlgo::Serial, 1);
+    for (r, d) in oracle.iter().enumerate() {
+        let (rank, text) = d.as_ref().expect("every rank deadlocks");
+        assert_eq!(*rank, r);
+        assert!(
+            text.contains("tag=42") && text.contains("cooperative deadlock"),
+            "got: {text}"
+        );
+    }
+    for workers in [1usize, 4, 8] {
+        assert_eq!(
+            oracle,
+            coop_deadlock_diagnostics(CommitAlgo::Sharded, workers),
+            "deadlock diagnostics diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn coop_timeout_after_real_traffic_identical_under_sharded_commit() {
+    // Sharded commits with real deliveries happen first (a ring
+    // exchange), *then* a rank waits forever: the poison must fire on
+    // exactly the stuck ranks, with identical text under both commit
+    // algorithms. Ranks 0 and 1 both wait on a tag nobody sends so the
+    // poison pass wakes several blocked ranks in one commit.
+    let run = |algo: CommitAlgo, workers: usize| {
+        let cfg = SimConfig::cooperative()
+            .with_commit_algo(algo)
+            .with_workers(workers);
+        Universe::run(8, cfg, |env| {
+            let w = &env.world;
+            let next = (w.rank() + 1) % 8;
+            let prev = (w.rank() + 7) % 8;
+            w.send(&[w.rank() as u64], next, 1).unwrap();
+            let (v, _) = w.recv::<u64>(Src::Rank(prev), 1).unwrap();
+            assert_eq!(v[0] as usize, prev);
+            if w.rank() < 2 {
+                w.recv::<u64>(Src::Any, 99).err().map(|e| match e {
+                    MpiError::Timeout {
+                        rank, waited_for, ..
+                    } => (rank, waited_for),
+                    other => panic!("expected Timeout, got {other:?}"),
+                })
+            } else {
+                None
+            }
+        })
+        .per_rank
+    };
+    let oracle = run(CommitAlgo::Serial, 1);
+    for (r, d) in oracle.iter().enumerate() {
+        if r < 2 {
+            let (rank, text) = d.as_ref().expect("stuck ranks time out");
+            assert_eq!(*rank, r);
+            assert!(text.contains("tag=99"), "got: {text}");
+        } else {
+            assert!(d.is_none(), "rank {r} should have finished cleanly");
+        }
+    }
+    for workers in [1usize, 4, 8] {
+        assert_eq!(
+            oracle,
+            run(CommitAlgo::Sharded, workers),
+            "timeout diagnostics diverged at {workers} workers"
+        );
+    }
 }
 
 #[test]
