@@ -9,4 +9,5 @@ fn main() {
     rbc_bench::figs::fig9::run();
     rbc_bench::figs::ablations::run();
     rbc_bench::figs::largep::run();
+    rbc_bench::figs::faults::run();
 }

@@ -32,6 +32,7 @@ const CURRENT: &[&[&str]] = &[
         "crates/bench/results/BENCH_micro.json",
     ],
     &["results/BENCH_largep.json"],
+    &["results/BENCH_faults.json"],
 ];
 
 fn load_metrics(candidates: &[&str]) -> Vec<Metric> {

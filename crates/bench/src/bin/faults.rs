@@ -1,0 +1,7 @@
+//! Regenerates the fault-injection sweep: straggler degradation of
+//! JQuick vs multi-level vs single-level sample sort (makespan and output
+//! imbalance), seeded and fully deterministic. `BENCH_QUICK=1` shrinks
+//! the sweep.
+fn main() {
+    rbc_bench::figs::faults::run();
+}

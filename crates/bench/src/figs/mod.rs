@@ -5,6 +5,7 @@
 //! DESIGN.md; expected-vs-measured shapes are recorded in EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -84,16 +84,28 @@ pub fn test(req: &mut impl Progress) -> Result<bool> {
 
 /// `rbc::Wait` — repeatedly test until complete.
 pub fn wait(req: &mut impl Progress) -> Result<()> {
-    let deadline = std::time::Instant::now() + mpisim::nbcoll::WAIT_TIMEOUT;
+    let timeout = req
+        .proc_state()
+        .map_or(mpisim::nbcoll::WAIT_TIMEOUT, |s| s.router.recv_timeout);
+    let deadline = std::time::Instant::now() + timeout;
     loop {
         if req.poll()? {
             return Ok(());
         }
         if std::time::Instant::now() > deadline {
-            return Err(mpisim::MpiError::Timeout {
-                rank: usize::MAX,
-                waited_for: "rbc::wait".into(),
-                virtual_now: mpisim::Time::ZERO,
+            return Err(match req.proc_state() {
+                Some(s) => mpisim::MpiError::Timeout {
+                    rank: s.global_rank,
+                    waited_for: "rbc::wait".into(),
+                    virtual_now: s.now(),
+                    blame: s.stall_blame(),
+                },
+                None => mpisim::MpiError::Timeout {
+                    rank: usize::MAX,
+                    waited_for: "rbc::wait".into(),
+                    virtual_now: mpisim::Time::ZERO,
+                    blame: mpisim::RoundBlame::default(),
+                },
             });
         }
         mpisim::yield_now();

@@ -16,8 +16,10 @@
 //! When no active tasks remain, phase 2 executes all queued base cases
 //! concurrently, and the settled pieces are assembled into the output.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mpisim::proc::ProcState;
 use mpisim::{coll, Comm, Datum, MpiError, Result, SortKey, Time, Transport};
 
 use crate::backend::{Backend, Schedule};
@@ -27,8 +29,17 @@ use crate::layout::{Layout, TaskRange};
 use crate::level::{LevelOutcome, LevelSm};
 use crate::pivot::PivotCfg;
 
-/// Wall-clock ceiling per wave (deadlock detector).
+/// Wall-clock ceiling per wave (last-resort deadlock detector when the
+/// configured receive timeout cannot be consulted).
 const WAVE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-wave deadline: twice the configured blocking-receive timeout, so
+/// the point-to-point deadlock detector (which carries exact blame) gets
+/// to fire first; this is the backstop for pure polling loops.
+fn wave_deadline(state: &Arc<ProcState>) -> Instant {
+    let t = state.router.recv_timeout.min(WAVE_TIMEOUT / 2);
+    Instant::now() + t * 2
+}
 
 /// User tags for the driver's blocking agreements.
 const TAG_MINMAX: u64 = 70;
@@ -179,7 +190,7 @@ where
             });
             sms.push(sm);
         }
-        poll_all_levels(&mut sms)?;
+        poll_all_levels(world.proc_state(), &mut sms)?;
 
         // 2. Process outcomes left-to-right (the order matters for the
         //    blocking all-equal agreement: leftmost-first is globally
@@ -295,7 +306,7 @@ where
         }
         bsms.push(BaseSm::start(&wc, layout, me, bt)?);
     }
-    let deadline = Instant::now() + WAVE_TIMEOUT;
+    let deadline = wave_deadline(world.proc_state());
     loop {
         let mut all = true;
         for sm in bsms.iter_mut() {
@@ -305,10 +316,12 @@ where
             break;
         }
         if Instant::now() > deadline {
+            let state = world.proc_state();
             return Err(MpiError::Timeout {
                 rank: me as usize,
                 waited_for: "base case phase".into(),
-                virtual_now: world.proc_state().now(),
+                virtual_now: state.now(),
+                blame: state.stall_blame(),
             });
         }
         mpisim::yield_now();
@@ -359,12 +372,12 @@ struct TaskMeta<C> {
 }
 
 /// Round-robin polling of all level machines until completion.
-fn poll_all_levels<T, C>(sms: &mut [LevelSm<T, C>]) -> Result<()>
+fn poll_all_levels<T, C>(state: &Arc<ProcState>, sms: &mut [LevelSm<T, C>]) -> Result<()>
 where
     T: SortKey + Datum,
     C: Transport,
 {
-    let deadline = Instant::now() + WAVE_TIMEOUT;
+    let deadline = wave_deadline(state);
     loop {
         let mut all = true;
         for sm in sms.iter_mut() {
@@ -375,9 +388,10 @@ where
         }
         if Instant::now() > deadline {
             return Err(MpiError::Timeout {
-                rank: usize::MAX,
+                rank: state.global_rank,
                 waited_for: "level state machines".into(),
-                virtual_now: Time::ZERO,
+                virtual_now: state.now(),
+                blame: state.stall_blame(),
             });
         }
         mpisim::yield_now();

@@ -61,6 +61,7 @@ mod tests {
             mpisim::CostModel::default(),
             mpisim::VendorProfile::neutral(),
             Duration::from_secs(1),
+            mpisim::faults::FaultState::default(),
         ));
         ProcState::new(0, router, 7)
     }

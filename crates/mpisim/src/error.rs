@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use crate::faults::RoundBlame;
 use crate::time::Time;
 
 /// Errors surfaced by simulator operations.
@@ -21,6 +22,9 @@ pub enum MpiError {
         waited_for: String,
         /// Virtual clock of the rank when the wall-clock timeout fired.
         virtual_now: Time,
+        /// Which ranks the stalled operation was waiting on, with their
+        /// last virtual-time activity and crashed/slowed/live status.
+        blame: RoundBlame,
     },
     /// A message was matched whose payload element type differs from the
     /// type requested by the receive.
@@ -60,18 +64,34 @@ impl fmt::Display for MpiError {
                 rank,
                 waited_for,
                 virtual_now,
-            } => write!(
-                f,
-                "deadlock timeout on rank {rank} while waiting for {waited_for} (virtual time {virtual_now})"
-            ),
+                blame,
+            } => {
+                write!(
+                    f,
+                    "deadlock timeout on rank {rank} while waiting for {waited_for} (virtual time {virtual_now})"
+                )?;
+                if !blame.is_empty() {
+                    write!(f, "; {blame}")?;
+                }
+                Ok(())
+            }
             MpiError::TypeMismatch { expected, got } => {
-                write!(f, "datatype mismatch: receive expected {expected}, message holds {got}")
+                write!(
+                    f,
+                    "datatype mismatch: receive expected {expected}, message holds {got}"
+                )
             }
             MpiError::Truncation { expected, got } => {
-                write!(f, "message truncated: expected {expected} elements, got {got}")
+                write!(
+                    f,
+                    "message truncated: expected {expected} elements, got {got}"
+                )
             }
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::ContextExhausted => write!(f, "context-ID space exhausted"),
             MpiError::CollectiveMismatch(s) => write!(f, "collective argument mismatch: {s}"),
@@ -95,10 +115,31 @@ mod tests {
             rank: 3,
             waited_for: "recv(src=1, tag=7)".into(),
             virtual_now: Time::from_micros(5),
+            blame: RoundBlame::default(),
         };
         let s = format!("{e}");
         assert!(s.contains("rank 3"));
         assert!(s.contains("recv(src=1, tag=7)"));
+        // An unenriched blame adds nothing to the message.
+        assert!(!s.contains("waiting on:"), "{s}");
+
+        let e = MpiError::Timeout {
+            rank: 3,
+            waited_for: "recv(src=1, tag=7)".into(),
+            virtual_now: Time::from_micros(5),
+            blame: RoundBlame {
+                waiting_on: vec![crate::faults::RankBlame {
+                    rank: 1,
+                    last_activity: Time::from_micros(4),
+                    health: crate::faults::RankHealth::Crashed {
+                        at: Time::from_micros(4),
+                    },
+                }],
+                omitted: 0,
+            },
+        };
+        let s = format!("{e}");
+        assert!(s.contains("waiting on: rank 1 [crashed at"), "{s}");
 
         let e = MpiError::TypeMismatch {
             expected: "f64",

@@ -126,16 +126,28 @@ impl IcommCreate {
 
     /// Block until creation completes and return the communicator.
     pub fn wait_comm(mut self) -> Result<Comm> {
-        let deadline = Instant::now() + nbcoll::WAIT_TIMEOUT;
+        let timeout = self
+            .proc_state()
+            .map_or(nbcoll::WAIT_TIMEOUT, |s| s.router.recv_timeout);
+        let deadline = Instant::now() + timeout;
         loop {
             if self.poll()? {
                 return Ok(self.take().expect("completed creation yields a comm"));
             }
             if Instant::now() > deadline {
-                return Err(MpiError::Timeout {
-                    rank: usize::MAX,
-                    waited_for: "icomm_create_group".into(),
-                    virtual_now: Time::ZERO,
+                return Err(match self.proc_state() {
+                    Some(s) => MpiError::Timeout {
+                        rank: s.global_rank,
+                        waited_for: "icomm_create_group".into(),
+                        virtual_now: s.now(),
+                        blame: s.stall_blame(),
+                    },
+                    None => MpiError::Timeout {
+                        rank: usize::MAX,
+                        waited_for: "icomm_create_group".into(),
+                        virtual_now: Time::ZERO,
+                        blame: crate::faults::RoundBlame::default(),
+                    },
                 });
             }
             crate::sched::yield_now();
@@ -144,6 +156,13 @@ impl IcommCreate {
 }
 
 impl Progress for IcommCreate {
+    fn proc_state(&self) -> Option<&std::sync::Arc<crate::proc::ProcState>> {
+        match self {
+            IcommCreate::Waiting { view, .. } => Some(view.state()),
+            _ => None,
+        }
+    }
+
     fn poll(&mut self) -> Result<bool> {
         match std::mem::replace(self, IcommCreate::Poisoned) {
             IcommCreate::Ready(c) => {

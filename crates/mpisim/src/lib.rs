@@ -35,6 +35,7 @@ pub mod context;
 pub mod datum;
 pub mod distsort;
 pub mod error;
+pub mod faults;
 pub mod group;
 pub mod icomm;
 pub mod mailbox;
@@ -52,6 +53,7 @@ pub mod universe;
 pub use comm::Comm;
 pub use datum::{ops, Datum, SortKey, Zeroed};
 pub use error::{MpiError, Result};
+pub use faults::{FaultPlan, RankBlame, RankHealth, RoundBlame, SlowdownSpec};
 pub use group::Group;
 pub use model::{CommitAlgo, CostModel, CostScale, CreateGroupAlgo, SplitAlgo, VendorProfile};
 pub use msg::{ContextId, MsgInfo, Tag};

@@ -327,6 +327,9 @@ impl Mailbox {
                     rank,
                     waited_for: format!("recv({:?}, tag={}, {})", pat.src, pat.tag, pat.ctx),
                     virtual_now: vnow,
+                    // The mailbox has no fault-state access; `ProcState`
+                    // enriches the blame on the way out.
+                    blame: crate::faults::RoundBlame::default(),
                 });
             }
         }
@@ -350,6 +353,7 @@ impl Mailbox {
                     rank,
                     waited_for: format!("probe({:?}, tag={}, {})", pat.src, pat.tag, pat.ctx),
                     virtual_now: vnow,
+                    blame: crate::faults::RoundBlame::default(),
                 });
             }
         }

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use crate::datum::Datum;
 use crate::error::{MpiError, Result};
 use crate::msg::Tag;
+use crate::proc::ProcState;
 use crate::transport::{RecvReq, Src, Transport};
 
 /// Hard wall-clock ceiling for spin-waiting on a request — the deadlock
@@ -30,11 +31,25 @@ pub const WAIT_TIMEOUT: Duration = Duration::from_secs(30);
 pub trait Progress: Send {
     /// Drive the operation one step; `Ok(true)` once locally complete.
     fn poll(&mut self) -> Result<bool>;
+
+    /// The per-rank simulator state behind this operation, when one is
+    /// reachable. Lets [`Request::wait`]/[`waitall`] use the configured
+    /// deadlock timeout and attribute a stall to the ranks it is waiting
+    /// on (a [`crate::faults::RoundBlame`]). The default `None` keeps
+    /// foreign `Progress` implementations working with the wall-clock
+    /// fallback.
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        None
+    }
 }
 
 impl<T: Datum, C: Transport> Progress for RecvReq<T, C> {
     fn poll(&mut self) -> Result<bool> {
         self.test()
+    }
+
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        Some(self.transport().state())
     }
 }
 
@@ -59,18 +74,40 @@ impl Request {
     }
 }
 
+/// Build the timeout error for a stalled wait. With a [`ProcState`] in
+/// hand the error names the stalled rank, its virtual clock, and the
+/// ranks it is waiting on; without one it falls back to anonymous.
+fn wait_timeout_err(state: Option<&Arc<ProcState>>, waited_for: &str) -> MpiError {
+    match state {
+        Some(s) => MpiError::Timeout {
+            rank: s.global_rank,
+            waited_for: waited_for.into(),
+            virtual_now: s.now(),
+            blame: s.stall_blame(),
+        },
+        None => MpiError::Timeout {
+            rank: usize::MAX,
+            waited_for: waited_for.into(),
+            virtual_now: crate::time::Time::ZERO,
+            blame: crate::faults::RoundBlame::default(),
+        },
+    }
+}
+
 fn wait_on(p: &mut dyn Progress) -> Result<()> {
-    let deadline = Instant::now() + WAIT_TIMEOUT;
+    let timeout = p
+        .proc_state()
+        .map_or(WAIT_TIMEOUT, |s| s.router.recv_timeout);
+    let deadline = Instant::now() + timeout;
     loop {
         if p.poll()? {
             return Ok(());
         }
         if Instant::now() > deadline {
-            return Err(MpiError::Timeout {
-                rank: usize::MAX,
-                waited_for: "nonblocking operation (wait)".into(),
-                virtual_now: crate::time::Time::ZERO,
-            });
+            return Err(wait_timeout_err(
+                p.proc_state(),
+                "nonblocking operation (wait)",
+            ));
         }
         crate::sched::yield_now();
     }
@@ -87,17 +124,20 @@ pub fn testall(reqs: &mut [Request]) -> Result<bool> {
 
 /// `rbc::Waitall`: repeatedly calls `testall` until all complete.
 pub fn waitall(reqs: &mut [Request]) -> Result<()> {
-    let deadline = Instant::now() + WAIT_TIMEOUT;
+    let timeout = reqs
+        .iter()
+        .find_map(|r| r.0.proc_state())
+        .map_or(WAIT_TIMEOUT, |s| s.router.recv_timeout);
+    let deadline = Instant::now() + timeout;
     loop {
         if testall(reqs)? {
             return Ok(());
         }
         if Instant::now() > deadline {
-            return Err(MpiError::Timeout {
-                rank: usize::MAX,
-                waited_for: "nonblocking operations (waitall)".into(),
-                virtual_now: crate::time::Time::ZERO,
-            });
+            return Err(wait_timeout_err(
+                reqs.iter().find_map(|r| r.0.proc_state()),
+                "nonblocking operations (waitall)",
+            ));
         }
         crate::sched::yield_now();
     }
@@ -223,6 +263,10 @@ impl<T: Datum, C: Transport> Ibcast<T, C> {
 }
 
 impl<T: Datum, C: Transport> Progress for Ibcast<T, C> {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        Some(self.tr.state())
+    }
+
     fn poll(&mut self) -> Result<bool> {
         if self.done {
             return Ok(true);
@@ -322,6 +366,10 @@ where
     C: Transport,
     F: Fn(&T, &T) -> T + Send,
 {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        Some(self.tr.state())
+    }
+
     fn poll(&mut self) -> Result<bool> {
         if self.done {
             return Ok(true);
@@ -414,6 +462,14 @@ where
     C: Transport,
     F: Fn(&T, &T) -> T + Send,
 {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        match &self.phase {
+            IallreducePhase::Reduce { sm, .. } => Some(sm.tr.state()),
+            IallreducePhase::Bcast(bc) => Some(bc.tr.state()),
+            _ => None,
+        }
+    }
+
     fn poll(&mut self) -> Result<bool> {
         loop {
             match std::mem::replace(&mut self.phase, IallreducePhase::Poisoned) {
@@ -514,6 +570,10 @@ where
     C: Transport,
     F: Fn(&T, &T) -> T + Send,
 {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        Some(self.tr.state())
+    }
+
     fn poll(&mut self) -> Result<bool> {
         if self.done {
             return Ok(true);
@@ -631,6 +691,10 @@ impl<T: Datum, C: Transport> Igatherv<T, C> {
 }
 
 impl<T: Datum, C: Transport> Progress for Igatherv<T, C> {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        Some(self.tr.state())
+    }
+
     fn poll(&mut self) -> Result<bool> {
         if self.done {
             return Ok(true);
@@ -711,6 +775,10 @@ impl<T: Datum, C: Transport> Igather<T, C> {
 }
 
 impl<T: Datum, C: Transport> Progress for Igather<T, C> {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        self.inner.proc_state()
+    }
+
     fn poll(&mut self) -> Result<bool> {
         self.inner.poll()
     }
@@ -750,6 +818,10 @@ impl<C: Transport> Ibarrier<C> {
 }
 
 impl<C: Transport> Progress for Ibarrier<C> {
+    fn proc_state(&self) -> Option<&Arc<ProcState>> {
+        Some(self.tr.state())
+    }
+
     fn poll(&mut self) -> Result<bool> {
         if self.done {
             return Ok(true);

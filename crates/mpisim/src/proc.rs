@@ -14,10 +14,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::datum::Datum;
-use crate::error::Result;
+use crate::error::{MpiError, Result};
+use crate::faults::{FaultState, RankBlame, RoundBlame, BLAME_CAP};
 use crate::mailbox::Mailbox;
 use crate::model::{CostModel, CostScale, VendorProfile};
-use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, Tag};
+use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, SrcFilter, Tag};
 use crate::time::Time;
 
 /// Why a rank is parked at a blocking point — the explicit wait state a
@@ -61,6 +62,14 @@ struct TrafficCell {
     bytes: AtomicU64,
 }
 
+/// One rank's virtual clock, padded to a cache line for the same reason as
+/// [`TrafficCell`]. Clocks live on the router (rather than privately on
+/// each [`ProcState`]) so that blame diagnostics can report any rank's
+/// last virtual-time activity when an operation stalls.
+#[repr(align(64))]
+#[derive(Default)]
+struct ClockCell(crate::time::VirtualClock);
+
 /// Shared fabric connecting all ranks: one mailbox per rank plus the
 /// cost model. Sends deposit messages directly into the destination mailbox
 /// (thread backend) or stage them with the cooperative scheduler for
@@ -75,21 +84,41 @@ pub struct Router {
     pub vendor: VendorProfile,
     /// Wall-clock deadlock-detector timeout for blocking receives/probes.
     pub recv_timeout: Duration,
+    /// Resolved fault-injection state (default: no faults). Pure data —
+    /// every fault decision is a hash of the perturbation seed, never a
+    /// function of scheduling.
+    pub faults: FaultState,
     /// Traffic accounting, sharded by sender rank (summed on read).
     traffic: Vec<TrafficCell>,
+    /// Per-rank virtual clocks, indexed by global rank.
+    clocks: Vec<ClockCell>,
 }
 
 impl Router {
-    /// Build the fabric for `p` ranks under the given cost model and vendor
-    /// profile.
-    pub fn new(p: usize, cost: CostModel, vendor: VendorProfile, recv_timeout: Duration) -> Router {
+    /// Build the fabric for `p` ranks under the given cost model, vendor
+    /// profile, and fault state.
+    pub fn new(
+        p: usize,
+        cost: CostModel,
+        vendor: VendorProfile,
+        recv_timeout: Duration,
+        faults: FaultState,
+    ) -> Router {
         Router {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             cost,
             vendor,
             recv_timeout,
+            faults,
             traffic: (0..p).map(|_| TrafficCell::default()).collect(),
+            clocks: (0..p).map(|_| ClockCell::default()).collect(),
         }
+    }
+
+    /// Rank `r`'s current virtual clock — its last virtual-time activity,
+    /// as seen by blame diagnostics.
+    pub fn clock_of(&self, r: usize) -> Time {
+        self.clocks[r].0.now()
     }
 
     /// Snapshot of global traffic so far (sums the per-sender shards).
@@ -119,8 +148,7 @@ impl Router {
 pub struct ProcState {
     /// This process's rank in `MPI_COMM_WORLD`.
     pub global_rank: usize,
-    clock: crate::time::VirtualClock,
-    /// The shared fabric.
+    /// The shared fabric (also owns this rank's clock — see `ClockCell`).
     pub router: Arc<Router>,
     /// Deterministic per-rank random stream (pivot selection, jitter).
     pub rng: Mutex<StdRng>,
@@ -128,6 +156,9 @@ pub struct ProcState {
     pub ctx_pool: Mutex<crate::context::CtxPool>,
     /// Counter `b` of the §VI wide context-ID scheme.
     pub icomm_counter: AtomicU32,
+    /// Program-order counter of messages this rank has sent — the jitter
+    /// coordinate: worker-count invariant by construction.
+    send_seq: AtomicU64,
 }
 
 impl ProcState {
@@ -136,7 +167,6 @@ impl ProcState {
     pub fn new(global_rank: usize, router: Arc<Router>, seed: u64) -> Arc<ProcState> {
         Arc::new(ProcState {
             global_rank,
-            clock: crate::time::VirtualClock::new(),
             router,
             rng: Mutex::new(StdRng::seed_from_u64(
                 seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -144,29 +174,42 @@ impl ProcState {
             )),
             ctx_pool: Mutex::new(crate::context::CtxPool::new()),
             icomm_counter: AtomicU32::new(0),
+            send_seq: AtomicU64::new(0),
         })
     }
 
     // ---- virtual clock ----------------------------------------------------
 
-    /// This rank's current virtual clock.
-    pub fn now(&self) -> Time {
-        self.clock.now()
+    fn clock(&self) -> &crate::time::VirtualClock {
+        &self.router.clocks[self.global_rank].0
     }
 
-    /// Advance the clock by `dt`.
+    /// This rank's current virtual clock.
+    pub fn now(&self) -> Time {
+        self.clock().now()
+    }
+
+    /// Advance the clock by `dt`. A rank slowed by the fault plan pays its
+    /// multiplicative straggler factor on every local charge; the factor
+    /// is exactly 1.0 for unaffected ranks, in which case no scaling (and
+    /// no rounding) happens at all.
     pub fn advance(&self, dt: Time) {
-        self.clock.advance(dt);
+        let f = self.router.faults.factor(self.global_rank);
+        if f == 1.0 {
+            self.clock().advance(dt);
+        } else {
+            self.clock().advance(dt.scale(f));
+        }
     }
 
     /// `clock = max(clock, t)` — applied when a receive completes.
     pub fn advance_to(&self, t: Time) {
-        self.clock.advance_to(t);
+        self.clock().advance_to(t);
     }
 
     /// Overwrite the clock (used by barrier-style resynchronisation).
     pub fn set_clock(&self, t: Time) {
-        self.clock.set(t);
+        self.clock().set(t);
     }
 
     /// Charge local computation over `elems` elements.
@@ -200,8 +243,145 @@ impl ProcState {
             let f: f64 = self.rng.lock().gen_range(1.0..jitter_cap);
             transfer = transfer.scale(f);
         }
+        // Fault injection: a straggler's transfers take `factor ×` as long,
+        // and the fault plan's arrival jitter inflates the arrival by a
+        // pure hash of (perturb_seed, sender, send counter). Both inflate
+        // the arrival *before* the message is staged, so the epoch commit's
+        // running-max matchable key orders jittered messages exactly like
+        // clean ones (DESIGN.md §8) — and both are no-ops (bit for bit)
+        // when the fault plan is empty or zero-magnitude.
+        let faults = &self.router.faults;
+        let f = faults.factor(self.global_rank);
+        if f != 1.0 {
+            transfer = transfer.scale(f);
+        }
+        let seq = self.send_seq.fetch_add(1, Ordering::Relaxed);
+        let jit = faults.jitter_ns(self.global_rank, seq);
+        if jit > 0 {
+            transfer += Time::from_nanos(jit);
+        }
         self.router.count_send(self.global_rank, bytes);
         (t0, t0 + transfer)
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// Whether this rank has crash-stopped: its own clock has reached its
+    /// scheduled crash time. A pure per-rank predicate — monotone in the
+    /// rank's own virtual time, independent of scheduling.
+    pub fn crashed(&self) -> bool {
+        matches!(self.router.faults.crash_time(self.global_rank), Some(at) if self.now() >= at)
+    }
+
+    /// Timeout error for an operation attempted by this rank *after* its
+    /// own crash point.
+    fn crashed_err(&self, verb: &str, pat: &MatchPattern) -> MpiError {
+        let at = self
+            .router
+            .faults
+            .crash_time(self.global_rank)
+            .expect("crashed_err on a rank with no crash scheduled");
+        MpiError::Timeout {
+            rank: self.global_rank,
+            waited_for: format!(
+                "{verb}({:?}, tag={}, {}) [rank crashed at {at}]",
+                pat.src, pat.tag, pat.ctx
+            ),
+            virtual_now: self.now(),
+            blame: self.blame_for(Some(pat)),
+        }
+    }
+
+    /// Timeout error for a polling (nonblocking) operation whose task the
+    /// cooperative scheduler poisoned: no further progress is possible.
+    fn poisoned_err(&self, verb: &str, pat: &MatchPattern) -> MpiError {
+        MpiError::Timeout {
+            rank: self.global_rank,
+            waited_for: format!(
+                "{verb}({:?}, tag={}, {}) [cooperative stall: no further progress possible]",
+                pat.src, pat.tag, pat.ctx
+            ),
+            virtual_now: self.now(),
+            blame: self.blame_for(Some(pat)),
+        }
+    }
+
+    /// Build the [`RoundBlame`] for an operation of this rank stalled on
+    /// `pat` (`None` when no receive pattern is known, e.g. a nonblocking
+    /// collective). Triggered crashes take global priority: whatever the
+    /// pattern nominally waits on, a rank that has crash-stopped is the
+    /// root cause, so the blame names exactly the triggered-crashed ranks.
+    pub fn blame_for(&self, pat: Option<&MatchPattern>) -> RoundBlame {
+        let faults = &self.router.faults;
+        let p = self.router.nprocs();
+        let me = self.global_rank;
+        let crashed: Vec<usize> = faults
+            .crashes()
+            .iter()
+            .filter(|&&(r, at)| self.router.clock_of(r) >= at)
+            .map(|&(r, _)| r)
+            .collect();
+        let (listed, omitted) = if !crashed.is_empty() {
+            let omitted = crashed.len().saturating_sub(BLAME_CAP);
+            (
+                crashed.into_iter().take(BLAME_CAP).collect::<Vec<_>>(),
+                omitted,
+            )
+        } else {
+            match pat.map(|p| &p.src) {
+                Some(SrcFilter::Exact(g)) => (vec![*g], 0),
+                Some(SrcFilter::Filter(f)) => {
+                    let all: Vec<usize> = (0..p).filter(|&r| r != me && f(r)).collect();
+                    let omitted = all.len().saturating_sub(BLAME_CAP);
+                    (all.into_iter().take(BLAME_CAP).collect(), omitted)
+                }
+                Some(SrcFilter::Any) | None => {
+                    let listed: Vec<usize> = (0..p).filter(|&r| r != me).take(BLAME_CAP).collect();
+                    let omitted = p.saturating_sub(1).saturating_sub(listed.len());
+                    (listed, omitted)
+                }
+            }
+        };
+        RoundBlame {
+            waiting_on: listed
+                .into_iter()
+                .map(|r| {
+                    let clock = self.router.clock_of(r);
+                    RankBlame {
+                        rank: r,
+                        last_activity: clock,
+                        health: faults.health_of(r, clock),
+                    }
+                })
+                .collect(),
+            omitted,
+        }
+    }
+
+    /// Blame with no pattern context (used by nonblocking-collective and
+    /// sorter wave timeouts).
+    pub fn stall_blame(&self) -> RoundBlame {
+        self.blame_for(None)
+    }
+
+    /// Fill in the blame of a [`MpiError::Timeout`] produced below the
+    /// level that knows the fault state (mailbox waits, scheduler
+    /// poisoning). Errors that already carry blame pass through untouched.
+    fn enrich_timeout(&self, e: MpiError, pat: Option<&MatchPattern>) -> MpiError {
+        match e {
+            MpiError::Timeout {
+                rank,
+                waited_for,
+                virtual_now,
+                blame,
+            } if blame.is_empty() => MpiError::Timeout {
+                rank,
+                waited_for,
+                virtual_now,
+                blame: self.blame_for(pat),
+            },
+            other => other,
+        }
     }
 
     /// Hand a finished message to the fabric. On a scheduler fiber the
@@ -226,6 +406,12 @@ impl ProcState {
         data: Vec<T>,
         scale: CostScale,
     ) {
+        // Crash-stop: a crashed rank's sends silently stop matching — no
+        // pricing, no clock motion, no traffic, no staging. Peers observe
+        // the silence as a timeout carrying a RoundBlame, never as a hang.
+        if self.crashed() {
+            return;
+        }
         let (t0, arrival) = self.price_send(data.len() * T::width(), scale);
         let msg = Message::new(self.global_rank, tag, ctx, data, t0, arrival);
         self.dispatch(dest_global, msg);
@@ -244,6 +430,9 @@ impl ProcState {
         data: Arc<Vec<T>>,
         scale: CostScale,
     ) {
+        if self.crashed() {
+            return;
+        }
         let (t0, arrival) = self.price_send(data.len() * T::width(), scale);
         let msg = Message::new_shared(self.global_rank, tag, ctx, data, t0, arrival);
         self.dispatch(dest_global, msg);
@@ -254,41 +443,67 @@ impl ProcState {
     /// the wait yields to the cooperative scheduler; on a rank thread it
     /// parks on the mailbox condvar.
     pub fn recv_match(&self, pat: &MatchPattern) -> Result<Message> {
+        if self.crashed() {
+            return Err(self.crashed_err("recv", pat));
+        }
         let mb = &self.router.mailboxes[self.global_rank];
         let m = if crate::sched::on_fiber() {
-            crate::sched::claim_coop(mb, pat, self.global_rank, self.now())?
+            crate::sched::claim_coop(mb, pat, self.global_rank, self.now())
         } else {
-            mb.claim_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())?
-        };
+            mb.claim_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())
+        }
+        .map_err(|e| self.enrich_timeout(e, Some(pat)))?;
         self.advance_to(m.arrival);
         self.advance(self.router.cost.recv_overhead);
         Ok(m)
     }
 
     /// Nonblocking receive attempt. On a hit, applies the same clock rule
-    /// as a blocking receive.
-    pub fn try_recv_match(&self, pat: &MatchPattern) -> Option<Message> {
-        let m = self.router.mailboxes[self.global_rank].try_claim(pat)?;
-        self.advance_to(m.arrival);
-        self.advance(self.router.cost.recv_overhead);
-        Some(m)
+    /// as a blocking receive. Errors when this rank has crash-stopped, or
+    /// when the cooperative scheduler has poisoned the task (a stalled
+    /// polling loop must fail loudly, not spin forever).
+    pub fn try_recv_match(&self, pat: &MatchPattern) -> Result<Option<Message>> {
+        if self.crashed() {
+            return Err(self.crashed_err("try_recv", pat));
+        }
+        match self.router.mailboxes[self.global_rank].try_claim(pat) {
+            Some(m) => {
+                self.advance_to(m.arrival);
+                self.advance(self.router.cost.recv_overhead);
+                Ok(Some(m))
+            }
+            None if crate::sched::current_poisoned() => Err(self.poisoned_err("try_recv", pat)),
+            None => Ok(None),
+        }
     }
 
     /// Blocking probe: waits until a matching message is available, without
     /// removing it. Does not advance the clock past the arrival (the
     /// subsequent receive does).
     pub fn probe_match(&self, pat: &MatchPattern) -> Result<MsgInfo> {
+        if self.crashed() {
+            return Err(self.crashed_err("probe", pat));
+        }
         let mb = &self.router.mailboxes[self.global_rank];
         if crate::sched::on_fiber() {
             crate::sched::probe_coop(mb, pat, self.global_rank, self.now())
         } else {
             mb.probe_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())
         }
+        .map_err(|e| self.enrich_timeout(e, Some(pat)))
     }
 
-    /// Nonblocking probe.
-    pub fn iprobe_match(&self, pat: &MatchPattern) -> Option<MsgInfo> {
-        self.router.mailboxes[self.global_rank].probe(pat)
+    /// Nonblocking probe. Fails on self-crash and task poisoning exactly
+    /// like [`ProcState::try_recv_match`].
+    pub fn iprobe_match(&self, pat: &MatchPattern) -> Result<Option<MsgInfo>> {
+        if self.crashed() {
+            return Err(self.crashed_err("iprobe", pat));
+        }
+        match self.router.mailboxes[self.global_rank].probe(pat) {
+            Some(i) => Ok(Some(i)),
+            None if crate::sched::current_poisoned() => Err(self.poisoned_err("iprobe", pat)),
+            None => Ok(None),
+        }
     }
 
     /// Uniform random value from this rank's deterministic stream.
@@ -306,11 +521,16 @@ mod tests {
     use crate::msg::SrcFilter;
 
     fn setup(p: usize) -> Vec<Arc<ProcState>> {
+        setup_faulted(p, FaultState::default())
+    }
+
+    fn setup_faulted(p: usize, faults: FaultState) -> Vec<Arc<ProcState>> {
         let router = Arc::new(Router::new(
             p,
             CostModel::supermuc_like(),
             VendorProfile::neutral(),
             Duration::from_secs(5),
+            faults,
         ));
         (0..p)
             .map(|r| ProcState::new(r, Arc::clone(&router), 42))
@@ -361,7 +581,7 @@ mod tests {
             src: SrcFilter::Any,
             tag: 0,
         };
-        assert!(procs[0].try_recv_match(&pat).is_none());
+        assert!(procs[0].try_recv_match(&pat).unwrap().is_none());
         assert_eq!(procs[0].now(), Time::ZERO);
     }
 
@@ -378,5 +598,112 @@ mod tests {
         let procs = setup(1);
         procs[0].charge_compute(5000);
         assert_eq!(procs[0].now(), Time::from_micros(5));
+    }
+
+    #[test]
+    fn slowed_rank_pays_its_factor() {
+        use crate::faults::FaultPlan;
+        // frac = 1, max_factor such that every rank straggles; compare a
+        // slowed rank's charge against a clean twin.
+        let plan = FaultPlan::default()
+            .with_slowdown(1.0, 4.0)
+            .with_perturb_seed(11);
+        let slowed = setup_faulted(2, FaultState::resolve(&plan, 2));
+        let clean = setup(2);
+        let f = slowed[0].router.faults.factor(0);
+        assert!(f > 1.0, "rank 0 must straggle under frac=1");
+        slowed[0].charge(Time::from_micros(100));
+        clean[0].charge(Time::from_micros(100));
+        assert_eq!(slowed[0].now(), Time::from_micros(100).scale(f));
+        assert_eq!(clean[0].now(), Time::from_micros(100));
+    }
+
+    #[test]
+    fn crashed_rank_sends_nothing_and_cannot_receive() {
+        use crate::faults::{FaultPlan, RankHealth};
+        let plan = FaultPlan::default().with_crash(0, Time::from_micros(10));
+        let procs = setup_faulted(2, FaultState::resolve(&plan, 2));
+        let pat = MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Exact(0),
+            tag: 7,
+        };
+        // Before the crash time the rank behaves normally.
+        assert!(!procs[0].crashed());
+        procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![1], CostScale::NEUTRAL);
+        procs[1].recv_match(&pat).unwrap();
+        // Cross the crash point: sends become no-ops (no clock, no traffic),
+        // receives fail with a self-blaming timeout.
+        procs[0].advance_to(Time::from_micros(10));
+        assert!(procs[0].crashed());
+        let before = (procs[0].now(), procs[0].router.traffic());
+        procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![2], CostScale::NEUTRAL);
+        assert_eq!((procs[0].now(), procs[0].router.traffic()), before);
+        assert!(procs[1].try_recv_match(&pat).unwrap().is_none());
+        let err = procs[0].recv_match(&pat).unwrap_err();
+        match err {
+            MpiError::Timeout { rank, blame, .. } => {
+                assert_eq!(rank, 0);
+                assert_eq!(blame.ranks(), vec![0]);
+                assert_eq!(
+                    blame.waiting_on[0].health,
+                    RankHealth::Crashed {
+                        at: Time::from_micros(10)
+                    }
+                );
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_inflates_arrival_deterministically() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan::default()
+            .with_jitter(Time::from_micros(20))
+            .with_perturb_seed(3);
+        let run = || {
+            let procs = setup_faulted(2, FaultState::resolve(&plan, 2));
+            procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![1, 2, 3], CostScale::NEUTRAL);
+            let pat = MatchPattern {
+                ctx: ContextId::WORLD,
+                src: SrcFilter::Exact(0),
+                tag: 7,
+            };
+            procs[1].recv_match(&pat).unwrap().arrival
+        };
+        let clean = {
+            let procs = setup(2);
+            procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![1, 2, 3], CostScale::NEUTRAL);
+            let pat = MatchPattern {
+                ctx: ContextId::WORLD,
+                src: SrcFilter::Exact(0),
+                tag: 7,
+            };
+            procs[1].recv_match(&pat).unwrap().arrival
+        };
+        let a = run();
+        assert_eq!(a, run(), "jitter must be a pure function of the plan");
+        assert!(a >= clean && a <= clean + Time::from_micros(20));
+    }
+
+    #[test]
+    fn blame_candidates_follow_the_pattern() {
+        let procs = setup(12);
+        procs[3].advance(Time::from_micros(9));
+        let exact = procs[0].blame_for(Some(&MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Exact(3),
+            tag: 1,
+        }));
+        assert_eq!(exact.ranks(), vec![3]);
+        assert_eq!(exact.waiting_on[0].last_activity, Time::from_micros(9));
+        let any = procs[0].blame_for(Some(&MatchPattern {
+            ctx: ContextId::WORLD,
+            src: SrcFilter::Any,
+            tag: 1,
+        }));
+        assert_eq!(any.ranks(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(any.omitted, 3);
     }
 }

@@ -258,6 +258,7 @@ pub fn on_fiber() -> bool {
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod imp {
     use super::*;
+    use crate::faults::RoundBlame;
     use crate::model::CommitAlgo;
     use crate::proc::Router;
     use parking_lot::Condvar;
@@ -533,6 +534,15 @@ mod imp {
     /// small commits stay on the committing worker.
     const MIN_SHARD_ENTRIES: usize = 64;
 
+    /// Consecutive no-progress epochs (no message staged, no task woken,
+    /// no task finished — pure yields) tolerated while a crash-stop fault
+    /// is armed before the scheduler declares the run stalled and poisons
+    /// every unfinished task. High enough that legitimate bounded polling
+    /// (a rank yielding a few times before sending) never trips it; the
+    /// detector is off entirely when the fault plan schedules no crashes,
+    /// so fault-free programs keep the exact-deadlock-only behaviour.
+    const STAGNANT_EPOCH_LIMIT: usize = 64;
+
     /// The cooperative scheduler for one universe run.
     pub(crate) struct Scheduler {
         shared: Arc<SchedShared>,
@@ -559,6 +569,16 @@ mod imp {
         commit_shards: usize,
         /// Effective worker count of the current run (set by `run`).
         workers: AtomicUsize,
+        /// Messages staged by the epoch being committed (crash-stagnation
+        /// progress signal; written by `finish_round`, read at
+        /// `finish_epoch`).
+        epoch_msgs: AtomicUsize,
+        /// Consecutive epochs without observable progress (see
+        /// [`STAGNANT_EPOCH_LIMIT`]).
+        stagnant: AtomicUsize,
+        /// `live` count at the previous epoch's commit (a finish is
+        /// progress).
+        prev_live: AtomicUsize,
         _stacks: StackSlab,
     }
 
@@ -623,6 +643,9 @@ mod imp {
                 commit_algo,
                 commit_shards,
                 workers: AtomicUsize::new(1),
+                epoch_msgs: AtomicUsize::new(0),
+                stagnant: AtomicUsize::new(0),
+                prev_live: AtomicUsize::new(p),
                 _stacks: stacks,
             };
             // Now that the slots are at their final addresses, point each
@@ -814,6 +837,11 @@ mod imp {
                     });
                 }
             }
+            // Progress signal for the crash-stagnation detector: how many
+            // messages this epoch stages (a pure function of the epoch
+            // contents, so identical under every worker count and commit
+            // algorithm). Read back by `finish_epoch`.
+            self.epoch_msgs.store(staged.len(), Ordering::Relaxed);
             if self.commit_algo == CommitAlgo::Serial {
                 // Oracle path: one global (matchable, src, seq)-ordered
                 // push loop on this worker; wakes fire inline, in order.
@@ -943,11 +971,49 @@ mod imp {
         /// round, detect deadlock, and publish the next round.
         fn finish_epoch(&self, mut next: Vec<usize>) {
             // Receivers woken by the committed deliveries, in commit order.
-            next.append(&mut self.shared.woken.lock());
+            let woken_count;
+            {
+                let mut w = self.shared.woken.lock();
+                woken_count = w.len();
+                next.append(&mut w);
+            }
+            // Crash-stop stagnation detector. With a crashed rank in the
+            // fault plan, a peer *polling* for its messages (nonblocking
+            // collectives, sorter wave loops) yields forever: the round
+            // never empties, so the exact deadlock detector below cannot
+            // fire. Progress is epoch-observable — a message staged, a
+            // task woken, a task finished. STAGNANT_EPOCH_LIMIT epochs of
+            // pure yields while crashes are armed mean no progress is
+            // possible any more: poison every unfinished task so polling
+            // loops fail loudly with a RoundBlame. Every input here is a
+            // pure function of the epoch contents, so the poison epoch is
+            // identical for every worker count and commit algorithm.
+            let live = self.shared.live.load(Ordering::Acquire);
+            if live > 0 && self.router.faults.has_crashes() {
+                let msgs = self.epoch_msgs.swap(0, Ordering::Relaxed);
+                let prev = self.prev_live.swap(live, Ordering::Relaxed);
+                if msgs > 0 || woken_count > 0 || prev != live {
+                    self.stagnant.store(0, Ordering::Relaxed);
+                } else if self.stagnant.fetch_add(1, Ordering::Relaxed) + 1 >= STAGNANT_EPOCH_LIMIT
+                {
+                    self.stagnant.store(0, Ordering::Relaxed);
+                    for slot in &self.slots {
+                        if slot.core.status.load(Ordering::Acquire) != ST_FINISHED {
+                            slot.core.poisoned.store(true, Ordering::Release);
+                            // Blocked tasks need a wake to observe the
+                            // poison; yielded (polling) tasks are already
+                            // in `next` and observe it on their next
+                            // mailbox operation. `wake_core` is a no-op
+                            // for non-blocked states.
+                            wake_core(&slot.core, &self.shared);
+                        }
+                    }
+                    next.append(&mut self.shared.woken.lock());
+                }
+            }
             // Nothing runnable but tasks remain: deadlock. Poison every
             // blocked task; the wake-ups queue them (in rank order) so
             // their blocking operations can return the timeout error.
-            let live = self.shared.live.load(Ordering::Acquire);
             if next.is_empty() && live > 0 {
                 for slot in &self.slots {
                     if slot.core.status.load(Ordering::Acquire) == ST_BLOCKED {
@@ -1164,7 +1230,17 @@ mod imp {
             rank,
             waited_for: format!("{reason} [cooperative deadlock: every rank is blocked]"),
             virtual_now: vnow,
+            // The scheduler has no fault-state access; `ProcState` fills
+            // the blame in on the way out (`enrich_timeout`).
+            blame: RoundBlame::default(),
         }
+    }
+
+    /// Whether the current fiber's task has been poisoned by the deadlock
+    /// or stagnation detector. Always `false` off-fiber (thread backend
+    /// polling relies on wall-clock timeouts instead).
+    pub(crate) fn current_poisoned() -> bool {
+        current_slot().is_some_and(|s| s.core.poisoned.load(Ordering::Acquire))
     }
 
     /// Blocking claim under the cooperative scheduler: yields to the
@@ -1228,7 +1304,9 @@ mod imp {
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub use imp::yield_now;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
-pub(crate) use imp::{claim_coop, probe_coop, record_panic, try_stage_send, Scheduler};
+pub(crate) use imp::{
+    claim_coop, current_poisoned, probe_coop, record_panic, try_stage_send, Scheduler,
+};
 
 // ---------------------------------------------------------------------------
 // Fallback for targets without a fiber implementation
@@ -1246,6 +1324,12 @@ pub fn yield_now() {
 #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
 pub(crate) fn try_stage_send(_dest: usize, msg: Message) -> Option<Message> {
     Some(msg)
+}
+
+/// Without fibers there is no scheduler, hence no poisoning.
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) fn current_poisoned() -> bool {
+    false
 }
 
 #[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]

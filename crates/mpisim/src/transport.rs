@@ -163,7 +163,7 @@ pub trait Transport: Clone + Send + 'static {
             self.check_rank(r)?;
         }
         let pat = self.pattern(src, tag);
-        match self.state().try_recv_match(&pat) {
+        match self.state().try_recv_match(&pat)? {
             None => Ok(None),
             Some(m) => {
                 let (data, info) = m.take_shared::<T>()?;
@@ -191,7 +191,7 @@ pub trait Transport: Clone + Send + 'static {
             self.check_rank(r)?;
         }
         let pat = self.pattern(src, tag);
-        match self.state().try_recv_match(&pat) {
+        match self.state().try_recv_match(&pat)? {
             None => Ok(None),
             Some(m) => {
                 let (data, info) = m.take::<T>()?;
@@ -217,7 +217,7 @@ pub trait Transport: Clone + Send + 'static {
             self.check_rank(r)?;
         }
         let pat = self.pattern(src, tag);
-        Ok(self.state().iprobe_match(&pat).map(|i| self.status_of(&i)))
+        Ok(self.state().iprobe_match(&pat)?.map(|i| self.status_of(&i)))
     }
 
     /// Nonblocking receive: returns a pollable request.
@@ -257,6 +257,11 @@ pub struct RecvReq<T: Datum, C: Transport> {
 }
 
 impl<T: Datum, C: Transport> RecvReq<T, C> {
+    /// The transport this receive was posted on.
+    pub fn transport(&self) -> &C {
+        &self.tr
+    }
+
     /// Poll for completion (`MPI_Test`).
     pub fn test(&mut self) -> Result<bool> {
         if self.done.is_some() {

@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::comm::Comm;
+use crate::faults::{FaultPlan, FaultState};
 use crate::model::{CommitAlgo, CostModel, VendorProfile};
 use crate::proc::{ProcState, Router};
 use crate::sched;
@@ -106,6 +107,12 @@ pub struct SimConfig {
     /// committing worker). Like `coop_workers`, this is purely a
     /// throughput knob — any value yields identical output.
     pub coop_commit_shards: usize,
+    /// Seeded fault-injection plan (stragglers, crash-stop, message
+    /// jitter); the default plan injects nothing. Faults are a pure
+    /// function of `(program, seed, perturb_seed)` — never of the worker
+    /// count or commit algorithm — so faulted runs keep the bit-identical
+    /// determinism guarantees. See [`crate::faults`].
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -121,6 +128,7 @@ impl Default for SimConfig {
             coop_stack_size: 128 << 10,
             commit_algo: CommitAlgo::Sharded,
             coop_commit_shards: 0,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -133,6 +141,10 @@ impl SimConfig {
     /// oracle), and the shard cap honours `MPISIM_COOP_COMMIT_SHARDS`
     /// (0 = auto) — so sweeps and CI can exercise the whole matrix
     /// without code changes. Results are identical for every combination.
+    /// The fault plan honours the `MPISIM_FAULT_SEED` / `MPISIM_FAULT_SLOW`
+    /// / `MPISIM_FAULT_CRASH` / `MPISIM_FAULT_JITTER` knobs (strict
+    /// parsing; see [`FaultPlan::from_env`]) — unlike the commit knobs,
+    /// a fault plan *does* change what is simulated, deterministically.
     pub fn cooperative() -> SimConfig {
         let workers = std::env::var("MPISIM_COOP_WORKERS")
             .ok()
@@ -146,6 +158,7 @@ impl SimConfig {
             coop_workers: workers,
             commit_algo,
             coop_commit_shards: shards,
+            faults: FaultPlan::from_env(),
             ..SimConfig::default()
         }
     }
@@ -214,6 +227,12 @@ impl SimConfig {
     /// Replace the per-rank fiber stack size (cooperative backend).
     pub fn with_coop_stack_size(mut self, bytes: usize) -> SimConfig {
         self.coop_stack_size = bytes;
+        self
+    }
+
+    /// Replace the fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimConfig {
+        self.faults = plan;
         self
     }
 }
@@ -318,6 +337,7 @@ impl Universe {
             cfg.cost.clone(),
             cfg.vendor.clone(),
             cfg.recv_timeout,
+            FaultState::resolve(&cfg.faults, p),
         ));
         let states: Vec<Arc<ProcState>> = (0..p)
             .map(|r| ProcState::new(r, Arc::clone(&router), cfg.seed))

@@ -1,8 +1,13 @@
-//! Failure injection: the simulator must fail loudly, not hang.
+//! Failure injection: the simulator must fail loudly, not hang — and
+//! every timeout or deadlock must carry a `RoundBlame` naming the ranks
+//! the stalled operation was waiting on.
 
 use std::time::Duration;
 
-use mpisim::{CommitAlgo, MpiError, SimConfig, Src, Transport, Universe};
+use mpisim::{
+    nbcoll, ops, CommitAlgo, FaultPlan, MpiError, RankHealth, SimConfig, Src, Time, Transport,
+    Universe,
+};
 use rbc::RbcComm;
 
 fn short_timeout() -> SimConfig {
@@ -170,6 +175,133 @@ fn coop_deadlock_diagnostics_exact_under_sharded_commit() {
     }
 }
 
+/// Run a 4-rank iallreduce with rank 2 crash-stopped from the start and
+/// collect, per rank, `(reported rank, blamed ranks, all-crashed?)`.
+/// Every rank — the victim itself *and* the transitively stalled peers
+/// (whose receive pattern points at a live-but-stuck neighbour) — must
+/// blame exactly the crashed rank, thanks to the crash-priority rule.
+fn crash_mid_iallreduce_blame(cfg: SimConfig) -> Vec<Option<(usize, Vec<usize>, bool)>> {
+    let cfg = cfg.with_faults(FaultPlan::default().with_crash(2, Time::ZERO));
+    Universe::run(4, cfg, |env| {
+        let w = &env.world;
+        let r = nbcoll::iallreduce(w, &[w.rank() as u64 + 1], 500, ops::sum::<u64>())
+            .and_then(|sm| sm.wait_result());
+        r.err().map(|e| match e {
+            MpiError::Timeout { rank, blame, .. } => {
+                let all_crashed = !blame.waiting_on.is_empty()
+                    && blame
+                        .waiting_on
+                        .iter()
+                        .all(|b| matches!(b.health, RankHealth::Crashed { .. }));
+                (rank, blame.ranks(), all_crashed)
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        })
+    })
+    .per_rank
+}
+
+#[test]
+fn crash_mid_iallreduce_blames_exactly_the_crashed_rank_threaded() {
+    for d in crash_mid_iallreduce_blame(short_timeout()) {
+        let (rank, blamed, all_crashed) = d.expect("every rank must error");
+        assert_eq!(blamed, vec![2], "rank {rank} blamed {blamed:?}");
+        assert!(all_crashed, "rank {rank}: blame must report crashed health");
+    }
+}
+
+#[test]
+fn crash_mid_iallreduce_blames_exactly_the_crashed_rank_coop() {
+    // The cooperative stagnation detector poisons the stalled ranks long
+    // before any wall clock fires; diagnostics must be identical for
+    // every worker count and commit algorithm.
+    let oracle = crash_mid_iallreduce_blame(
+        SimConfig::cooperative()
+            .with_workers(1)
+            .with_commit_algo(CommitAlgo::Serial),
+    );
+    for d in &oracle {
+        let (rank, blamed, all_crashed) = d.as_ref().expect("every rank must error");
+        assert_eq!(*blamed, vec![2], "rank {rank} blamed {blamed:?}");
+        assert!(all_crashed, "rank {rank}: blame must report crashed health");
+    }
+    for workers in [4usize, 8] {
+        let got = crash_mid_iallreduce_blame(
+            SimConfig::cooperative()
+                .with_workers(workers)
+                .with_commit_algo(CommitAlgo::Sharded),
+        );
+        assert_eq!(oracle, got, "crash blame diverged at {workers} workers");
+    }
+}
+
+/// Crash a rank mid-JQuick (50µs in — a few recursion messages deep at
+/// α = 10µs) and require every failing rank's blame to name exactly the
+/// victim, on both backends.
+fn crash_mid_jquick_blame(cfg: SimConfig, victim: usize) -> Vec<Option<(Vec<usize>, bool)>> {
+    let cfg = cfg.with_faults(FaultPlan::default().with_crash(victim, Time::from_micros(50)));
+    let p = 8u64;
+    let n = 64 * p;
+    Universe::run(p as usize, cfg, move |env| {
+        let w = &env.world;
+        let data: Vec<u64> = (0..64).map(|i| (w.rank() as u64 + 1) * 1000 + i).collect();
+        let r = jquick::jquick_sort(
+            &jquick::RbcBackend,
+            w,
+            data,
+            n,
+            &jquick::JQuickConfig::default(),
+        );
+        r.err().map(|e| match e {
+            MpiError::Timeout { blame, .. } => {
+                let all_crashed = !blame.waiting_on.is_empty()
+                    && blame
+                        .waiting_on
+                        .iter()
+                        .all(|b| matches!(b.health, RankHealth::Crashed { .. }));
+                (blame.ranks(), all_crashed)
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        })
+    })
+    .per_rank
+}
+
+#[test]
+fn crash_mid_jquick_blames_the_crashed_rank_threaded() {
+    let diags = crash_mid_jquick_blame(short_timeout(), 5);
+    let failed: Vec<_> = diags.iter().flatten().collect();
+    assert!(!failed.is_empty(), "the crash must break the sort");
+    for (blamed, all_crashed) in failed {
+        assert_eq!(*blamed, vec![5], "blame must name exactly the victim");
+        assert!(all_crashed, "blame must report crashed health");
+    }
+}
+
+#[test]
+fn crash_mid_jquick_blames_the_crashed_rank_coop() {
+    let run = |workers: usize, algo: CommitAlgo| {
+        crash_mid_jquick_blame(
+            SimConfig::cooperative()
+                .with_workers(workers)
+                .with_commit_algo(algo),
+            5,
+        )
+    };
+    let oracle = run(1, CommitAlgo::Serial);
+    let failed: Vec<_> = oracle.iter().flatten().collect();
+    assert!(!failed.is_empty(), "the crash must break the sort");
+    for (blamed, all_crashed) in failed {
+        assert_eq!(*blamed, vec![5], "blame must name exactly the victim");
+        assert!(all_crashed, "blame must report crashed health");
+    }
+    assert_eq!(
+        oracle,
+        run(8, CommitAlgo::Sharded),
+        "jquick crash blame diverged under the sharded commit"
+    );
+}
+
 #[test]
 fn coop_timeout_after_real_traffic_identical_under_sharded_commit() {
     // Sharded commits with real deliveries happen first (a ring
@@ -191,8 +323,11 @@ fn coop_timeout_after_real_traffic_identical_under_sharded_commit() {
             if w.rank() < 2 {
                 w.recv::<u64>(Src::Any, 99).err().map(|e| match e {
                     MpiError::Timeout {
-                        rank, waited_for, ..
-                    } => (rank, waited_for),
+                        rank,
+                        waited_for,
+                        blame,
+                        ..
+                    } => (rank, waited_for, blame.ranks()),
                     other => panic!("expected Timeout, got {other:?}"),
                 })
             } else {
@@ -204,9 +339,13 @@ fn coop_timeout_after_real_traffic_identical_under_sharded_commit() {
     let oracle = run(CommitAlgo::Serial, 1);
     for (r, d) in oracle.iter().enumerate() {
         if r < 2 {
-            let (rank, text) = d.as_ref().expect("stuck ranks time out");
+            let (rank, text, blamed) = d.as_ref().expect("stuck ranks time out");
             assert_eq!(*rank, r);
             assert!(text.contains("tag=99"), "got: {text}");
+            // No faults are armed, so a wildcard wait blames exactly the
+            // other ranks of the communicator — no more, no fewer.
+            let others: Vec<usize> = (0..8).filter(|&x| x != r).collect();
+            assert_eq!(*blamed, others, "rank {r} blamed {blamed:?}");
         } else {
             assert!(d.is_none(), "rank {r} should have finished cleanly");
         }
