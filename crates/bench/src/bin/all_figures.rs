@@ -10,4 +10,5 @@ fn main() {
     rbc_bench::figs::ablations::run();
     rbc_bench::figs::largep::run();
     rbc_bench::figs::faults::run();
+    rbc_bench::figs::tracevol::run();
 }

@@ -6,7 +6,9 @@
 //! metric more than 30 % slower than its baseline, printing a per-bench
 //! delta table. Virtual-time metrics are deterministic, so any delta there
 //! is a real model change; host-measured ns/iter metrics get the same
-//! tolerance, which absorbs normal machine jitter.
+//! tolerance, which absorbs normal machine jitter. Metrics from `count`
+//! tables (the `tracevol` model counters) are **exact**: any drift in
+//! either direction fails the gate regardless of `BENCH_GATE_TOLERANCE`.
 //!
 //! Usage:
 //!
@@ -33,6 +35,7 @@ const CURRENT: &[&[&str]] = &[
     ],
     &["results/BENCH_largep.json"],
     &["results/BENCH_faults.json"],
+    &["results/BENCH_tracevol.json"],
 ];
 
 fn load_metrics(candidates: &[&str]) -> Vec<Metric> {

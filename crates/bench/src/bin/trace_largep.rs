@@ -1,0 +1,13 @@
+//! Export the traced JQuick slice on its own (without the full large-p
+//! timing sweep): canonical trace text, Chrome `trace_event` JSON, and the
+//! wall-clock scheduler profile.
+//!
+//! CI runs this binary several times — varying `MPISIM_COOP_WORKERS` and
+//! `MPISIM_COOP_COMMIT`, redirecting the Chrome export with
+//! `MPISIM_TRACE_OUT` — and byte-diffs `results/largep_trace.txt` between
+//! runs: the deterministic trace must not depend on how the simulation was
+//! scheduled.
+
+fn main() {
+    rbc_bench::figs::largep::traced_slice();
+}

@@ -25,7 +25,7 @@
 //! makespan polylogarithmic in p at fixed n/p.
 
 use jquick::{jquick_sort, JQuickConfig, Layout, RbcBackend};
-use mpisim::{coll, SimConfig, Time, Transport};
+use mpisim::{coll, SimConfig, Time, Transport, Universe};
 use rbc::RbcComm;
 
 use crate::{measure, ms, quick_mode, reps, write_bench_json, Table};
@@ -105,6 +105,51 @@ fn jquick_time(p: usize, n_per: u64) -> Time {
     })
 }
 
+/// Run one traced JQuick slice at the foot of the sweep (p = 2^10,
+/// n/p = 8) and export every observability artefact:
+///
+/// * `results/largep_trace.txt` — the canonical text rendering of the
+///   deterministic trace. CI byte-diffs this file across
+///   `MPISIM_COOP_WORKERS` and `MPISIM_COOP_COMMIT` settings; any
+///   difference means scheduling leaked into the model.
+/// * Chrome `trace_event` JSON (default `results/largep_trace.json`,
+///   overridable via `MPISIM_TRACE_OUT`) — drop into Perfetto /
+///   `chrome://tracing`, one track per rank in virtual microseconds.
+/// * `results/BENCH_sched_profile.json` — the host wall-clock scheduler
+///   profile (per-worker run/commit/idle split, shard claims, stack-pool
+///   hits). Deliberately *not* a gated artefact: it measures this
+///   machine, not the model.
+pub fn traced_slice() {
+    let p = 1usize << 10;
+    let n = 8 * p as u64;
+    let cfg = coop().with_trace(true).with_sched_profile(true);
+    let res = Universe::run(p, cfg, move |env| {
+        let w = &env.world;
+        let layout = Layout::new(n, p as u64);
+        let m = layout.cap(w.rank() as u64);
+        let data: Vec<u64> = (0..m)
+            .map(|i| (i * p as u64 + (p as u64 - 1 - w.rank() as u64)) % n.max(1))
+            .collect();
+        let out = jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default())
+            .unwrap()
+            .0;
+        assert_eq!(out.len() as u64, m, "JQuick must stay perfectly balanced");
+    });
+    std::fs::create_dir_all("results").unwrap();
+    let trace = res.trace.expect("tracing was requested");
+    let chrome_path = mpisim::env::trace_out_from(mpisim::env::var("MPISIM_TRACE_OUT").as_deref())
+        .unwrap_or_else(|| "results/largep_trace.json".to_string());
+    std::fs::write(&chrome_path, trace.to_chrome_json()).unwrap();
+    std::fs::write("results/largep_trace.txt", trace.to_text()).unwrap();
+    eprintln!(
+        "largep: traced slice at p = {p}: {} events -> {chrome_path} + results/largep_trace.txt",
+        trace.events.len()
+    );
+    let profile = res.sched_profile.expect("profiling was requested");
+    std::fs::write("results/BENCH_sched_profile.json", profile.to_json()).unwrap();
+    eprintln!("largep: wrote results/BENCH_sched_profile.json");
+}
+
 /// Regenerate the large-p tables and write their CSVs plus a
 /// machine-readable `results/BENCH_largep.json` (virtual times, per-point
 /// host wall-clock, and the cooperative worker count — the artefact CI
@@ -152,5 +197,6 @@ pub fn run() -> Vec<Table> {
     wall.print();
     let tables = vec![comms, sort, wall];
     write_bench_json("largep", &tables, t_start.elapsed().as_secs_f64(), workers);
+    traced_slice();
     tables
 }

@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod largep;
 pub mod sorters;
+pub mod tracevol;
 
 /// Scaled-down stand-ins for the paper's 2^15 cores (see DESIGN.md §1).
 pub mod scale {

@@ -244,15 +244,21 @@ pub struct Metric {
     /// `largep/tbl0/MPI_Comm_split/4096`.
     pub id: String,
     /// Nanoseconds (per iteration for criterion metrics, virtual ns for
-    /// figure tables).
+    /// figure tables), or a raw count for exact metrics.
     pub ns: f64,
+    /// Exact-equality metric: a deterministic model counter (unit
+    /// `"count"` — messages, bytes, epochs, …) where **any** drift in
+    /// either direction is a model change. The gate compares these at
+    /// zero tolerance, ignoring `BENCH_GATE_TOLERANCE`.
+    pub exact: bool,
 }
 
 /// Extract metrics from either artefact flavour: the criterion shim's
 /// `{"bench", "benchmarks": [{"id", "ns_per_iter"}]}` or the figure
 /// harness's `{"bench", "tables": [{"title", "unit", "series", "rows"}]}`.
 /// Wall-clock tables (unit `"s"`) are excluded — they measure the host,
-/// not the model.
+/// not the model. Tables in unit `"count"` are deterministic model
+/// counters and become [`Metric::exact`] zero-tolerance metrics.
 pub fn metrics_of(doc: &Json) -> Vec<Metric> {
     let bench = doc.get("bench").map_or("", Json::str);
     let mut out = Vec::new();
@@ -264,6 +270,7 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
             out.push(Metric {
                 id: format!("{bench}/{id}"),
                 ns,
+                exact: false,
             });
         }
     }
@@ -277,6 +284,7 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
         if unit == "s" {
             continue;
         }
+        let exact = unit == "count";
         let scale = if unit == "ms" { 1e6 } else { 1.0 };
         let series: Vec<&str> = t
             .get("series")
@@ -297,6 +305,7 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
                     out.push(Metric {
                         id: format!("{bench}/tbl{ti}/{name}/{x}"),
                         ns: v * scale,
+                        exact,
                     });
                 }
             }
@@ -306,7 +315,9 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
 }
 
 /// Read metrics straight from a baseline document
-/// (`{"metrics": [{"id", "ns"}]}`).
+/// (`{"metrics": [{"id", "ns", "exact"?}]}`). A missing `"exact"` member
+/// reads as `false`, so baselines written before exact metrics existed
+/// keep working.
 pub fn baseline_metrics(doc: &Json) -> Vec<Metric> {
     doc.get("metrics")
         .map_or(&[][..], Json::arr)
@@ -315,6 +326,7 @@ pub fn baseline_metrics(doc: &Json) -> Vec<Metric> {
             Some(Metric {
                 id: m.get("id")?.str().to_string(),
                 ns: m.get("ns").and_then(Json::num)?,
+                exact: matches!(m.get("exact"), Some(Json::Bool(true))),
             })
         })
         .collect()
@@ -327,7 +339,11 @@ pub fn baseline_json(metrics: &[Metric]) -> String {
         if i > 0 {
             out.push_str(",\n");
         }
-        let _ = write!(out, "  {{\"id\":{:?},\"ns\":{:.3}}}", m.id, m.ns);
+        let _ = write!(out, "  {{\"id\":{:?},\"ns\":{:.3}", m.id, m.ns);
+        if m.exact {
+            out.push_str(",\"exact\":true");
+        }
+        out.push('}');
     }
     out.push_str("\n]}\n");
     out
@@ -347,11 +363,26 @@ pub enum Verdict {
 }
 
 /// Compare a run against the baseline. `tolerance` is fractional: `0.30`
-/// fails anything more than 30 % slower than its baseline value.
+/// fails anything more than 30 % slower than its baseline value. Exact
+/// metrics (deterministic model counters) ignore the tolerance entirely:
+/// any difference — faster, slower, either direction — is a failure,
+/// because a drifted counter means the model computed something else.
 pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<(String, Verdict)> {
     let mut rows = Vec::new();
     for b in baseline {
         match current.iter().find(|c| c.id == b.id) {
+            Some(c) if b.exact => {
+                rows.push((
+                    b.id.clone(),
+                    if c.ns == b.ns {
+                        Verdict::Ok(0.0)
+                    } else if b.ns > 0.0 {
+                        Verdict::Regressed((c.ns - b.ns) / b.ns)
+                    } else {
+                        Verdict::Regressed(f64::INFINITY)
+                    },
+                ));
+            }
             Some(c) if b.ns > 0.0 => {
                 let delta = (c.ns - b.ns) / b.ns;
                 rows.push((
@@ -383,6 +414,24 @@ pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A non-exact (tolerance-gated) metric literal.
+    fn m(id: &str, ns: f64) -> Metric {
+        Metric {
+            id: id.into(),
+            ns,
+            exact: false,
+        }
+    }
+
+    /// An exact (zero-tolerance model-counter) metric literal.
+    fn mx(id: &str, ns: f64) -> Metric {
+        Metric {
+            id: id.into(),
+            ns,
+            exact: true,
+        }
+    }
 
     #[test]
     fn parses_harness_output() {
@@ -425,48 +474,28 @@ mod tests {
     #[test]
     fn baseline_roundtrip() {
         let metrics = vec![
-            Metric {
-                id: "micro/a \"quoted\"".into(),
-                ns: 1.5,
-            },
-            Metric {
-                id: "largep/tbl0/x/1".into(),
-                ns: 2e6,
-            },
+            m("micro/a \"quoted\"", 1.5),
+            m("largep/tbl0/x/1", 2e6),
+            mx("tracevol/tbl0/msgs/4096", 4095.0),
         ];
         let doc = parse(&baseline_json(&metrics)).unwrap();
         assert_eq!(baseline_metrics(&doc), metrics);
     }
 
     #[test]
+    fn baseline_without_exact_member_reads_as_inexact() {
+        // Baselines written before exact metrics existed must stay valid.
+        let doc = parse(r#"{"metrics":[{"id":"a","ns":1.0}]}"#).unwrap();
+        assert_eq!(baseline_metrics(&doc), vec![m("a", 1.0)]);
+    }
+
+    #[test]
     fn compare_flags_only_regressions_beyond_tolerance() {
-        let base = vec![
-            Metric {
-                id: "a".into(),
-                ns: 100.0,
-            },
-            Metric {
-                id: "b".into(),
-                ns: 100.0,
-            },
-            Metric {
-                id: "gone".into(),
-                ns: 1.0,
-            },
-        ];
+        let base = vec![m("a", 100.0), m("b", 100.0), m("gone", 1.0)];
         let cur = vec![
-            Metric {
-                id: "a".into(),
-                ns: 129.0,
-            }, // +29% — within 30%
-            Metric {
-                id: "b".into(),
-                ns: 131.0,
-            }, // +31% — regression
-            Metric {
-                id: "fresh".into(),
-                ns: 1.0,
-            },
+            m("a", 129.0), // +29% — within 30%
+            m("b", 131.0), // +31% — regression
+            m("fresh", 1.0),
         ];
         let rows = compare(&base, &cur, 0.30);
         assert!(matches!(rows[0].1, Verdict::Ok(d) if (d - 0.29).abs() < 1e-9));
@@ -477,29 +506,43 @@ mod tests {
 
     #[test]
     fn zero_baseline_is_not_a_free_pass() {
-        let base = vec![
-            Metric {
-                id: "zero".into(),
-                ns: 0.0,
-            },
-            Metric {
-                id: "still_zero".into(),
-                ns: 0.0,
-            },
-        ];
-        let cur = vec![
-            Metric {
-                id: "zero".into(),
-                ns: 5.0,
-            },
-            Metric {
-                id: "still_zero".into(),
-                ns: 0.0,
-            },
-        ];
+        let base = vec![m("zero", 0.0), m("still_zero", 0.0)];
+        let cur = vec![m("zero", 5.0), m("still_zero", 0.0)];
         let rows = compare(&base, &cur, 0.30);
         assert!(matches!(rows[0].1, Verdict::Regressed(d) if d.is_infinite()));
         assert_eq!(rows[1].1, Verdict::Ok(0.0));
+    }
+
+    #[test]
+    fn exact_metrics_fail_on_any_drift() {
+        // A deterministic model counter may not move at all — in either
+        // direction, by any amount, under any tolerance override.
+        let base = vec![mx("msgs", 1000.0), mx("bytes", 8000.0), mx("was_zero", 0.0)];
+        let cur = vec![
+            mx("msgs", 1000.0),  // identical — fine
+            mx("bytes", 7999.0), // one byte *fewer* — still a failure
+            mx("was_zero", 1.0), // zero baseline drifted
+        ];
+        let rows = compare(&base, &cur, tolerance_from(Some("1000000")));
+        assert_eq!(rows[0].1, Verdict::Ok(0.0));
+        assert!(matches!(rows[1].1, Verdict::Regressed(d) if d < 0.0));
+        assert!(matches!(rows[2].1, Verdict::Regressed(d) if d.is_infinite()));
+    }
+
+    #[test]
+    fn count_tables_become_exact_metrics() {
+        let doc = parse(
+            r#"{"bench":"tracevol","tables":[
+                {"title":"msgs","xlabel":"p","unit":"count","series":["bcast"],
+                 "rows":[{"x":64,"values":[63]}]},
+                {"title":"time","xlabel":"p","unit":"ms","series":["bcast"],
+                 "rows":[{"x":64,"values":[1.5]}]}]}"#,
+        )
+        .unwrap();
+        let ms = metrics_of(&doc);
+        assert_eq!(ms[0], mx("tracevol/tbl0/bcast/64", 63.0));
+        // `count` values are raw counts, never ms-scaled.
+        assert_eq!(ms[1], m("tracevol/tbl1/bcast/64", 1.5e6));
     }
 
     #[test]
@@ -544,14 +587,8 @@ mod tests {
         // The zero-baseline rule is absolute: a metric that was free and
         // now costs something is an infinite relative regression, and no
         // BENCH_GATE_TOLERANCE override can wave it through.
-        let base = vec![Metric {
-            id: "zero".into(),
-            ns: 0.0,
-        }];
-        let cur = vec![Metric {
-            id: "zero".into(),
-            ns: 0.001,
-        }];
+        let base = vec![m("zero", 0.0)];
+        let cur = vec![m("zero", 0.001)];
         let rows = compare(&base, &cur, tolerance_from(Some("1000000")));
         assert!(matches!(rows[0].1, Verdict::Regressed(d) if d.is_infinite()));
     }

@@ -156,7 +156,12 @@ where
     }
 
     // ---- distributed phase --------------------------------------------------
+    let mut wave = 0u32;
     while !active.is_empty() {
+        // Trace phase marker (no-op unless tracing is on): one per wave of
+        // concurrent level machines, at this rank's current virtual time.
+        mpisim::obs::mark(world.proc_state(), || format!("jquick wave {wave}"));
+        wave += 1;
         // 1. Start and drive all level machines concurrently.
         let mut metas = Vec::new();
         let mut sms = Vec::new();
@@ -295,6 +300,9 @@ where
     }
 
     stats.distributed_end = world.proc_state().now();
+    mpisim::obs::mark(world.proc_state(), || {
+        "jquick distributed phase done".to_string()
+    });
 
     // ---- phase 2: base cases -------------------------------------------------
     let mut bsms = Vec::with_capacity(bases.len());
@@ -329,6 +337,7 @@ where
     for mut sm in bsms {
         settled.push(sm.take().expect("base complete"));
     }
+    mpisim::obs::mark(world.proc_state(), || "jquick base cases done".to_string());
 
     // ---- assemble -------------------------------------------------------------
     settled.sort_by_key(|s| s.lo);

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crate::datum::Datum;
 use crate::error::Result;
 use crate::msg::Tag;
+use crate::obs::{self, OpClass};
 use crate::transport::{Src, Transport};
 
 /// Elementwise combine of two equal-length vectors: `acc[i] = op(acc[i], v[i])`
@@ -46,6 +47,7 @@ pub fn bcast<T: Datum>(
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
+    let _span = obs::span(tr.state(), OpClass::Bcast, "bcast");
     if p == 1 {
         return Ok(());
     }
@@ -86,6 +88,7 @@ pub fn reduce<T: Datum>(
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
+    let _span = obs::span(tr.state(), OpClass::Reduce, "reduce");
     let mut acc = data.to_vec();
     if p == 1 {
         return Ok(Some(acc));
@@ -119,6 +122,10 @@ pub fn allreduce<T: Datum>(
     tag: Tag,
     op: impl Fn(&T, &T) -> T,
 ) -> Result<Vec<T>> {
+    // The span nests a reduce and a bcast; each inner span re-attributes
+    // its own sends (innermost wins), so allreduce volume splits across
+    // the two classes exactly as the algorithm does.
+    let _span = obs::span(tr.state(), OpClass::Reduce, "allreduce");
     let mut out: Vec<T> = reduce(tr, data, 0, tag, op)?.unwrap_or_default();
     bcast(tr, &mut out, 0, tag)?;
     Ok(out)
@@ -134,6 +141,7 @@ pub fn scan<T: Datum>(
 ) -> Result<Vec<T>> {
     let p = tr.size();
     let r = tr.rank();
+    let _span = obs::span(tr.state(), OpClass::Scan, "scan");
     let mut incl = data.to_vec();
     let mut d = 1usize;
     while d < p {
@@ -161,6 +169,7 @@ pub fn exscan<T: Datum>(
 ) -> Result<Option<Vec<T>>> {
     let p = tr.size();
     let r = tr.rank();
+    let _span = obs::span(tr.state(), OpClass::Scan, "exscan");
     let mut incl = data.to_vec();
     let mut excl: Option<Vec<T>> = None;
     let mut d = 1usize;
@@ -196,6 +205,7 @@ pub fn gatherv<T: Datum>(
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
+    let _span = obs::span(tr.state(), OpClass::Gather, "gatherv");
     if p == 1 {
         return Ok(Some(vec![data]));
     }
@@ -247,6 +257,7 @@ pub fn gather<T: Datum>(
 
 /// All-gather of one element per rank (gather to 0 + broadcast).
 pub fn allgather1<T: Datum>(tr: &impl Transport, item: T, tag: Tag) -> Result<Vec<T>> {
+    let _span = obs::span(tr.state(), OpClass::Gather, "allgather1");
     let mut all = gather(tr, vec![item], 0, tag)?.unwrap_or_default();
     bcast(tr, &mut all, 0, tag)?;
     Ok(all)
@@ -256,6 +267,7 @@ pub fn allgather1<T: Datum>(tr: &impl Transport, item: T, tag: Tag) -> Result<Ve
 pub fn barrier(tr: &impl Transport, tag: Tag) -> Result<()> {
     let p = tr.size();
     let r = tr.rank();
+    let _span = obs::span(tr.state(), OpClass::Barrier, "barrier");
     let mut d = 1usize;
     while d < p {
         tr.send_vec::<u8>(Vec::new(), (r + d) % p, tag)?;
@@ -274,6 +286,7 @@ pub fn alltoallv<T: Datum>(
 ) -> Result<Vec<Vec<T>>> {
     let p = tr.size();
     let r = tr.rank();
+    let _span = obs::span(tr.state(), OpClass::Other, "alltoallv");
     assert_eq!(send.len(), p, "alltoallv needs one bucket per rank");
     let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     for (i, bucket) in send.into_iter().enumerate() {
@@ -305,6 +318,7 @@ pub fn scatterv<T: Datum>(
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
+    let _span = obs::span(tr.state(), OpClass::Other, "scatterv");
     if p == 1 {
         let mut blocks = blocks.expect("root provides blocks");
         return Ok(blocks.swap_remove(0));
@@ -405,6 +419,7 @@ pub fn alltoall<T: Datum>(tr: &impl Transport, send: Vec<Vec<T>>, tag: Tag) -> R
 /// the flattened bundle).
 pub fn allgatherv<T: Datum>(tr: &impl Transport, data: Vec<T>, tag: Tag) -> Result<Vec<Vec<T>>> {
     let p = tr.size();
+    let _span = obs::span(tr.state(), OpClass::Gather, "allgatherv");
     let gathered = gatherv(tr, data, 0, tag)?;
     let (mut counts, mut flat): (Vec<u64>, Vec<T>) = match gathered {
         Some(per_rank) => (

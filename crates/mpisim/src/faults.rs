@@ -105,118 +105,20 @@ impl FaultPlan {
     /// faulted-vs-clean diff vacuously green.
     pub fn from_env() -> FaultPlan {
         FaultPlan {
-            perturb_seed: fault_seed_from(std::env::var("MPISIM_FAULT_SEED").ok().as_deref()),
-            slowdown: fault_slow_from(std::env::var("MPISIM_FAULT_SLOW").ok().as_deref()),
-            crashes: fault_crash_from(std::env::var("MPISIM_FAULT_CRASH").ok().as_deref()),
-            jitter: fault_jitter_from(std::env::var("MPISIM_FAULT_JITTER").ok().as_deref()),
+            perturb_seed: fault_seed_from(crate::env::var("MPISIM_FAULT_SEED").as_deref()),
+            slowdown: fault_slow_from(crate::env::var("MPISIM_FAULT_SLOW").as_deref()),
+            crashes: fault_crash_from(crate::env::var("MPISIM_FAULT_CRASH").as_deref()),
+            jitter: fault_jitter_from(crate::env::var("MPISIM_FAULT_JITTER").as_deref()),
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Strict env-knob parsers (pure functions, unit-testable without set_var)
+// Strict env-knob parsers — consolidated in [`crate::env`]; re-exported
+// here because they are part of this module's public API surface.
 // ---------------------------------------------------------------------------
 
-/// Parse `MPISIM_FAULT_SEED` (a u64; unset or blank means 0). Garbage
-/// panics — see [`FaultPlan::from_env`].
-pub fn fault_seed_from(var: Option<&str>) -> u64 {
-    match var.map(str::trim) {
-        None | Some("") => 0,
-        Some(s) => s
-            .parse::<u64>()
-            .unwrap_or_else(|_| panic!("MPISIM_FAULT_SEED={s:?} is not a u64 seed")),
-    }
-}
-
-/// Parse `MPISIM_FAULT_SLOW=frac,max_factor` (e.g. `0.25,4`): `frac` must
-/// be finite in `[0, 1]`, `max_factor` finite and `>= 1`. Unset or blank
-/// means no slowdown; anything malformed panics.
-pub fn fault_slow_from(var: Option<&str>) -> Option<SlowdownSpec> {
-    let s = match var.map(str::trim) {
-        None | Some("") => return None,
-        Some(s) => s,
-    };
-    let bad = || -> ! {
-        panic!(
-            "MPISIM_FAULT_SLOW={s:?} is not a slowdown spec \
-             (expected \"frac,max_factor\" with frac in [0,1], max_factor >= 1)"
-        )
-    };
-    let (frac, max) = match s.split_once(',') {
-        Some((a, b)) => (a.trim(), b.trim()),
-        None => bad(),
-    };
-    let frac: f64 = frac.parse().unwrap_or_else(|_| bad());
-    let max_factor: f64 = max.parse().unwrap_or_else(|_| bad());
-    if !frac.is_finite()
-        || !(0.0..=1.0).contains(&frac)
-        || !max_factor.is_finite()
-        || max_factor < 1.0
-    {
-        bad();
-    }
-    Some(SlowdownSpec { frac, max_factor })
-}
-
-/// Parse `MPISIM_FAULT_CRASH=rank@time[,rank@time...]` where `time` takes
-/// a unit suffix (`50us`, `2ms`, `1s`, `800ns`). Unset or blank means no
-/// crashes; anything malformed panics.
-pub fn fault_crash_from(var: Option<&str>) -> Vec<(usize, Time)> {
-    let s = match var.map(str::trim) {
-        None | Some("") => return Vec::new(),
-        Some(s) => s,
-    };
-    s.split(',')
-        .map(|entry| {
-            let entry = entry.trim();
-            let bad = || -> ! {
-                panic!(
-                    "MPISIM_FAULT_CRASH entry {entry:?} is not \"rank@time\" \
-                     (e.g. \"3@50us\")"
-                )
-            };
-            let (rank, at) = match entry.split_once('@') {
-                Some((r, t)) => (r.trim(), t.trim()),
-                None => bad(),
-            };
-            let rank: usize = rank.parse().unwrap_or_else(|_| bad());
-            let at = parse_time(at).unwrap_or_else(|| bad());
-            (rank, at)
-        })
-        .collect()
-}
-
-/// Parse `MPISIM_FAULT_JITTER=<number><ns|us|ms|s>` (e.g. `20us`). Unset
-/// or blank disables jitter; anything malformed panics.
-pub fn fault_jitter_from(var: Option<&str>) -> Time {
-    match var.map(str::trim) {
-        None | Some("") => Time::ZERO,
-        Some(s) => parse_time(s).unwrap_or_else(|| {
-            panic!("MPISIM_FAULT_JITTER={s:?} is not a time span (e.g. \"20us\")")
-        }),
-    }
-}
-
-/// Parse a `<number><unit>` time span (`800ns`, `50us`, `2ms`, `1s`;
-/// fractions allowed, must be finite and non-negative).
-fn parse_time(s: &str) -> Option<Time> {
-    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
-        (n, 1.0)
-    } else if let Some(n) = s.strip_suffix("us") {
-        (n, 1e3)
-    } else if let Some(n) = s.strip_suffix("ms") {
-        (n, 1e6)
-    } else if let Some(n) = s.strip_suffix('s') {
-        (n, 1e9)
-    } else {
-        return None;
-    };
-    let v: f64 = num.trim().parse().ok()?;
-    if !v.is_finite() || v < 0.0 {
-        return None;
-    }
-    Some(Time((v * mult).round() as u64))
-}
+pub use crate::env::{fault_crash_from, fault_jitter_from, fault_seed_from, fault_slow_from};
 
 // ---------------------------------------------------------------------------
 // Resolved fault state (attached to the Router)
@@ -472,133 +374,7 @@ impl std::fmt::Display for RoundBlame {
 mod tests {
     use super::*;
 
-    // ---- parsers -----------------------------------------------------------
-
-    #[test]
-    fn seed_parses_strictly() {
-        assert_eq!(fault_seed_from(None), 0);
-        assert_eq!(fault_seed_from(Some("")), 0);
-        assert_eq!(fault_seed_from(Some(" 42 ")), 42);
-        assert_eq!(fault_seed_from(Some("18446744073709551615")), u64::MAX);
-    }
-
-    #[test]
-    #[should_panic(expected = "not a u64 seed")]
-    fn seed_rejects_garbage() {
-        fault_seed_from(Some("0x12"));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a u64 seed")]
-    fn seed_rejects_negative() {
-        fault_seed_from(Some("-1"));
-    }
-
-    #[test]
-    fn slow_parses_strictly() {
-        assert_eq!(fault_slow_from(None), None);
-        assert_eq!(fault_slow_from(Some("  ")), None);
-        assert_eq!(
-            fault_slow_from(Some("0.25,4")),
-            Some(SlowdownSpec {
-                frac: 0.25,
-                max_factor: 4.0
-            })
-        );
-        assert_eq!(
-            fault_slow_from(Some(" 1 , 1.5 ")),
-            Some(SlowdownSpec {
-                frac: 1.0,
-                max_factor: 1.5
-            })
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "not a slowdown spec")]
-    fn slow_rejects_missing_comma() {
-        fault_slow_from(Some("0.25"));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a slowdown spec")]
-    fn slow_rejects_out_of_range_frac() {
-        fault_slow_from(Some("1.5,4"));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a slowdown spec")]
-    fn slow_rejects_negative_frac() {
-        fault_slow_from(Some("-0.1,4"));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a slowdown spec")]
-    fn slow_rejects_sub_unity_factor() {
-        fault_slow_from(Some("0.5,0.5"));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a slowdown spec")]
-    fn slow_rejects_non_finite() {
-        fault_slow_from(Some("NaN,4"));
-    }
-
-    #[test]
-    fn crash_parses_strictly() {
-        assert!(fault_crash_from(None).is_empty());
-        assert_eq!(
-            fault_crash_from(Some("3@50us")),
-            vec![(3, Time::from_micros(50))]
-        );
-        assert_eq!(
-            fault_crash_from(Some(" 1@2ms , 0@800ns ")),
-            vec![(1, Time::from_millis(2)), (0, Time::from_nanos(800))]
-        );
-        assert_eq!(
-            fault_crash_from(Some("2@1s")),
-            vec![(2, Time::from_secs_f64(1.0))]
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "is not \"rank@time\"")]
-    fn crash_rejects_missing_unit() {
-        fault_crash_from(Some("3@50"));
-    }
-
-    #[test]
-    #[should_panic(expected = "is not \"rank@time\"")]
-    fn crash_rejects_negative_time() {
-        fault_crash_from(Some("3@-5us"));
-    }
-
-    #[test]
-    #[should_panic(expected = "is not \"rank@time\"")]
-    fn crash_rejects_garbage_rank() {
-        fault_crash_from(Some("x@5us"));
-    }
-
-    #[test]
-    fn jitter_parses_strictly() {
-        assert_eq!(fault_jitter_from(None), Time::ZERO);
-        assert_eq!(fault_jitter_from(Some("")), Time::ZERO);
-        assert_eq!(fault_jitter_from(Some("20us")), Time::from_micros(20));
-        assert_eq!(fault_jitter_from(Some("1.5ms")), Time::from_micros(1500));
-        assert_eq!(fault_jitter_from(Some("800ns")), Time::from_nanos(800));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a time span")]
-    fn jitter_rejects_unitless() {
-        fault_jitter_from(Some("20"));
-    }
-
-    #[test]
-    #[should_panic(expected = "not a time span")]
-    fn jitter_rejects_non_finite() {
-        fault_jitter_from(Some("infus"));
-    }
+    // The env-knob parser tests live with the parsers in `crate::env`.
 
     // ---- sampler -----------------------------------------------------------
 
@@ -791,5 +567,83 @@ mod tests {
         assert!(s.contains("rank 5 [live"), "{s}");
         assert!(s.contains("(+3 more)"), "{s}");
         assert_eq!(format!("{}", RoundBlame::default()), "waiting on: unknown");
+    }
+
+    // `fault_scenarios.rs` asserts blame text byte-for-byte inside timeout
+    // messages, and the trace layer embeds the same rendering in `Blame`
+    // events — so the hand-rolled `Display` impls are pinned here exactly,
+    // one test per `RankHealth` variant plus the empty-blame edge case.
+
+    #[test]
+    fn health_display_crashed_round_trips() {
+        let h = RankHealth::Crashed {
+            at: Time::from_micros(50),
+        };
+        assert_eq!(format!("{h}"), "crashed at 50.00us");
+        let b = RoundBlame {
+            waiting_on: vec![RankBlame {
+                rank: 2,
+                last_activity: Time::from_micros(50),
+                health: h,
+            }],
+            omitted: 0,
+        };
+        assert_eq!(
+            format!("{b}"),
+            "waiting on: rank 2 [crashed at 50.00us, last active 50.00us]"
+        );
+    }
+
+    #[test]
+    fn health_display_slowed_round_trips() {
+        let h = RankHealth::Slowed { percent: 150 };
+        assert_eq!(format!("{h}"), "slowed 150%");
+        let b = RoundBlame {
+            waiting_on: vec![RankBlame {
+                rank: 0,
+                last_activity: Time::from_nanos(12),
+                health: h,
+            }],
+            omitted: 0,
+        };
+        assert_eq!(
+            format!("{b}"),
+            "waiting on: rank 0 [slowed 150%, last active 12ns]"
+        );
+    }
+
+    #[test]
+    fn health_display_live_round_trips() {
+        assert_eq!(format!("{}", RankHealth::Live), "live");
+        let b = RoundBlame {
+            waiting_on: vec![
+                RankBlame {
+                    rank: 5,
+                    last_activity: Time::from_micros(80),
+                    health: RankHealth::Live,
+                },
+                RankBlame {
+                    rank: 7,
+                    last_activity: Time::from_millis(2),
+                    health: RankHealth::Live,
+                },
+            ],
+            omitted: 2,
+        };
+        // Separator contract: space before the first entry, comma after,
+        // omitted summary last.
+        assert_eq!(
+            format!("{b}"),
+            "waiting on: rank 5 [live, last active 80.00us],\
+             rank 7 [live, last active 2.00ms] (+2 more)"
+        );
+    }
+
+    #[test]
+    fn empty_blame_displays_unknown() {
+        let b = RoundBlame::default();
+        assert!(b.is_empty());
+        assert!(b.ranks().is_empty());
+        assert_eq!(format!("{b}"), "waiting on: unknown");
     }
 }

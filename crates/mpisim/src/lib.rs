@@ -34,6 +34,7 @@ pub mod comm;
 pub mod context;
 pub mod datum;
 pub mod distsort;
+pub mod env;
 pub mod error;
 pub mod faults;
 pub mod group;
@@ -42,6 +43,7 @@ pub mod mailbox;
 pub mod model;
 pub mod msg;
 pub mod nbcoll;
+pub mod obs;
 pub mod proc;
 pub mod sched;
 mod splitdist;
@@ -58,6 +60,7 @@ pub use group::Group;
 pub use model::{CommitAlgo, CostModel, CostScale, CreateGroupAlgo, SplitAlgo, VendorProfile};
 pub use msg::{ContextId, MsgInfo, Tag};
 pub use nbcoll::{Progress, Request};
+pub use obs::{MetricsSnapshot, OpClass, SchedProfile, Trace, TraceEvent, WorkerProfile};
 pub use proc::WaitReason;
 pub use sched::yield_now;
 pub use time::{Time, VirtualClock};

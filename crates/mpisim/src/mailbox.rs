@@ -128,6 +128,11 @@ struct Inner {
     count: usize,
     waiters: Vec<WaiterEntry>,
     next_token: u64,
+    /// Waiter-pattern match checks performed by deposits — the mailbox's
+    /// share of the deterministic [`crate::obs::MetricsSnapshot`]. On the
+    /// cooperative backend the waiter set at each commit is a pure
+    /// function of the epoch structure, so this count is worker-invariant.
+    scans: u64,
 }
 
 /// One rank's incoming-message queue with MPI matching semantics:
@@ -153,6 +158,7 @@ impl Mailbox {
                 count: 0,
                 waiters: Vec::new(),
                 next_token: 0,
+                scans: 0,
             }),
             cv: Condvar::new(),
         }
@@ -167,6 +173,7 @@ impl Mailbox {
     #[inline]
     fn deposit(g: &mut Inner, m: Message) -> Vec<Arc<dyn Wake>> {
         let mut fired: Vec<Arc<dyn Wake>> = Vec::new();
+        g.scans += g.waiters.len() as u64;
         let mut i = 0;
         while i < g.waiters.len() {
             if g.waiters[i].pat.matches(&m) {
@@ -224,6 +231,12 @@ impl Mailbox {
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
         self.inner.lock().count
+    }
+
+    /// Cumulative waiter-pattern match checks performed by deposits into
+    /// this mailbox (see [`crate::obs::MetricsSnapshot::mailbox_scans`]).
+    pub fn scans(&self) -> u64 {
+        self.inner.lock().scans
     }
 
     /// Whether no messages are queued.

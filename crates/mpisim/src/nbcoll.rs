@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use crate::datum::Datum;
 use crate::error::{MpiError, Result};
 use crate::msg::Tag;
+use crate::obs::{self, OpClass};
 use crate::proc::ProcState;
 use crate::transport::{RecvReq, Src, Transport};
 
@@ -271,6 +272,12 @@ impl<T: Datum, C: Transport> Progress for Ibcast<T, C> {
         if self.done {
             return Ok(true);
         }
+        // Attribution only — the machines are polled many times per
+        // logical operation, so per-poll trace spans would drown the
+        // trace; sends priced inside a poll still count under the class.
+        // (The Arc clone frees `self` for the `&mut self` helpers below.)
+        let state = Arc::clone(self.tr.state());
+        let _class = obs::class_guard(&state, OpClass::Bcast);
         let p = self.tr.size();
         let rel = to_rel(self.tr.rank(), self.root, p);
         if !self.started {
@@ -374,6 +381,7 @@ where
         if self.done {
             return Ok(true);
         }
+        let _class = obs::class_guard(self.tr.state(), OpClass::Reduce);
         let mut i = 0;
         while i < self.pending_children.len() {
             let child = self.pending_children[i];
@@ -578,6 +586,7 @@ where
         if self.done {
             return Ok(true);
         }
+        let _class = obs::class_guard(self.tr.state(), OpClass::Scan);
         let p = self.tr.size();
         let r = self.tr.rank();
         while self.d < p {
@@ -699,6 +708,7 @@ impl<T: Datum, C: Transport> Progress for Igatherv<T, C> {
         if self.done {
             return Ok(true);
         }
+        let _class = obs::class_guard(self.tr.state(), OpClass::Gather);
         let mut i = 0;
         while i < self.pending.len() {
             let (child, got_meta) = &mut self.pending[i];
@@ -826,6 +836,7 @@ impl<C: Transport> Progress for Ibarrier<C> {
         if self.done {
             return Ok(true);
         }
+        let _class = obs::class_guard(self.tr.state(), OpClass::Barrier);
         let p = self.tr.size();
         let r = self.tr.rank();
         while self.d < p {

@@ -5,7 +5,7 @@
 //! [`Router`] holds one mailbox per rank plus the cost model; sends deposit
 //! messages directly into the destination mailbox (buffered semantics).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,6 +19,7 @@ use crate::faults::{FaultState, RankBlame, RoundBlame, BLAME_CAP};
 use crate::mailbox::Mailbox;
 use crate::model::{CostModel, CostScale, VendorProfile};
 use crate::msg::{ContextId, MatchPattern, Message, MsgInfo, SrcFilter, Tag};
+use crate::obs::{MetricsSnapshot, OpClass, Trace, TraceEvent};
 use crate::time::Time;
 
 /// Why a rank is parked at a blocking point — the explicit wait state a
@@ -92,6 +93,11 @@ pub struct Router {
     traffic: Vec<TrafficCell>,
     /// Per-rank virtual clocks, indexed by global rank.
     clocks: Vec<ClockCell>,
+    /// Per-sender, per-[`OpClass`] volume counters (always on; summed on
+    /// read into the deterministic [`MetricsSnapshot`]).
+    class_cells: Vec<crate::obs::ClassCell>,
+    /// Per-rank event-trace buffers, allocated only when the run traces.
+    trace: Option<Vec<crate::obs::TraceCell>>,
 }
 
 impl Router {
@@ -112,7 +118,53 @@ impl Router {
             faults,
             traffic: (0..p).map(|_| TrafficCell::default()).collect(),
             clocks: (0..p).map(|_| ClockCell::default()).collect(),
+            class_cells: (0..p).map(|_| Default::default()).collect(),
+            trace: None,
         }
+    }
+
+    /// Allocate the per-rank trace buffers. Must be called before any rank
+    /// runs (the universe does this when [`crate::SimConfig::trace`] is
+    /// set), so every rank observes the same tracing mode for its whole
+    /// lifetime.
+    pub fn enable_trace(&mut self) {
+        let p = self.mailboxes.len();
+        self.trace = Some((0..p).map(|_| Default::default()).collect());
+    }
+
+    /// Whether the deterministic event trace is being recorded.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Merge the per-rank trace buffers into the global `(t, rank, seq)`
+    /// order (`None` when tracing is off).
+    pub fn collect_trace(&self) -> Option<Trace> {
+        self.trace.as_deref().map(Trace::collect)
+    }
+
+    /// The deterministic model-metric snapshot of the fabric: traffic
+    /// totals, per-class volumes, and mailbox scan work. The scheduler's
+    /// counters (epochs, wake-ups, switches) are merged in by the
+    /// universe, which owns the scheduler.
+    pub fn metrics_base(&self) -> MetricsSnapshot {
+        let t = self.traffic();
+        let mut snap = MetricsSnapshot {
+            messages: t.messages,
+            bytes: t.bytes,
+            ..Default::default()
+        };
+        for class in OpClass::ALL {
+            let i = class as usize;
+            for cell in &self.class_cells {
+                let m = cell.msgs_of(class);
+                snap.class_msgs[i] += m;
+                snap.class_bytes[i] += cell.bytes_of(class);
+                snap.class_max_rank_msgs[i] = snap.class_max_rank_msgs[i].max(m);
+            }
+        }
+        snap.mailbox_scans = self.mailboxes.iter().map(|m| m.scans()).sum();
+        snap
     }
 
     /// Rank `r`'s current virtual clock — its last virtual-time activity,
@@ -159,6 +211,11 @@ pub struct ProcState {
     /// Program-order counter of messages this rank has sent — the jitter
     /// coordinate: worker-count invariant by construction.
     send_seq: AtomicU64,
+    /// The [`OpClass`] currently attributed to this rank's sends, managed
+    /// by the RAII guards in [`crate::obs`]. Lives here — not in a
+    /// thread-local — because fibers yield mid-collective and resume on a
+    /// different worker thread.
+    op_class: AtomicU8,
 }
 
 impl ProcState {
@@ -175,7 +232,30 @@ impl ProcState {
             ctx_pool: Mutex::new(crate::context::CtxPool::new()),
             icomm_counter: AtomicU32::new(0),
             send_seq: AtomicU64::new(0),
+            op_class: AtomicU8::new(OpClass::P2p as u8),
         })
+    }
+
+    // ---- observability -----------------------------------------------------
+
+    /// Swap the current send-attribution class, returning the previous raw
+    /// value (the obs guards restore it on drop).
+    pub(crate) fn set_op_class_raw(&self, v: u8) -> u8 {
+        self.op_class.swap(v, Ordering::Relaxed)
+    }
+
+    fn cur_class(&self) -> OpClass {
+        OpClass::from_u8(self.op_class.load(Ordering::Relaxed))
+    }
+
+    /// Append an event to this rank's trace buffer, stamped with the
+    /// rank's current virtual clock. No-op when tracing is off — the
+    /// closure (and any allocation inside it) only runs when tracing, so
+    /// the untraced hot path pays one branch on an `Option`.
+    pub(crate) fn trace_push(&self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(cells) = &self.router.trace {
+            cells[self.global_rank].push(self.now(), ev());
+        }
     }
 
     // ---- virtual clock ----------------------------------------------------
@@ -259,8 +339,10 @@ impl ProcState {
         let jit = faults.jitter_ns(self.global_rank, seq);
         if jit > 0 {
             transfer += Time::from_nanos(jit);
+            self.trace_push(|| TraceEvent::FaultJitter { ns: jit });
         }
         self.router.count_send(self.global_rank, bytes);
+        self.router.class_cells[self.global_rank].add(self.cur_class(), bytes);
         (t0, t0 + transfer)
     }
 
@@ -342,7 +424,7 @@ impl ProcState {
                 }
             }
         };
-        RoundBlame {
+        let blame = RoundBlame {
             waiting_on: listed
                 .into_iter()
                 .map(|r| {
@@ -355,7 +437,11 @@ impl ProcState {
                 })
                 .collect(),
             omitted,
-        }
+        };
+        self.trace_push(|| TraceEvent::Blame {
+            text: blame.to_string(),
+        });
+        blame
     }
 
     /// Blame with no pattern context (used by nonblocking-collective and
@@ -410,10 +496,17 @@ impl ProcState {
         // pricing, no clock motion, no traffic, no staging. Peers observe
         // the silence as a timeout carrying a RoundBlame, never as a hang.
         if self.crashed() {
+            self.trace_push(|| TraceEvent::FaultDrop { dest: dest_global });
             return;
         }
         let (t0, arrival) = self.price_send(data.len() * T::width(), scale);
         let msg = Message::new(self.global_rank, tag, ctx, data, t0, arrival);
+        self.trace_push(|| TraceEvent::Send {
+            dest: dest_global,
+            bytes: msg.bytes,
+            class: self.cur_class(),
+            arrival,
+        });
         self.dispatch(dest_global, msg);
     }
 
@@ -431,10 +524,17 @@ impl ProcState {
         scale: CostScale,
     ) {
         if self.crashed() {
+            self.trace_push(|| TraceEvent::FaultDrop { dest: dest_global });
             return;
         }
         let (t0, arrival) = self.price_send(data.len() * T::width(), scale);
         let msg = Message::new_shared(self.global_rank, tag, ctx, data, t0, arrival);
+        self.trace_push(|| TraceEvent::Send {
+            dest: dest_global,
+            bytes: msg.bytes,
+            class: self.cur_class(),
+            arrival,
+        });
         self.dispatch(dest_global, msg);
     }
 
@@ -455,6 +555,10 @@ impl ProcState {
         .map_err(|e| self.enrich_timeout(e, Some(pat)))?;
         self.advance_to(m.arrival);
         self.advance(self.router.cost.recv_overhead);
+        self.trace_push(|| TraceEvent::Deliver {
+            src: m.src_global,
+            bytes: m.bytes,
+        });
         Ok(m)
     }
 
@@ -470,6 +574,10 @@ impl ProcState {
             Some(m) => {
                 self.advance_to(m.arrival);
                 self.advance(self.router.cost.recv_overhead);
+                self.trace_push(|| TraceEvent::Deliver {
+                    src: m.src_global,
+                    bytes: m.bytes,
+                });
                 Ok(Some(m))
             }
             None if crate::sched::current_poisoned() => Err(self.poisoned_err("try_recv", pat)),

@@ -157,8 +157,13 @@ pub(crate) struct SchedShared {
     woken: Mutex<Vec<usize>>,
     /// Unfinished tasks.
     live: AtomicUsize,
-    /// Context switches performed (diagnostics).
+    /// Context switches performed (deterministic model metric).
     switches: AtomicU64,
+    /// Epochs committed (deterministic model metric; incremented once per
+    /// `finish_epoch`, which every commit path funnels through).
+    epochs: AtomicU64,
+    /// Tasks woken by epoch commits (deterministic model metric).
+    wakeups: AtomicU64,
     /// First recorded panic payload, with the rank it came from.
     panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
 }
@@ -579,6 +584,15 @@ mod imp {
         /// `live` count at the previous epoch's commit (a finish is
         /// progress).
         prev_live: AtomicUsize,
+        /// Whether workers record wall-clock phase timings (see
+        /// [`crate::obs::SchedProfile`]; host time, **not** deterministic).
+        profile: bool,
+        /// Per-worker phase profiles, merged by each worker at exit.
+        profiles: Mutex<Vec<crate::obs::WorkerProfile>>,
+        /// Shard-vector pool reuses / allocations (wall-clock-domain
+        /// diagnostics: the shard count is a function of the worker count).
+        pool_hits: AtomicU64,
+        pool_misses: AtomicU64,
         _stacks: StackSlab,
     }
 
@@ -593,12 +607,15 @@ mod imp {
             router: Arc<Router>,
             commit_algo: CommitAlgo,
             commit_shards: usize,
+            profile: bool,
         ) -> Scheduler {
             let stacks = StackSlab::new(p, stack_size);
             let shared = Arc::new(SchedShared {
                 woken: Mutex::new(Vec::new()),
                 live: AtomicUsize::new(p),
                 switches: AtomicU64::new(0),
+                epochs: AtomicU64::new(0),
+                wakeups: AtomicU64::new(0),
                 panic: Mutex::new(None),
             });
             let mut slots = Vec::with_capacity(p);
@@ -646,6 +663,10 @@ mod imp {
                 epoch_msgs: AtomicUsize::new(0),
                 stagnant: AtomicUsize::new(0),
                 prev_live: AtomicUsize::new(p),
+                profile,
+                profiles: Mutex::new(Vec::new()),
+                pool_hits: AtomicU64::new(0),
+                pool_misses: AtomicU64::new(0),
                 _stacks: stacks,
             };
             // Now that the slots are at their final addresses, point each
@@ -694,14 +715,14 @@ mod imp {
                 self.cursor.store(1 << 32, Ordering::Release);
             }
             if workers == 1 {
-                self.worker_loop();
+                self.worker_loop(0);
             } else {
                 std::thread::scope(|scope| {
                     for w in 0..workers {
                         let this = &*self;
                         std::thread::Builder::new()
                             .name(format!("sched-worker{w}"))
-                            .spawn_scoped(scope, move || this.worker_loop())
+                            .spawn_scoped(scope, move || this.worker_loop(w))
                             .expect("spawn scheduler worker");
                     }
                 });
@@ -713,6 +734,29 @@ mod imp {
         #[allow(dead_code)]
         pub fn switches(&self) -> u64 {
             self.shared.switches.load(Ordering::Relaxed)
+        }
+
+        /// The scheduler's deterministic model counters after a run:
+        /// `(epochs, wakeups, switches)` — all pure functions of the
+        /// program, identical for every worker count and commit algorithm.
+        pub fn counters(&self) -> (u64, u64, u64) {
+            (
+                self.shared.epochs.load(Ordering::Relaxed),
+                self.shared.wakeups.load(Ordering::Relaxed),
+                self.shared.switches.load(Ordering::Relaxed),
+            )
+        }
+
+        /// The wall-clock phase profile of the run, if profiling was on.
+        pub fn take_profile(&self) -> Option<crate::obs::SchedProfile> {
+            if !self.profile {
+                return None;
+            }
+            Some(crate::obs::SchedProfile {
+                workers: std::mem::take(&mut *self.profiles.lock()),
+                pool_hits: self.pool_hits.load(Ordering::Relaxed),
+                pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            })
         }
 
         /// Claim the next unit (task index or commit shard) of the current
@@ -740,17 +784,35 @@ mod imp {
             }
         }
 
-        fn worker_loop(&self) {
+        fn worker_loop(&self, widx: usize) {
+            // Wall-clock phase accounting (only when profiling): `Instant`
+            // reads stay out of the deterministic domain — they never feed
+            // back into scheduling decisions or virtual time.
+            let mut prof = crate::obs::WorkerProfile::default();
             let (mut gen, mut work) = {
                 let g = self.gate.lock();
                 (g.gen, g.work.clone())
             };
-            loop {
+            'outer: loop {
                 let claimed = match self.try_claim(gen, work.units()) {
                     Some(i) => {
+                        let t0 = self.profile.then(std::time::Instant::now);
                         match &work {
                             Work::Tasks(round) => self.run_task(round[i]),
                             Work::Commit(cw) => self.push_shard(cw, i),
+                        }
+                        if let Some(t0) = t0 {
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            match &work {
+                                Work::Tasks(_) => {
+                                    prof.run_ns += ns;
+                                    prof.tasks += 1;
+                                }
+                                Work::Commit(_) => {
+                                    prof.commit_ns += ns;
+                                    prof.shards += 1;
+                                }
+                            }
                         }
                         if self.round_done.fetch_add(1, Ordering::AcqRel) + 1 == work.units() {
                             // Last unit of the phase: advance it
@@ -767,10 +829,14 @@ mod imp {
                     None => false,
                 };
                 if !claimed {
+                    let idle0 = self.profile.then(std::time::Instant::now);
                     let mut g = self.gate.lock();
                     loop {
                         if g.done {
-                            return;
+                            if let Some(t) = idle0 {
+                                prof.idle_ns += t.elapsed().as_nanos() as u64;
+                            }
+                            break 'outer;
                         }
                         if g.gen != gen {
                             gen = g.gen;
@@ -779,7 +845,17 @@ mod imp {
                         }
                         self.gate_cv.wait(&mut g);
                     }
+                    if let Some(t) = idle0 {
+                        prof.idle_ns += t.elapsed().as_nanos() as u64;
+                    }
                 }
+            }
+            if self.profile {
+                let mut ps = self.profiles.lock();
+                if ps.len() <= widx {
+                    ps.resize_with(widx + 1, Default::default);
+                }
+                ps[widx] = prof;
             }
         }
 
@@ -883,7 +959,16 @@ mod imp {
             let per = staged.len().div_ceil(target);
             let mut pool = self.shard_pool.lock();
             let take_vec = |pool: &mut Vec<Vec<CommitEntry>>| {
-                let mut v = pool.pop().unwrap_or_default();
+                let mut v = match pool.pop() {
+                    Some(v) => {
+                        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                        v
+                    }
+                    None => {
+                        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+                        Vec::new()
+                    }
+                };
                 v.reserve(per + 8);
                 v
             };
@@ -970,6 +1055,7 @@ mod imp {
         /// Deliveries are committed: append woken receivers to the next
         /// round, detect deadlock, and publish the next round.
         fn finish_epoch(&self, mut next: Vec<usize>) {
+            self.shared.epochs.fetch_add(1, Ordering::Relaxed);
             // Receivers woken by the committed deliveries, in commit order.
             let woken_count;
             {
@@ -977,6 +1063,9 @@ mod imp {
                 woken_count = w.len();
                 next.append(&mut w);
             }
+            self.shared
+                .wakeups
+                .fetch_add(woken_count as u64, Ordering::Relaxed);
             // Crash-stop stagnation detector. With a crashed rank in the
             // fault plan, a peer *polling* for its messages (nonblocking
             // collectives, sorter wave loops) yields forever: the round

@@ -113,6 +113,20 @@ pub struct SimConfig {
     /// count or commit algorithm — so faulted runs keep the bit-identical
     /// determinism guarantees. See [`crate::faults`].
     pub faults: FaultPlan,
+    /// Record a deterministic event trace ([`crate::obs::Trace`]): op
+    /// spans, send/deliver edges, collective phase marks, fault and blame
+    /// events, all stamped with virtual time. The trace is a pure
+    /// function of `(program, seed, fault plan)` — byte-identical for
+    /// every worker count and commit algorithm — and recording it changes
+    /// **nothing** the simulation computes (observer effect zero; see
+    /// DESIGN.md §9). Off by default: tracing costs memory proportional
+    /// to the event count.
+    pub trace: bool,
+    /// Record the cooperative scheduler's wall-clock phase profile
+    /// ([`crate::obs::SchedProfile`]): per-worker run/commit/idle timings
+    /// and claim counts. Host-time diagnostics, **outside** the
+    /// deterministic domain — never compare these across runs in tests.
+    pub sched_profile: bool,
 }
 
 impl Default for SimConfig {
@@ -129,6 +143,8 @@ impl Default for SimConfig {
             commit_algo: CommitAlgo::Sharded,
             coop_commit_shards: 0,
             faults: FaultPlan::default(),
+            trace: false,
+            sched_profile: false,
         }
     }
 }
@@ -145,20 +161,21 @@ impl SimConfig {
     /// / `MPISIM_FAULT_CRASH` / `MPISIM_FAULT_JITTER` knobs (strict
     /// parsing; see [`FaultPlan::from_env`]) — unlike the commit knobs,
     /// a fault plan *does* change what is simulated, deterministically.
+    /// `MPISIM_TRACE=1` turns on the deterministic event trace and
+    /// `MPISIM_SCHED_PROFILE=1` the wall-clock scheduler profile (both
+    /// strict boolean knobs; see [`crate::env`]).
     pub fn cooperative() -> SimConfig {
-        let workers = std::env::var("MPISIM_COOP_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1)
-            .max(1);
-        let commit_algo = commit_algo_from(std::env::var("MPISIM_COOP_COMMIT").ok().as_deref());
-        let shards = commit_shards_from(std::env::var("MPISIM_COOP_COMMIT_SHARDS").ok().as_deref());
+        use crate::env;
         SimConfig {
             backend: Backend::Cooperative,
-            coop_workers: workers,
-            commit_algo,
-            coop_commit_shards: shards,
+            coop_workers: env::coop_workers_from(env::var("MPISIM_COOP_WORKERS").as_deref()),
+            commit_algo: env::commit_algo_from(env::var("MPISIM_COOP_COMMIT").as_deref()),
+            coop_commit_shards: env::commit_shards_from(
+                env::var("MPISIM_COOP_COMMIT_SHARDS").as_deref(),
+            ),
             faults: FaultPlan::from_env(),
+            trace: env::trace_from(env::var("MPISIM_TRACE").as_deref()),
+            sched_profile: env::sched_profile_from(env::var("MPISIM_SCHED_PROFILE").as_deref()),
             ..SimConfig::default()
         }
     }
@@ -235,33 +252,20 @@ impl SimConfig {
         self.faults = plan;
         self
     }
-}
 
-/// Parse a `MPISIM_COOP_COMMIT` override (case-insensitive `sharded` /
-/// `serial`; unset or blank means the default).
-///
-/// Unknown values **panic** rather than falling back: this knob selects
-/// the correctness *oracle*, and a mistyped `MPISIM_COOP_COMMIT=Seral`
-/// silently running the sharded default would make every
-/// serial-vs-sharded byte-diff compare sharded against itself —
-/// vacuously green, with no signal that the oracle never ran.
-fn commit_algo_from(var: Option<&str>) -> CommitAlgo {
-    match var.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
-        None | Some("") | Some("sharded") => CommitAlgo::Sharded,
-        Some("serial") => CommitAlgo::Serial,
-        Some(other) => panic!(
-            "MPISIM_COOP_COMMIT={other:?} is not a commit algorithm \
-             (expected \"sharded\" or \"serial\")"
-        ),
+    /// Turn the deterministic event trace on or off (see
+    /// [`SimConfig::trace`]).
+    pub fn with_trace(mut self, on: bool) -> SimConfig {
+        self.trace = on;
+        self
     }
-}
 
-/// Parse a `MPISIM_COOP_COMMIT_SHARDS` override (a claim-unit cap;
-/// 0 or unset = auto). Unparsable values fall back to auto — unlike the
-/// algorithm knob this only tunes throughput, never what is computed.
-fn commit_shards_from(var: Option<&str>) -> usize {
-    var.and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(0)
+    /// Turn the wall-clock scheduler profile on or off (see
+    /// [`SimConfig::sched_profile`]).
+    pub fn with_sched_profile(mut self, on: bool) -> SimConfig {
+        self.sched_profile = on;
+        self
+    }
 }
 
 /// Handed to every rank body.
@@ -305,6 +309,17 @@ pub struct SimResult<R> {
     pub clocks: Vec<Time>,
     /// Total messages/bytes sent during the run.
     pub traffic: crate::proc::Traffic,
+    /// Deterministic model counters of the run (messages, bytes,
+    /// per-class volumes, mailbox scans, epochs, wake-ups, switches) —
+    /// pure functions of `(program, seed, fault plan)` on the cooperative
+    /// backend, so CI gates them with exact equality. Always collected;
+    /// the scheduler fields are zero under [`Backend::Threads`].
+    pub metrics: crate::obs::MetricsSnapshot,
+    /// The deterministic event trace, when [`SimConfig::trace`] was on.
+    pub trace: Option<crate::obs::Trace>,
+    /// The wall-clock scheduler phase profile, when
+    /// [`SimConfig::sched_profile`] was on (cooperative backend only).
+    pub sched_profile: Option<crate::obs::SchedProfile>,
 }
 
 impl<R> SimResult<R> {
@@ -332,24 +347,31 @@ impl Universe {
         F: Fn(ProcEnv) -> R + Send + Sync,
     {
         assert!(p >= 1, "need at least one process");
-        let router = Arc::new(Router::new(
+        let mut router = Router::new(
             p,
             cfg.cost.clone(),
             cfg.vendor.clone(),
             cfg.recv_timeout,
             FaultState::resolve(&cfg.faults, p),
-        ));
+        );
+        if cfg.trace {
+            router.enable_trace();
+        }
+        let router = Arc::new(router);
         let states: Vec<Arc<ProcState>> = (0..p)
             .map(|r| ProcState::new(r, Arc::clone(&router), cfg.seed))
             .collect();
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
 
-        match cfg.backend {
+        let (sched_counters, sched_profile) = match cfg.backend {
             Backend::Cooperative if sched::SUPPORTED => {
                 Self::run_coop(p, &cfg, &f, &router, &states, &results)
             }
-            _ => Self::run_threads(p, &cfg, &f, &states, &results),
-        }
+            _ => {
+                Self::run_threads(p, &cfg, &f, &states, &results);
+                ((0, 0, 0), None)
+            }
+        };
 
         let per_rank = results
             .into_inner()
@@ -358,10 +380,16 @@ impl Universe {
             .collect();
         let clocks = states.iter().map(|s| s.now()).collect();
         let traffic = router.traffic();
+        let mut metrics = router.metrics_base();
+        (metrics.epochs, metrics.wakeups, metrics.switches) = sched_counters;
+        let trace = router.collect_trace();
         SimResult {
             per_rank,
             clocks,
             traffic,
+            metrics,
+            trace,
+            sched_profile,
         }
     }
 
@@ -403,6 +431,8 @@ impl Universe {
     }
 
     /// Cooperative backend: every rank is a fiber on the shared scheduler.
+    /// Returns the scheduler's deterministic `(epochs, wakeups, switches)`
+    /// counters and — when profiling — its wall-clock phase profile.
     #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
     fn run_coop<R, F>(
         p: usize,
@@ -411,7 +441,8 @@ impl Universe {
         router: &Arc<Router>,
         states: &[Arc<ProcState>],
         results: &Mutex<Vec<Option<R>>>,
-    ) where
+    ) -> ((u64, u64, u64), Option<crate::obs::SchedProfile>)
+    where
         R: Send,
         F: Fn(ProcEnv) -> R + Send + Sync,
     {
@@ -421,6 +452,7 @@ impl Universe {
             Arc::clone(router),
             cfg.commit_algo,
             cfg.coop_commit_shards,
+            cfg.sched_profile,
         );
         let store = scheduler.panic_store();
         for (rank, state) in states.iter().enumerate() {
@@ -459,6 +491,7 @@ impl Universe {
         if let Some((_rank, payload)) = scheduler.run(cfg.coop_workers, &order) {
             std::panic::resume_unwind(payload);
         }
+        (scheduler.counters(), scheduler.take_profile())
     }
 
     /// Fallback for targets without a fiber implementation: the dispatch
@@ -472,11 +505,13 @@ impl Universe {
         _router: &Arc<Router>,
         states: &[Arc<ProcState>],
         results: &Mutex<Vec<Option<R>>>,
-    ) where
+    ) -> ((u64, u64, u64), Option<crate::obs::SchedProfile>)
+    where
         R: Send,
         F: Fn(ProcEnv) -> R + Send + Sync,
     {
-        Self::run_threads(p, cfg, f, states, results)
+        Self::run_threads(p, cfg, f, states, results);
+        ((0, 0, 0), None)
     }
 
     /// Convenience wrapper with default configuration (thread backend).
@@ -587,33 +622,8 @@ mod tests {
         });
     }
 
-    #[test]
-    fn commit_algo_knob_parses_strictly() {
-        // Pure parsers so the tests never mutate process env (set_var is
-        // a data race against concurrent env reads in parallel tests).
-        assert_eq!(commit_algo_from(None), CommitAlgo::Sharded);
-        assert_eq!(commit_algo_from(Some("")), CommitAlgo::Sharded);
-        assert_eq!(commit_algo_from(Some("sharded")), CommitAlgo::Sharded);
-        assert_eq!(commit_algo_from(Some("serial")), CommitAlgo::Serial);
-        assert_eq!(commit_algo_from(Some(" Serial ")), CommitAlgo::Serial);
-        assert_eq!(commit_algo_from(Some("SHARDED")), CommitAlgo::Sharded);
-    }
-
-    #[test]
-    #[should_panic(expected = "not a commit algorithm")]
-    fn commit_algo_knob_rejects_typos() {
-        // A mistyped oracle selector must fail loudly, not silently run
-        // the sharded default and turn the oracle diff into a no-op.
-        commit_algo_from(Some("seral"));
-    }
-
-    #[test]
-    fn commit_shards_knob_parses_with_auto_fallback() {
-        assert_eq!(commit_shards_from(None), 0);
-        assert_eq!(commit_shards_from(Some("7")), 7);
-        assert_eq!(commit_shards_from(Some(" 16 ")), 16);
-        assert_eq!(commit_shards_from(Some("lots")), 0);
-    }
+    // The env-knob parser tests (commit algorithm, shard cap, trace, …)
+    // live with the parsers in `crate::env`.
 
     #[test]
     fn coop_bcast_works() {
