@@ -170,12 +170,110 @@ fn bench_exchange_encoding(c: &mut Criterion) {
     g.finish();
 }
 
+/// The pooled-vs-fresh delta of the payload path, measured on the pool
+/// primitive itself: a `take_vec` + `recycle_vec` round-trip (steady
+/// state: thread-local size-class hit, no allocator call) against the
+/// allocate-and-drop it replaces under every `Message::new` and staged
+/// encode. The small sizes bracket the classes the storms use (where
+/// glibc's tcache is competitive and the pool buys determinism, not
+/// speed); the 512 KiB class is past the mmap threshold, where a fresh
+/// allocation pays a syscall plus page faults every round-trip.
+fn bench_payload_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+    for shift in [4usize, 10, 16] {
+        let n = 1usize << shift;
+        g.bench_with_input(BenchmarkId::new("take_recycle", n), &n, |b, &n| {
+            // Warm the size class so the measurement is the steady state.
+            mpisim::pool::recycle_vec(Vec::<u64>::with_capacity(n));
+            b.iter(|| {
+                let mut v: Vec<u64> = mpisim::pool::take_vec(n);
+                v.push(black_box(7));
+                mpisim::pool::recycle_vec(v);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fresh_alloc", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v: Vec<u64> = Vec::with_capacity(n);
+                v.push(black_box(7));
+                drop(black_box(v));
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The PR 8 commit-phase fan-out storm: every rank sends 4 one-word
+/// messages per step to deterministic offsets with colliding tags, then
+/// wildcard-drains its in-degree — the exact shape `tests/commit_shard.rs`
+/// uses. The storm repeats for several rounds inside one universe so the
+/// epoch commit (the ordering step under measurement) amortises the
+/// fiber/universe setup out of the numbers.
+fn commit_storm(p: usize, per: usize, algo: mpisim::SortAlgo) -> mpisim::Time {
+    use mpisim::{SimConfig, Src, Transport, Universe};
+    const OFFSETS: [usize; 4] = [1, 4, 9, 16];
+    const ROUNDS: usize = 4;
+    let cfg = SimConfig::cooperative()
+        .with_seed(7)
+        .with_workers(4)
+        .with_sort_algo(algo);
+    let res = Universe::run(p, cfg, |env| {
+        let w = &env.world;
+        let r = w.rank();
+        for _round in 0..ROUNDS {
+            for i in 0..per {
+                for (k, off) in OFFSETS.iter().enumerate() {
+                    w.send(
+                        &[(r * 100 + i * 10 + k) as u64],
+                        (r + off) % p,
+                        (k % 3) as u64,
+                    )
+                    .unwrap();
+                }
+            }
+            for t in 0..3u64 {
+                let n = per
+                    * OFFSETS
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| k % 3 == t as usize)
+                        .count();
+                for _ in 0..n {
+                    let (v, _) = w.recv::<u64>(Src::Any, t).unwrap();
+                    mpisim::pool::recycle_vec(v);
+                }
+            }
+        }
+    });
+    res.clocks[0]
+}
+
+fn bench_commit_sort(c: &mut Criterion) {
+    use mpisim::SortAlgo;
+    let mut g = c.benchmark_group("commit_sort");
+    // (ranks, steps): m = p·per·4 staged messages per epoch wave, across
+    // p tasks — small/medium/wide shapes. The 8192-message epochs cross
+    // the publish threshold and exercise the parallel chunked merge
+    // round; the smaller ones merge inline on the finishing worker.
+    for &(p, per) in &[(64usize, 2usize), (64, 8), (64, 32), (256, 8)] {
+        for (name, algo) in [("merge", SortAlgo::Merge), ("sort", SortAlgo::Sort)] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("p{p}x{per}")),
+                &(p, per),
+                |b, &(p, per)| b.iter(|| commit_storm(black_box(p), black_box(per), algo)),
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_group_ops,
     bench_context_masks,
     bench_mailbox,
     bench_jquick_local,
-    bench_exchange_encoding
+    bench_exchange_encoding,
+    bench_payload_pool,
+    bench_commit_sort
 );
 criterion_main!(benches);

@@ -89,7 +89,8 @@ pub fn reduce<T: Datum>(
     let r = tr.rank();
     tr.check_rank(root)?;
     let _span = obs::span(tr.state(), OpClass::Reduce, "reduce");
-    let mut acc = data.to_vec();
+    let mut acc = crate::pool::take_vec::<T>(data.len());
+    acc.extend_from_slice(data);
     if p == 1 {
         return Ok(Some(acc));
     }
@@ -104,6 +105,7 @@ pub fn reduce<T: Datum>(
                 // Child data comes from higher relative ranks: acc is left.
                 combine_into(&mut acc, &v, &op, false);
                 tr.charge_compute(acc.len());
+                crate::pool::recycle_vec(v);
             }
         } else {
             let parent = (rel - mask + root) % p;
@@ -142,7 +144,8 @@ pub fn scan<T: Datum>(
     let p = tr.size();
     let r = tr.rank();
     let _span = obs::span(tr.state(), OpClass::Scan, "scan");
-    let mut incl = data.to_vec();
+    let mut incl = crate::pool::take_vec::<T>(data.len());
+    incl.extend_from_slice(data);
     let mut d = 1usize;
     while d < p {
         if r + d < p {
@@ -153,6 +156,7 @@ pub fn scan<T: Datum>(
             // v covers strictly lower ranks: it is the left operand.
             combine_into(&mut incl, &v, &op, true);
             tr.charge_compute(incl.len());
+            crate::pool::recycle_vec(v);
         }
         d <<= 1;
     }
@@ -170,7 +174,8 @@ pub fn exscan<T: Datum>(
     let p = tr.size();
     let r = tr.rank();
     let _span = obs::span(tr.state(), OpClass::Scan, "exscan");
-    let mut incl = data.to_vec();
+    let mut incl = crate::pool::take_vec::<T>(data.len());
+    incl.extend_from_slice(data);
     let mut excl: Option<Vec<T>> = None;
     let mut d = 1usize;
     while d < p {
@@ -181,12 +186,16 @@ pub fn exscan<T: Datum>(
             let (v, _) = tr.recv::<T>(Src::Rank(r - d), tag)?;
             // v covers ranks [r-2d+1, r-d]; accumulated windows are
             // contiguous, and v is always to the LEFT of what we hold.
-            match &mut excl {
-                None => excl = Some(v.clone()),
-                Some(e) => combine_into(e, &v, &op, true),
-            }
             combine_into(&mut incl, &v, &op, true);
             tr.charge_compute(incl.len());
+            match &mut excl {
+                // First contribution: keep the received buffer itself.
+                None => excl = Some(v),
+                Some(e) => {
+                    combine_into(e, &v, &op, true);
+                    crate::pool::recycle_vec(v);
+                }
+            }
         }
         d <<= 1;
     }

@@ -15,7 +15,7 @@
 //! (a path, any string is plausible).
 
 use crate::faults::SlowdownSpec;
-use crate::model::CommitAlgo;
+use crate::model::{CommitAlgo, SortAlgo};
 use crate::time::Time;
 
 /// Read an environment variable as a `String` (`None` when unset or not
@@ -50,6 +50,21 @@ pub fn commit_algo_from(var: Option<&str>) -> CommitAlgo {
         Some(other) => panic!(
             "MPISIM_COOP_COMMIT={other:?} is not a commit algorithm \
              (expected \"sharded\" or \"serial\")"
+        ),
+    }
+}
+
+/// Parse `MPISIM_COOP_SORT` into a [`SortAlgo`]. Unset, blank, or `merge`
+/// selects the production parallel k-way merge; `sort` selects the
+/// single-worker sort oracle; anything else panics (a typo silently
+/// running the default would compare the merge against itself).
+pub fn coop_sort_from(var: Option<&str>) -> SortAlgo {
+    match var.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        None | Some("") | Some("merge") => SortAlgo::Merge,
+        Some("sort") => SortAlgo::Sort,
+        Some(other) => panic!(
+            "MPISIM_COOP_SORT={other:?} is not a commit sort algorithm \
+             (expected \"merge\" or \"sort\")"
         ),
     }
 }
@@ -229,6 +244,20 @@ mod tests {
     #[should_panic(expected = "not a commit algorithm")]
     fn commit_algo_knob_rejects_typos() {
         commit_algo_from(Some("seral"));
+    }
+
+    #[test]
+    fn coop_sort_knob_parses_strictly() {
+        assert_eq!(coop_sort_from(None), SortAlgo::Merge);
+        assert_eq!(coop_sort_from(Some("")), SortAlgo::Merge);
+        assert_eq!(coop_sort_from(Some("merge")), SortAlgo::Merge);
+        assert_eq!(coop_sort_from(Some(" Sort ")), SortAlgo::Sort);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a commit sort algorithm")]
+    fn coop_sort_knob_rejects_typos() {
+        coop_sort_from(Some("mergesort"));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod model;
 pub mod msg;
 pub mod nbcoll;
 pub mod obs;
+pub mod pool;
 pub mod proc;
 pub mod sched;
 mod splitdist;
@@ -57,7 +58,9 @@ pub use datum::{ops, Datum, SortKey, Zeroed};
 pub use error::{MpiError, Result};
 pub use faults::{FaultPlan, RankBlame, RankHealth, RoundBlame, SlowdownSpec};
 pub use group::Group;
-pub use model::{CommitAlgo, CostModel, CostScale, CreateGroupAlgo, SplitAlgo, VendorProfile};
+pub use model::{
+    CommitAlgo, CostModel, CostScale, CreateGroupAlgo, SortAlgo, SplitAlgo, VendorProfile,
+};
 pub use msg::{ContextId, MsgInfo, Tag};
 pub use nbcoll::{Progress, Request};
 pub use obs::{MetricsSnapshot, OpClass, SchedProfile, Trace, TraceEvent, WorkerProfile};

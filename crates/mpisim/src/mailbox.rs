@@ -16,12 +16,16 @@
 //!
 //! Patterns always pin an exact `(context, tag)` pair (the libraries never
 //! wildcard those), so messages are bucketed by that key, and within a key
-//! by source. Each key keeps a [`BTreeSet`] of its per-source FIFO heads
-//! ordered by `(arrival, src)`: an exact-source claim is a hash lookup, a
-//! wildcard claim is the first element of the set — **O(log s) in the
-//! number of distinct pending sources, independent of the number of pending
-//! messages**. The previous implementation scanned every pending message
-//! per claim, which made message storms O(pending²).
+//! by source. Each key keeps a **sorted vector** of its per-source FIFO
+//! heads ordered by `(arrival, src)`: an exact-source claim is a hash
+//! lookup, a wildcard claim is the first element — **O(log s) search in
+//! the number of distinct pending sources, independent of the number of
+//! pending messages**. (The index was a `BTreeSet` until PR 8; a sorted
+//! vector has identical ordering semantics, and unlike tree nodes its
+//! backing storage is retained across refills, which the allocation-free
+//! epoch path needs.) Drained source queues and drained `(context, tag)`
+//! buckets are likewise retained/recycled rather than freed, so a
+//! steady-state storm touches the allocator not at all.
 //!
 //! # Blocking and wake-ups
 //!
@@ -32,7 +36,7 @@
 //! the subscribers whose pattern matches the new message, so a rank is only
 //! scheduled when its message actually arrived.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,29 +76,48 @@ struct WaiterEntry {
     waker: Arc<dyn Wake>,
 }
 
-/// Messages of one `(context, tag)` bucket: per-source FIFO queues plus an
-/// ordered set of the current heads keyed by `(arrival, src)`.
+/// Messages of one `(context, tag)` bucket: per-source FIFO queues plus a
+/// sorted vector of the current heads keyed by `(arrival, src)` (unique —
+/// one head per source).
 #[derive(Default)]
 struct KeyQueue {
     per_src: HashMap<usize, VecDeque<Message>>,
-    heads: BTreeSet<(Time, usize)>,
+    heads: Vec<(Time, usize)>,
 }
 
 impl KeyQueue {
+    fn insert_head(&mut self, key: (Time, usize)) {
+        let i = self.heads.binary_search(&key).unwrap_err();
+        self.heads.insert(i, key);
+    }
+
+    fn remove_head(&mut self, key: (Time, usize)) {
+        let i = self.heads.binary_search(&key).expect("head is indexed");
+        self.heads.remove(i);
+    }
+
     fn push(&mut self, m: Message) {
+        let key = (m.arrival, m.src_global);
         let q = self.per_src.entry(m.src_global).or_default();
-        if q.is_empty() {
-            self.heads.insert((m.arrival, m.src_global));
-        }
+        let was_empty = q.is_empty();
         q.push_back(m);
+        if was_empty {
+            self.insert_head(key);
+        }
     }
 
     /// Source of the best matching candidate under MPI semantics: per-source
     /// FIFO heads only, earliest `(arrival, src)` among acceptable sources.
     fn best_src(&self, src: &SrcFilter) -> Option<usize> {
         match src {
-            SrcFilter::Exact(s) => self.per_src.contains_key(s).then_some(*s),
-            SrcFilter::Any => self.heads.iter().next().map(|&(_, s)| s),
+            // A drained source keeps its (empty) queue, so presence in the
+            // map alone is not enough.
+            SrcFilter::Exact(s) => self
+                .per_src
+                .get(s)
+                .is_some_and(|q| !q.is_empty())
+                .then_some(*s),
+            SrcFilter::Any => self.heads.first().map(|&(_, s)| s),
             SrcFilter::Filter(f) => self.heads.iter().find(|&&(_, s)| f(s)).map(|&(_, s)| s),
         }
     }
@@ -106,14 +129,12 @@ impl KeyQueue {
     fn pop(&mut self, src: usize) -> Message {
         let q = self.per_src.get_mut(&src).expect("non-empty source queue");
         let m = q.pop_front().expect("non-empty source queue");
-        self.heads.remove(&(m.arrival, src));
-        match q.front() {
-            Some(next) => {
-                self.heads.insert((next.arrival, src));
-            }
-            None => {
-                self.per_src.remove(&src);
-            }
+        // A drained source keeps its empty queue (capacity retained for
+        // the next refill); the heads index alone tracks liveness.
+        let next_key = q.front().map(|next| (next.arrival, src));
+        self.remove_head((m.arrival, src));
+        if let Some(key) = next_key {
+            self.insert_head(key);
         }
         m
     }
@@ -133,6 +154,10 @@ struct Inner {
     /// cooperative backend the waiter set at each commit is a pure
     /// function of the epoch structure, so this count is worker-invariant.
     scans: u64,
+    /// Drained `(context, tag)` buckets kept for reuse (bounded by
+    /// [`Mailbox::FREE_QUEUE_CAP`]): their per-source queues and heads
+    /// vector retain capacity, so re-opening a bucket allocates nothing.
+    free_queues: Vec<KeyQueue>,
 }
 
 /// One rank's incoming-message queue with MPI matching semantics:
@@ -159,41 +184,51 @@ impl Mailbox {
                 waiters: Vec::new(),
                 next_token: 0,
                 scans: 0,
+                free_queues: Vec::new(),
             }),
             cv: Condvar::new(),
         }
     }
 
+    /// Bound on recycled `(context, tag)` buckets kept in
+    /// [`Inner::free_queues`]; drained buckets beyond it are dropped.
+    const FREE_QUEUE_CAP: usize = 8;
+
     /// Deposit one message under the held lock: remove every matching
-    /// subscription (returning the wakers, in subscription order) and
-    /// insert the message. Both push flavours go through this single
-    /// helper so their matching semantics can never drift apart — the
-    /// sharded commit's serial-oracle equivalence (DESIGN.md §7) depends
-    /// on [`Mailbox::push`] and [`Mailbox::push_batch`] agreeing exactly.
+    /// subscription (appending `(idx, waker)` pairs to `fired`, in
+    /// subscription order) and insert the message. Both push flavours go
+    /// through this single helper so their matching semantics can never
+    /// drift apart — the sharded commit's serial-oracle equivalence
+    /// (DESIGN.md §7) depends on [`Mailbox::push`] and
+    /// [`Mailbox::push_batch`] agreeing exactly.
     #[inline]
-    fn deposit(g: &mut Inner, m: Message) -> Vec<Arc<dyn Wake>> {
-        let mut fired: Vec<Arc<dyn Wake>> = Vec::new();
+    fn deposit(g: &mut Inner, idx: usize, m: Message, fired: &mut Vec<(usize, Arc<dyn Wake>)>) {
         g.scans += g.waiters.len() as u64;
         let mut i = 0;
         while i < g.waiters.len() {
             if g.waiters[i].pat.matches(&m) {
-                fired.push(g.waiters.remove(i).waker);
+                fired.push((idx, g.waiters.remove(i).waker));
             } else {
                 i += 1;
             }
         }
-        g.keys.entry((m.ctx, m.tag)).or_default().push(m);
+        let Inner {
+            keys, free_queues, ..
+        } = g;
+        keys.entry((m.ctx, m.tag))
+            .or_insert_with(|| free_queues.pop().unwrap_or_default())
+            .push(m);
         g.count += 1;
-        fired
     }
 
     /// Deposit a message and wake blocked receivers — the condvar for
     /// thread-backend receivers, and exactly the matching [`Wake`]
     /// subscribers for cooperative ones.
     pub fn push(&self, m: Message) {
-        let to_wake = Self::deposit(&mut self.inner.lock(), m);
+        let mut fired: Vec<(usize, Arc<dyn Wake>)> = Vec::new();
+        Self::deposit(&mut self.inner.lock(), 0, m, &mut fired);
         self.cv.notify_all();
-        for w in to_wake {
+        for (_, w) in fired {
             w.wake();
         }
     }
@@ -207,25 +242,24 @@ impl Mailbox {
     /// every wake-up past its push barrier so the wake order can be merged
     /// deterministically across shards (see [`crate::sched`]). Matching
     /// subscriptions are removed here — under the lock, exactly as
-    /// [`Mailbox::push`] would — and returned as `(index of the triggering
-    /// message within the batch, waker)` pairs in trigger order; the caller
-    /// fires them. The condvar is still notified for any thread-backend
-    /// receiver parked on this mailbox.
-    pub fn push_batch(&self, msgs: Vec<Message>) -> Vec<(usize, Arc<dyn Wake>)> {
+    /// [`Mailbox::push`] would — and appended to `fired` as `(index of the
+    /// triggering message within the batch, waker)` pairs in trigger order;
+    /// the caller fires them. `msgs` is drained, not consumed, so the
+    /// caller's batch buffer (and `fired`) keep their capacity for the next
+    /// segment — the commit hot path reuses both through the pool. The
+    /// condvar is still notified for any thread-backend receiver parked on
+    /// this mailbox.
+    pub fn push_batch(&self, msgs: &mut Vec<Message>, fired: &mut Vec<(usize, Arc<dyn Wake>)>) {
         if msgs.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut fired: Vec<(usize, Arc<dyn Wake>)> = Vec::new();
         {
             let mut g = self.inner.lock();
-            for (idx, m) in msgs.into_iter().enumerate() {
-                for w in Self::deposit(&mut g, m) {
-                    fired.push((idx, w));
-                }
+            for (idx, m) in msgs.drain(..).enumerate() {
+                Self::deposit(&mut g, idx, m, fired);
             }
         }
         self.cv.notify_all();
-        fired
     }
 
     /// Number of messages currently queued.
@@ -253,7 +287,14 @@ impl Mailbox {
             (m, kq.is_empty())
         };
         if empty {
-            g.keys.remove(&key);
+            // Recycle the drained bucket rather than dropping it: its
+            // per-source queues and heads vector keep their capacity, so
+            // the next deposit under this (or any) key allocates nothing.
+            if let Some(kq) = g.keys.remove(&key) {
+                if g.free_queues.len() < Self::FREE_QUEUE_CAP {
+                    g.free_queues.push(kq);
+                }
+            }
         }
         g.count -= 1;
         Some(m)
@@ -558,12 +599,15 @@ mod tests {
             Subscribed::Waiting(t) => t,
             Subscribed::Hit(_) => panic!("mailbox is empty"),
         };
-        let fired = mb.push_batch(vec![
+        let mut batch = vec![
             msg(1, 6, 0, 1, 10), // wrong tag: not a trigger
             msg(1, 5, 0, 2, 11), // first match: the trigger, index 1
             msg(1, 5, 0, 3, 12), // waiter already removed
             msg(2, 5, 0, 1, 13),
-        ]);
+        ];
+        let mut fired = Vec::new();
+        mb.push_batch(&mut batch, &mut fired);
+        assert!(batch.is_empty(), "the batch buffer is drained for reuse");
         // The waker came back unfired, tagged with the triggering index.
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].0, 1);
@@ -603,11 +647,13 @@ mod tests {
             mb.probe_or_subscribe(&pat(SrcFilter::Exact(8), 5, 0), &w2),
             Subscribed::Waiting(_)
         ));
-        let fired = mb.push_batch(vec![
+        let mut batch = vec![
             msg(8, 5, 0, 1, 0), // triggers w2 at index 0
             msg(7, 5, 0, 2, 0), // triggers w1 at index 1
             msg(8, 5, 0, 3, 0), // w2 already removed
-        ]);
+        ];
+        let mut fired = Vec::new();
+        mb.push_batch(&mut batch, &mut fired);
         let idxs: Vec<usize> = fired.iter().map(|(i, _)| *i).collect();
         assert_eq!(idxs, vec![0, 1]);
     }
@@ -615,7 +661,9 @@ mod tests {
     #[test]
     fn empty_push_batch_is_a_no_op() {
         let mb = Mailbox::new();
-        assert!(mb.push_batch(Vec::new()).is_empty());
+        let mut fired = Vec::new();
+        mb.push_batch(&mut Vec::new(), &mut fired);
+        assert!(fired.is_empty());
         assert!(mb.is_empty());
     }
 

@@ -164,6 +164,29 @@ pub enum CommitAlgo {
     Serial,
 }
 
+/// Which algorithm the cooperative scheduler uses to put an epoch's staged
+/// messages into commit order (see [`crate::sched`] and DESIGN.md §10).
+///
+/// Like [`CommitAlgo`], this is a *simulator* knob, not a simulated-MPI
+/// one: both variants produce bit-identical simulations (delivery orders,
+/// clocks, traces, figure CSVs) for every worker count and commit
+/// algorithm. Per-task staging buffers are already sorted by construction,
+/// so ordering the epoch is a merge problem; the global sort is kept as
+/// the correctness oracle for the merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SortAlgo {
+    /// Parallel k-way merge: workers claim pre-sorted per-task runs from a
+    /// `Merge` work phase (the same generation-tagged lock-free cursor as
+    /// the task and commit phases) and merge them pairwise/tournament
+    /// style; no Θ(m log m) single-worker stretch and no sort scratch
+    /// allocation.
+    #[default]
+    Merge,
+    /// The original single-worker commit sort (`sort_by_key` over the
+    /// whole staged run). Kept as the correctness oracle for the merge.
+    Sort,
+}
+
 /// An MPI implementation personality.
 #[derive(Clone, Debug)]
 pub struct VendorProfile {

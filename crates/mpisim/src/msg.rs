@@ -2,8 +2,11 @@
 //!
 //! A message carries its sender's *global* rank, a tag, and the context ID
 //! of the communicator it was sent over — exactly the header fields MPI uses
-//! for matching (§III of the paper). Payloads are typed `Vec<T>` behind
-//! `dyn Any`; no serialization happens.
+//! for matching (§III of the paper). Payloads are typed `Vec<T>` stored as
+//! raw parts plus a `TypeId` (no serialization, and no per-message `Box`
+//! allocation); an exclusively-owned payload that is dropped untaken
+//! returns its allocation to the payload pool ([`crate::pool`]), which is
+//! what lets steady-state epochs run allocation-free.
 //!
 //! # Zero-copy fan-out
 //!
@@ -20,8 +23,9 @@
 //! still a full `α + bytes·β` message; only the *simulator's* wall-clock
 //! copying is elided.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::fmt;
+use std::mem::ManuallyDrop;
 use std::sync::Arc;
 
 use crate::datum::Datum;
@@ -165,11 +169,71 @@ pub struct Message {
 /// Payload storage: exclusively owned (ordinary point-to-point) or shared
 /// among the messages of one fan-out (see the module docs).
 enum Payload {
-    /// A `Vec<T>` owned by this message alone.
-    Owned(Box<dyn Any + Send>),
+    /// A `Vec<T>` owned by this message alone, stored as raw parts.
+    Owned(OwnedVec),
     /// A `Vec<T>` behind an `Arc`, shared with the sibling messages of a
     /// one-to-many send (and possibly with the sender itself).
     Shared(Arc<dyn Any + Send + Sync>),
+}
+
+/// The raw parts of an exclusively-owned `Vec<T>` payload. Compared with
+/// the former `Box<dyn Any + Send>` this avoids one heap allocation per
+/// message, and its `Drop` returns the buffer to [`crate::pool`] instead
+/// of freeing it — a message consumed by the scheduler's staged-send path
+/// and later dropped (or type-mismatched) feeds the next send.
+///
+/// Safety invariant: `(ptr, len, cap)` are the raw parts of a live
+/// `Vec<T>` with `TypeId::of::<T>() == tid`, exclusively owned by this
+/// value, and `recycle` is monomorphized for that same `T`.
+struct OwnedVec {
+    ptr: *mut u8,
+    len: usize,
+    cap: usize,
+    tid: TypeId,
+    recycle: unsafe fn(*mut u8, usize),
+}
+
+// SAFETY: the buffer is exclusively owned (moved out of a unique `Vec`)
+// and `T: Datum` implies `T: Send`.
+unsafe impl Send for OwnedVec {}
+
+/// Returns a payload buffer to the pool as the empty `Vec<T>` it came
+/// from (elements are `Copy`, so no destructors are skipped).
+unsafe fn recycle_as<T: Datum>(ptr: *mut u8, cap: usize) {
+    crate::pool::recycle_vec(unsafe { Vec::from_raw_parts(ptr.cast::<T>(), 0, cap) });
+}
+
+impl OwnedVec {
+    fn new<T: Datum>(data: Vec<T>) -> OwnedVec {
+        let mut data = ManuallyDrop::new(data);
+        OwnedVec {
+            ptr: data.as_mut_ptr().cast::<u8>(),
+            len: data.len(),
+            cap: data.capacity(),
+            tid: TypeId::of::<T>(),
+            recycle: recycle_as::<T>,
+        }
+    }
+
+    /// Reassemble the owned `Vec<T>`, or `None` on an element-type
+    /// mismatch (in which case dropping `self` recycles the buffer under
+    /// its true type).
+    fn take<T: Datum>(self) -> Option<Vec<T>> {
+        if self.tid != TypeId::of::<T>() {
+            return None;
+        }
+        let this = ManuallyDrop::new(self);
+        // SAFETY: the type just matched, so these are the raw parts of a
+        // Vec<T>; ManuallyDrop forgoes the recycling drop.
+        Some(unsafe { Vec::from_raw_parts(this.ptr.cast::<T>(), this.len, this.cap) })
+    }
+}
+
+impl Drop for OwnedVec {
+    fn drop(&mut self) {
+        // SAFETY: struct invariant — `recycle` matches the buffer's type.
+        unsafe { (self.recycle)(self.ptr, self.cap) }
+    }
 }
 
 impl Message {
@@ -191,7 +255,7 @@ impl Message {
             type_name: std::any::type_name::<T>(),
             send_time,
             arrival,
-            payload: Payload::Owned(Box::new(data)),
+            payload: Payload::Owned(OwnedVec::new(data)),
         }
     }
 
@@ -241,9 +305,9 @@ impl Message {
             got: type_name,
         };
         match self.payload {
-            Payload::Owned(b) => match b.downcast::<Vec<T>>() {
-                Ok(v) => Ok((*v, info)),
-                Err(_) => Err(mismatch()),
+            Payload::Owned(b) => match b.take::<T>() {
+                Some(v) => Ok((v, info)),
+                None => Err(mismatch()),
             },
             Payload::Shared(a) => match a.downcast::<Vec<T>>() {
                 Ok(v) => Ok((Arc::unwrap_or_clone(v), info)),
@@ -264,9 +328,9 @@ impl Message {
             got: type_name,
         };
         match self.payload {
-            Payload::Owned(b) => match b.downcast::<Vec<T>>() {
-                Ok(v) => Ok((Arc::new(*v), info)),
-                Err(_) => Err(mismatch()),
+            Payload::Owned(b) => match b.take::<T>() {
+                Some(v) => Ok((Arc::new(v), info)),
+                None => Err(mismatch()),
             },
             Payload::Shared(a) => match a.downcast::<Vec<T>>() {
                 Ok(v) => Ok((v, info)),
@@ -366,6 +430,37 @@ mod tests {
         let m = mk(0, 0, ContextId::WORLD);
         let err = m.take::<f64>().unwrap_err();
         assert!(matches!(err, MpiError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn dropped_owned_payload_recycles_into_the_pool() {
+        let mut data = crate::pool::take_vec::<u64>(50);
+        data.extend(0..50);
+        let ptr = data.as_ptr();
+        drop(Message::new::<u64>(
+            0,
+            0,
+            ContextId::WORLD,
+            data,
+            Time(0),
+            Time(1),
+        ));
+        // The allocation must be reusable from this thread's free list.
+        let back = crate::pool::take_vec::<u64>(50);
+        assert_eq!(back.as_ptr(), ptr);
+        crate::pool::recycle_vec(back);
+    }
+
+    #[test]
+    fn mismatched_take_recycles_under_the_true_type() {
+        let mut data = crate::pool::take_vec::<u32>(40);
+        data.extend(0..40);
+        let ptr = data.as_ptr();
+        let m = Message::new::<u32>(0, 0, ContextId::WORLD, data, Time(0), Time(1));
+        assert!(m.take::<f64>().is_err());
+        let back = crate::pool::take_vec::<u32>(40);
+        assert_eq!(back.as_ptr(), ptr);
+        crate::pool::recycle_vec(back);
     }
 
     #[test]

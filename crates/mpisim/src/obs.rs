@@ -518,12 +518,16 @@ pub struct WorkerProfile {
     pub run_ns: u64,
     /// Nanoseconds spent pushing commit shards / finishing rounds.
     pub commit_ns: u64,
+    /// Nanoseconds spent merging staged-message runs.
+    pub merge_ns: u64,
     /// Nanoseconds spent parked on the epoch gate.
     pub idle_ns: u64,
     /// Task resumptions this worker claimed.
     pub tasks: u64,
     /// Commit shards this worker claimed.
     pub shards: u64,
+    /// Pre-sorted runs this worker consumed across merge rounds.
+    pub merge_runs: u64,
 }
 
 /// The wall-clock scheduler profile: host-time phase attribution for the
@@ -534,27 +538,38 @@ pub struct WorkerProfile {
 pub struct SchedProfile {
     /// One entry per worker, indexed by worker id.
     pub workers: Vec<WorkerProfile>,
-    /// Shard-vector pool reuses across all commits.
+    /// Entry-vector pool reuses across all commits (shards + merge runs).
     pub pool_hits: u64,
-    /// Shard-vector pool allocations across all commits.
+    /// Entry-vector pool allocations across all commits.
     pub pool_misses: u64,
+    /// Payload-pool buffer reuses during the run ([`crate::pool`]).
+    pub payload_hits: u64,
+    /// Payload-pool fresh allocations during the run.
+    pub payload_misses: u64,
+    /// Payload buffers dropped because both pool tiers were full.
+    pub payload_overflow: u64,
 }
 
 impl SchedProfile {
     /// Render as JSON (hand-rolled; the workspace vendors no serde).
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"pool_hits\":{},\"pool_misses\":{},\"workers\":[",
-            self.pool_hits, self.pool_misses
+            "{{\"pool_hits\":{},\"pool_misses\":{},\"payload_hits\":{},\
+             \"payload_misses\":{},\"payload_overflow\":{},\"workers\":[",
+            self.pool_hits,
+            self.pool_misses,
+            self.payload_hits,
+            self.payload_misses,
+            self.payload_overflow
         );
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"worker\":{i},\"run_ns\":{},\"commit_ns\":{},\"idle_ns\":{},\
-                 \"tasks\":{},\"shards\":{}}}",
-                w.run_ns, w.commit_ns, w.idle_ns, w.tasks, w.shards
+                "{{\"worker\":{i},\"run_ns\":{},\"commit_ns\":{},\"merge_ns\":{},\
+                 \"idle_ns\":{},\"tasks\":{},\"shards\":{},\"merge_runs\":{}}}",
+                w.run_ns, w.commit_ns, w.merge_ns, w.idle_ns, w.tasks, w.shards, w.merge_runs
             ));
         }
         out.push_str("]}\n");
@@ -689,15 +704,22 @@ mod tests {
             workers: vec![WorkerProfile {
                 run_ns: 5,
                 commit_ns: 2,
+                merge_ns: 7,
                 idle_ns: 1,
                 tasks: 9,
                 shards: 3,
+                merge_runs: 6,
             }],
             pool_hits: 4,
             pool_misses: 1,
+            payload_hits: 11,
+            payload_misses: 2,
+            payload_overflow: 0,
         };
         let js = prof.to_json();
         assert!(js.contains("\"worker\":0"), "{js}");
         assert!(js.contains("\"pool_hits\":4"), "{js}");
+        assert!(js.contains("\"payload_hits\":11"), "{js}");
+        assert!(js.contains("\"merge_runs\":6"), "{js}");
     }
 }

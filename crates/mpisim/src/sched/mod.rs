@@ -58,6 +58,24 @@
 //!   push barrier the finishing worker merges them in global key order —
 //!   reproducing the serial wake order bit for bit. See DESIGN.md §7.
 //!
+//! Orthogonally, *how* the staged run reaches delivery order is itself
+//! selectable ([`SortAlgo`](crate::model::SortAlgo)): each task's staged
+//! run is already sorted by the global key **by construction** (the key's
+//! time component is a running max and `seq` increases along program
+//! order), so ordering the epoch is a merge problem, not a sort. The
+//! default **Merge** path k-way merges the pre-sorted per-task runs in a
+//! single heap-driven pass that moves each entry exactly once — inline
+//! for small epochs and 1-worker pools, else as one published merge
+//! round whose chunk units every idle worker claims through the same
+//! epoch-tagged cursor — while the **Sort** oracle keeps the original
+//! global `sort_by_key`. The commit key is unique over the epoch, so both
+//! produce the *same* unique sorted order regardless of merge-tree shape
+//! (DESIGN.md §10): this knob too is invisible in every simulation
+//! output. The merge path additionally recycles every epoch-commit
+//! buffer (runs, shards, wake records, round vectors) through
+//! [`crate::pool`], making the steady-state epoch allocation-free at one
+//! worker.
+//!
 //! Every input to this procedure — the round order, each task's behaviour
 //! against a frozen mailbox state, the staged-message sort key, the wake
 //! merge order — is a pure function of `(program, seed)`. Hence **the
@@ -264,7 +282,8 @@ pub fn on_fiber() -> bool {
 mod imp {
     use super::*;
     use crate::faults::RoundBlame;
-    use crate::model::CommitAlgo;
+    use crate::model::{CommitAlgo, SortAlgo};
+    use crate::pool::Pool;
     use crate::proc::Router;
     use parking_lot::Condvar;
     use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
@@ -478,6 +497,13 @@ mod imp {
     /// waker to fire during the deterministic merge.
     struct WakeRec {
         key: CommitKey,
+        /// Tie-break for several waiters of the *same* message: the push
+        /// index within the recording shard's wake vector, with the shard
+        /// index OR-ed into the high bits when shards are concatenated.
+        /// Makes `(key, ord)` unique, so the wake merge can use an
+        /// allocation-free unstable sort and still reproduce the stable
+        /// concatenation order exactly.
+        ord: u64,
         waker: Arc<dyn Wake>,
     }
 
@@ -502,12 +528,57 @@ mod imp {
     unsafe impl Send for CommitWork {}
     unsafe impl Sync for CommitWork {}
 
-    /// What the workers are currently claiming: an epoch's task round, or
-    /// the sharded commit of the round that just finished executing.
+    /// The one published round of the parallel k-way merge
+    /// ([`SortAlgo::Merge`]): the epoch's staged entries sit flat in
+    /// `flat`, cut into per-task runs by `bounds` (each run sorted by
+    /// the global commit key by construction). The worker that claims
+    /// unit `i` presorts the runs of chunk `ranges[i]` in place
+    /// (destination-major, when the commit is sharded) and k-way merges
+    /// them into `outputs[i]` in a single pass. The finishing worker
+    /// then k-way merges the ≤ 2·workers partial outputs inline and
+    /// delivers, exactly as the sort path would.
+    struct MergeWork {
+        /// The epoch's staged entries, on loan from the scheduler's
+        /// `commit_buf`. Entries are moved out by `ptr::read` during the
+        /// round; the finisher resets the length to 0 and returns the
+        /// storage. Only `base` touches the contents while the round is
+        /// in flight — no `&mut Vec` is ever formed concurrently.
+        flat: std::cell::UnsafeCell<Vec<CommitEntry>>,
+        /// `flat.as_mut_ptr()`, cached at publish time so claim units
+        /// never materialise an aliasing `&mut Vec`.
+        base: *mut CommitEntry,
+        /// Per-task `[start, end)` entry ranges of `flat`, disjoint and
+        /// non-empty.
+        bounds: Vec<(usize, usize)>,
+        /// `ranges[i]` is the disjoint `[lo, hi)` chunk of `bounds` that
+        /// claim unit `i` merges; every chunk is non-empty.
+        ranges: Vec<(usize, usize)>,
+        /// One partial output run per claim unit.
+        outputs: Vec<std::cell::UnsafeCell<Vec<CommitEntry>>>,
+        /// Merge key: destination-major (sharded commit) vs the plain
+        /// global commit key (serial commit).
+        dest_major: bool,
+        /// Tasks that yielded during the epoch, threaded through the
+        /// round to the eventual commit.
+        next: Mutex<Vec<usize>>,
+    }
+
+    // Safety: the entry ranges `bounds[ranges[i].0..ranges[i].1]` of
+    // `flat` and `outputs[i]` are only touched by the single worker that
+    // claimed unit `i` through the cursor CAS (the ranges are disjoint),
+    // and by the finishing worker after the round barrier.
+    unsafe impl Send for MergeWork {}
+    unsafe impl Sync for MergeWork {}
+
+    /// What the workers are currently claiming: an epoch's task round, a
+    /// merge round ordering the staged messages, or the sharded commit of
+    /// the ordered run.
     #[derive(Clone)]
     enum Work {
         /// Tasks of the current epoch, in deterministic order.
         Tasks(Arc<Vec<usize>>),
+        /// The chunked k-way merge round of the staged-message commit.
+        Merge(Arc<MergeWork>),
         /// Shards of the finished epoch's staged messages.
         Commit(Arc<CommitWork>),
     }
@@ -517,6 +588,7 @@ mod imp {
         fn units(&self) -> usize {
             match self {
                 Work::Tasks(round) => round.len(),
+                Work::Merge(mw) => mw.outputs.len(),
                 Work::Commit(cw) => cw.shards.len(),
             }
         }
@@ -538,6 +610,14 @@ mod imp {
     /// neither the claim CAS nor the per-destination mailbox lock, so
     /// small commits stay on the committing worker.
     const MIN_SHARD_ENTRIES: usize = 64;
+
+    /// Below this many staged entries a *published* merge round cannot
+    /// amortise its claim round-trips; the committing worker merges
+    /// inline instead (identical output by construction). The inline
+    /// single-pass merge costs ~100 ns/entry, so the published round's
+    /// gate round-trip (~100–200 µs) only pays off on epochs committing
+    /// thousands of messages.
+    const MIN_MERGE_ENTRIES: usize = 8192;
 
     /// Consecutive no-progress epochs (no message staged, no task woken,
     /// no task finished — pure yields) tolerated while a crash-stop fault
@@ -562,14 +642,36 @@ mod imp {
         /// Claim units of the current phase that have completed; the
         /// worker that completes the last one advances the phase.
         round_done: AtomicUsize,
-        /// Scratch for the commit phase (reused across epochs).
+        /// The one big staged-entry vector every epoch gathers into
+        /// (reused across epochs): the [`SortAlgo::Sort`] oracle sorts it
+        /// in place; the [`SortAlgo::Merge`] path sorts it in place for
+        /// small epochs and lends its storage to the published merge
+        /// round for wide ones.
         commit_buf: Mutex<Vec<CommitEntry>>,
-        /// Recycled per-shard entry vectors: `finish_commit` returns each
-        /// published shard's (drained, capacity-retaining) vector here so
-        /// steady-state sharded commits allocate nothing per epoch.
-        shard_pool: Mutex<Vec<Vec<CommitEntry>>>,
+        /// Reusable per-task run boundary list (`[start, end)` ranges of
+        /// `commit_buf`) of the merge path.
+        bounds_buf: Mutex<Vec<(usize, usize)>>,
+        /// Recycled entry vectors serving both commit shards and merge
+        /// runs: every drained (capacity-retaining) vector returns here,
+        /// so steady-state commits allocate nothing per epoch.
+        entry_pool: Pool<Vec<CommitEntry>>,
+        /// Recycled round/next index vectors.
+        idx_pool: Pool<Vec<usize>>,
+        /// Recycled wake-record vectors.
+        wake_pool: Pool<Vec<WakeRec>>,
+        /// Recycled `push_segments` scratch (batch + keys + fired buffers).
+        scratch_pool: Pool<CommitScratch>,
+        /// Displaced `Work::Tasks` round `Arc`s: `publish_tasks` reuses one
+        /// when no worker still holds a clone (always true at 1 worker),
+        /// so steady-state round publishing is allocation-free.
+        round_pool: Mutex<Vec<Arc<Vec<usize>>>>,
+        /// The reusable partial-output run list of the merge finisher.
+        runs_buf: Mutex<Vec<Vec<CommitEntry>>>,
         /// How the epoch commit delivers staged messages.
         commit_algo: CommitAlgo,
+        /// How the epoch commit orders staged messages (merge vs the
+        /// global-sort oracle; see the module docs).
+        sort_algo: SortAlgo,
         /// Requested shard-count cap (0 = auto from the worker count).
         commit_shards: usize,
         /// Effective worker count of the current run (set by `run`).
@@ -589,23 +691,23 @@ mod imp {
         profile: bool,
         /// Per-worker phase profiles, merged by each worker at exit.
         profiles: Mutex<Vec<crate::obs::WorkerProfile>>,
-        /// Shard-vector pool reuses / allocations (wall-clock-domain
-        /// diagnostics: the shard count is a function of the worker count).
-        pool_hits: AtomicU64,
-        pool_misses: AtomicU64,
+        /// Global payload-pool counters at construction; `take_profile`
+        /// reports this run's delta.
+        payload_base: crate::pool::PayloadCounters,
         _stacks: StackSlab,
     }
 
     impl Scheduler {
         /// Prepare `p` task slots with `stack_size` bytes of stack each.
         /// `router` is where committed messages are delivered;
-        /// `commit_algo`/`commit_shards` select and size the commit
-        /// pipeline (see [`CommitAlgo`]).
+        /// `commit_algo`/`sort_algo`/`commit_shards` select and size the
+        /// commit pipeline (see [`CommitAlgo`] and [`SortAlgo`]).
         pub fn new(
             p: usize,
             stack_size: usize,
             router: Arc<Router>,
             commit_algo: CommitAlgo,
+            sort_algo: SortAlgo,
             commit_shards: usize,
             profile: bool,
         ) -> Scheduler {
@@ -656,8 +758,15 @@ mod imp {
                 cursor: AtomicU64::new(0),
                 round_done: AtomicUsize::new(0),
                 commit_buf: Mutex::new(Vec::new()),
-                shard_pool: Mutex::new(Vec::new()),
+                entry_pool: Pool::new(),
+                idx_pool: Pool::new(),
+                wake_pool: Pool::new(),
+                scratch_pool: Pool::new(),
+                round_pool: Mutex::new(Vec::new()),
+                runs_buf: Mutex::new(Vec::new()),
+                bounds_buf: Mutex::new(Vec::new()),
                 commit_algo,
+                sort_algo,
                 commit_shards,
                 workers: AtomicUsize::new(1),
                 epoch_msgs: AtomicUsize::new(0),
@@ -665,8 +774,7 @@ mod imp {
                 prev_live: AtomicUsize::new(p),
                 profile,
                 profiles: Mutex::new(Vec::new()),
-                pool_hits: AtomicU64::new(0),
-                pool_misses: AtomicU64::new(0),
+                payload_base: crate::pool::counters(),
                 _stacks: stacks,
             };
             // Now that the slots are at their final addresses, point each
@@ -752,10 +860,15 @@ mod imp {
             if !self.profile {
                 return None;
             }
+            let (pool_hits, pool_misses) = self.entry_pool.counters();
+            let payload = crate::pool::counters() - self.payload_base;
             Some(crate::obs::SchedProfile {
                 workers: std::mem::take(&mut *self.profiles.lock()),
-                pool_hits: self.pool_hits.load(Ordering::Relaxed),
-                pool_misses: self.pool_misses.load(Ordering::Relaxed),
+                pool_hits,
+                pool_misses,
+                payload_hits: payload.hits,
+                payload_misses: payload.misses,
+                payload_overflow: payload.overflow,
             })
         }
 
@@ -797,8 +910,10 @@ mod imp {
                 let claimed = match self.try_claim(gen, work.units()) {
                     Some(i) => {
                         let t0 = self.profile.then(std::time::Instant::now);
+                        let mut merged_runs = 0u64;
                         match &work {
                             Work::Tasks(round) => self.run_task(round[i]),
+                            Work::Merge(mw) => merged_runs = self.merge_unit(mw, i),
                             Work::Commit(cw) => self.push_shard(cw, i),
                         }
                         if let Some(t0) = t0 {
@@ -807,6 +922,10 @@ mod imp {
                                 Work::Tasks(_) => {
                                     prof.run_ns += ns;
                                     prof.tasks += 1;
+                                }
+                                Work::Merge(_) => {
+                                    prof.merge_ns += ns;
+                                    prof.merge_runs += merged_runs;
                                 }
                                 Work::Commit(_) => {
                                     prof.commit_ns += ns;
@@ -821,6 +940,7 @@ mod imp {
                             // or about to).
                             match &work {
                                 Work::Tasks(round) => self.finish_round(round),
+                                Work::Merge(mw) => self.finish_merge(mw),
                                 Work::Commit(cw) => self.finish_commit(cw),
                             }
                         }
@@ -887,17 +1007,27 @@ mod imp {
         /// the epoch's staged messages, and run — or publish — the commit.
         fn finish_round(&self, round: &[usize]) {
             // 1. Yielded tasks re-enter first, in their epoch order.
-            let mut next: Vec<usize> = Vec::new();
+            let mut next = self.idx_pool.take();
             for &tid in round {
                 if self.slots[tid].intent.load(Ordering::Acquire) == INTENT_YIELD {
                     next.push(tid);
                 }
             }
-            // 2. Gather staged messages under their global commit key. The
+            // 2. Order and deliver the staged messages. The global commit
             // key is monotone along each sender's program order (running
             // max), so per-sender FIFO is preserved; across senders it
             // makes wake-up order — and hence the next round's tail —
             // follow virtual time.
+            match self.sort_algo {
+                SortAlgo::Sort => self.finish_round_sort(round, next),
+                SortAlgo::Merge => self.finish_round_merge(round, next),
+            }
+        }
+
+        /// The [`SortAlgo::Sort`] oracle: gather every staged message into
+        /// one vector and sort it globally — the reference the merge path
+        /// is checked against.
+        fn finish_round_sort(&self, round: &[usize], next: Vec<usize>) {
             let mut staged = self.commit_buf.lock();
             for &tid in round {
                 let out = unsafe { &mut *self.slots[tid].staged.get() };
@@ -915,11 +1045,11 @@ mod imp {
             }
             // Progress signal for the crash-stagnation detector: how many
             // messages this epoch stages (a pure function of the epoch
-            // contents, so identical under every worker count and commit
-            // algorithm). Read back by `finish_epoch`.
+            // contents, so identical under every worker count, commit
+            // algorithm, and sort algorithm). Read back by `finish_epoch`.
             self.epoch_msgs.store(staged.len(), Ordering::Relaxed);
             if self.commit_algo == CommitAlgo::Serial {
-                // Oracle path: one global (matchable, src, seq)-ordered
+                // Serial oracle: one global (matchable, src, seq)-ordered
                 // push loop on this worker; wakes fire inline, in order.
                 staged.sort_by_key(CommitEntry::key);
                 for e in staged.drain(..) {
@@ -935,14 +1065,237 @@ mod imp {
             // so segments can be pushed concurrently without perturbing
             // any mailbox's state.
             staged.sort_by_key(|e| (e.dest, e.matchable, e.src, e.seq));
+            let mut buf = std::mem::take(&mut *staged);
+            drop(staged);
+            self.deliver_sorted(&mut buf, next);
+            *self.commit_buf.lock() = buf;
+        }
+
+        /// The [`SortAlgo::Merge`] path: per-task staged runs are already
+        /// sorted by the global commit key by construction. Entries are
+        /// gathered into the shared flat `commit_buf` with per-task run
+        /// boundaries recorded on the side. Wide epochs publish one
+        /// chunked [`Work::Merge`] round the whole pool claims — each
+        /// unit k-way merges a contiguous slice of runs in a single
+        /// heap-driven pass that moves every entry exactly once. Small
+        /// epochs (and 1-worker pools) instead sort the flat buffer in
+        /// place with the allocation-free unstable sort: the commit key
+        /// is globally *unique*, so every strategy lands on the same
+        /// sorted order — DESIGN.md §10 proves the result bit-identical
+        /// to the [`SortAlgo::Sort`] oracle either way.
+        fn finish_round_merge(&self, round: &[usize], next: Vec<usize>) {
+            let dest_major = self.commit_algo != CommitAlgo::Serial;
+            let mut staged = self.commit_buf.lock();
+            let mut bounds = std::mem::take(&mut *self.bounds_buf.lock());
+            for &tid in round {
+                let out = unsafe { &mut *self.slots[tid].staged.get() };
+                if out.is_empty() {
+                    continue;
+                }
+                let start = staged.len();
+                let mut matchable = Time::ZERO;
+                for (seq, (dest, msg)) in out.drain(..).enumerate() {
+                    matchable = matchable.max(msg.arrival);
+                    staged.push(CommitEntry {
+                        matchable,
+                        src: tid,
+                        seq: seq as u32,
+                        dest,
+                        msg,
+                    });
+                }
+                bounds.push((start, staged.len()));
+            }
+            let total = staged.len();
+            self.epoch_msgs.store(total, Ordering::Relaxed);
+            let workers = self.workers.load(Ordering::Relaxed).max(1);
+            if workers > 1 && bounds.len() > 2 && total >= MIN_MERGE_ENTRIES {
+                let flat = std::mem::take(&mut *staged);
+                drop(staged);
+                self.publish_merge(flat, bounds, dest_major, next);
+                return;
+            }
+            bounds.clear();
+            *self.bounds_buf.lock() = bounds;
+            // Inline fast path: below the publish threshold a claim
+            // round-trip costs more than the ordering itself, so order
+            // the flat buffer in place. The unstable sort is
+            // deterministic here because the key is unique, and unlike
+            // the oracle's stable sort it allocates no scratch.
+            if self.commit_algo == CommitAlgo::Serial {
+                staged.sort_unstable_by_key(CommitEntry::key);
+                for e in staged.drain(..) {
+                    self.router.mailboxes[e.dest].push(e.msg);
+                }
+                drop(staged);
+                self.finish_epoch(next);
+                return;
+            }
+            staged.sort_unstable_by_key(|e| (e.dest, e.matchable, e.src, e.seq));
+            let mut buf = std::mem::take(&mut *staged);
+            drop(staged);
+            self.deliver_sorted(&mut buf, next);
+            *self.commit_buf.lock() = buf;
+        }
+
+        /// [`merge_k`] with heap/cursor scratch drawn from the index pool.
+        fn merge_k_pooled(
+            &self,
+            runs: &mut [Vec<CommitEntry>],
+            out: &mut Vec<CommitEntry>,
+            dest_major: bool,
+        ) {
+            let mut pos = self.idx_pool.take();
+            let mut heap = self.idx_pool.take();
+            merge_k(runs, out, dest_major, &mut pos, &mut heap);
+            pos.clear();
+            self.idx_pool.put(pos);
+            self.idx_pool.put(heap);
+        }
+
+        /// Publish the one chunked merge round over the flat staged
+        /// buffer: ~2 claim units per worker, each k-way merging a
+        /// contiguous chunk of per-task runs into one partial output in
+        /// a single pass.
+        fn publish_merge(
+            &self,
+            mut flat: Vec<CommitEntry>,
+            bounds: Vec<(usize, usize)>,
+            dest_major: bool,
+            next: Vec<usize>,
+        ) {
+            let workers = self.workers.load(Ordering::Relaxed).max(1);
+            let units = (bounds.len() / 2).clamp(1, 2 * workers);
+            let per = bounds.len().div_ceil(units);
+            let ranges: Vec<(usize, usize)> = (0..units)
+                .map(|i| (i * per, ((i + 1) * per).min(bounds.len())))
+                .filter(|&(lo, hi)| lo < hi)
+                .collect();
+            let outputs = (0..ranges.len())
+                .map(|_| std::cell::UnsafeCell::new(self.entry_pool.take()))
+                .collect();
+            // Cache the data pointer while this worker still holds the
+            // buffer exclusively — claim units must never materialise an
+            // aliasing `&mut Vec` of their own.
+            let base = flat.as_mut_ptr();
+            let mw = Arc::new(MergeWork {
+                flat: std::cell::UnsafeCell::new(flat),
+                base,
+                bounds,
+                ranges,
+                outputs,
+                dest_major,
+                next: Mutex::new(next),
+            });
+            self.publish(Work::Merge(mw));
+        }
+
+        /// Claimed merge unit `i`: k-way merge the flat-buffer runs of
+        /// chunk `ranges[i]` into `outputs[i]`, presorting each run
+        /// slice destination-major first when the commit is sharded.
+        /// Returns the number of input runs consumed (profile data).
+        fn merge_unit(&self, mw: &MergeWork, i: usize) -> u64 {
+            let (lo, hi) = mw.ranges[i];
+            let chunk = &mw.bounds[lo..hi];
+            // Safety: unit `i` was claimed exclusively through the cursor
+            // CAS; the bound ranges are disjoint, so only this worker
+            // touches these entries of `flat` (through `base`, never
+            // through the `Vec`) and `outputs[i]` until the round
+            // barrier.
+            let out = unsafe { &mut *mw.outputs[i].get() };
+            let mut total = 0;
+            for &(s, e) in chunk {
+                if mw.dest_major {
+                    let run = unsafe { std::slice::from_raw_parts_mut(mw.base.add(s), e - s) };
+                    presort_run(run);
+                }
+                total += e - s;
+            }
+            out.reserve(total);
+            let mut pos = self.idx_pool.take();
+            let mut heap = self.idx_pool.take();
+            // Safety: `out` has capacity for the whole chunk, and each
+            // entry in `chunk`'s bound ranges is moved out exactly once
+            // (the finisher resets `flat`'s length before the moved-out
+            // entries could drop through the `Vec`).
+            unsafe { merge_k_flat(mw.base, chunk, out, mw.dest_major, &mut pos, &mut heap) };
+            pos.clear();
+            self.idx_pool.put(pos);
+            self.idx_pool.put(heap);
+            (hi - lo) as u64
+        }
+
+        /// All units of the merge round are done: every staged entry has
+        /// been moved into a partial output, so forget the flat buffer's
+        /// contents and return its storage, then k-way merge the partial
+        /// outputs inline and deliver.
+        fn finish_merge(&self, mw: &MergeWork) {
+            // Safety: the round barrier has passed; no worker holds a
+            // unit any more. Every entry of `flat` was `ptr::read` out by
+            // some unit (the ranges tile `bounds`, the bounds tile the
+            // buffer), so resetting the length forgets moved-from
+            // entries only.
+            let flat = unsafe { &mut *mw.flat.get() };
+            unsafe { flat.set_len(0) };
+            *self.commit_buf.lock() = std::mem::take(flat);
+            let mut runs = std::mem::take(&mut *self.runs_buf.lock());
+            let mut total = 0;
+            for cell in &mw.outputs {
+                let out = std::mem::take(unsafe { &mut *cell.get() });
+                total += out.len();
+                runs.push(out);
+            }
+            let mut merged = self.entry_pool.take();
+            merged.reserve(total);
+            self.merge_k_pooled(&mut runs, &mut merged, mw.dest_major);
+            for run in runs.drain(..) {
+                if run.capacity() > 0 {
+                    self.entry_pool.put(run);
+                }
+            }
+            *self.runs_buf.lock() = runs;
+            let next = std::mem::take(&mut *mw.next.lock());
+            self.deliver_merged(&mut merged, next, mw.dest_major);
+            if merged.capacity() > 0 {
+                self.entry_pool.put(merged);
+            }
+        }
+
+        /// Deliver the fully merged run: a serial commit pushes inline in
+        /// global key order (wakes fire in push order — the oracle's own
+        /// order); a sharded commit hands the destination-major run to
+        /// the shard pipeline.
+        fn deliver_merged(
+            &self,
+            merged: &mut Vec<CommitEntry>,
+            next: Vec<usize>,
+            dest_major: bool,
+        ) {
+            if dest_major {
+                self.deliver_sorted(merged, next);
+            } else {
+                for e in merged.drain(..) {
+                    self.router.mailboxes[e.dest].push(e.msg);
+                }
+                self.finish_epoch(next);
+            }
+        }
+
+        /// Deliver a destination-major-ordered commit run: inline on this
+        /// worker for small commits (or a 1-worker pool), else cut into
+        /// shards at segment boundaries and published as [`Work::Commit`].
+        /// `staged` is drained either way (capacity retained for reuse).
+        fn deliver_sorted(&self, staged: &mut Vec<CommitEntry>, next: Vec<usize>) {
             let target = self.shard_target(staged.len());
             if target <= 1 {
                 // Inline fast path: no claim round-trip for small commits
                 // (or a 1-worker pool). Identical output by construction.
-                let mut wakes: Vec<WakeRec> = Vec::new();
-                push_segments(&self.router, staged.drain(..), &mut wakes);
-                drop(staged);
-                Self::fire_wakes_merged(wakes);
+                let mut wakes = self.wake_pool.take();
+                let mut scratch = self.scratch_pool.take();
+                push_segments(&self.router, staged.drain(..), &mut wakes, &mut scratch);
+                self.scratch_pool.put(scratch);
+                self.fire_wakes_merged(&mut wakes);
+                self.wake_pool.put(wakes);
                 self.finish_epoch(next);
                 return;
             }
@@ -950,52 +1303,43 @@ mod imp {
             // (shards own whole destinations; a `cmp` on `dest` marks the
             // cut). Every shard except possibly the last holds ≥ ⌈n/target⌉
             // entries, so at most `target` shards are produced. Shard
-            // vectors are recycled through `shard_pool`, so steady state
-            // moves each entry once (commit_buf → shard) without
+            // vectors are recycled through `entry_pool`, so steady state
+            // moves each entry once (ordered run → shard) without
             // allocating. (Handing claimers disjoint raw sub-slices of
-            // `commit_buf` itself would avoid even that move, but needs
+            // the run itself would avoid even that move, but needs
             // `ptr::read`-style manual moves out of aliased storage; one
             // 64-byte memcpy per message isn't worth that unsafety.)
             let per = staged.len().div_ceil(target);
-            let mut pool = self.shard_pool.lock();
-            let take_vec = |pool: &mut Vec<Vec<CommitEntry>>| {
-                let mut v = match pool.pop() {
-                    Some(v) => {
-                        self.pool_hits.fetch_add(1, Ordering::Relaxed);
-                        v
-                    }
-                    None => {
-                        self.pool_misses.fetch_add(1, Ordering::Relaxed);
-                        Vec::new()
-                    }
-                };
+            let take_shard = || {
+                let mut v = self.entry_pool.take();
                 v.reserve(per + 8);
                 v
             };
             let mut shards: Vec<std::cell::UnsafeCell<Vec<CommitEntry>>> = Vec::new();
-            let mut cur: Vec<CommitEntry> = take_vec(&mut pool);
+            let mut cur: Vec<CommitEntry> = take_shard();
             for e in staged.drain(..) {
                 if cur.len() >= per && cur.last().is_some_and(|l| l.dest != e.dest) {
-                    let full = std::mem::replace(&mut cur, take_vec(&mut pool));
+                    let full = std::mem::replace(&mut cur, take_shard());
                     shards.push(std::cell::UnsafeCell::new(full));
                 }
                 cur.push(e);
             }
-            drop(pool);
-            drop(staged);
             if shards.is_empty() {
                 // One giant destination segment (pure all-to-one fan-in):
                 // a single mailbox must be pushed in order anyway.
-                let mut wakes: Vec<WakeRec> = Vec::new();
-                push_segments(&self.router, cur.drain(..), &mut wakes);
-                self.shard_pool.lock().push(cur);
-                Self::fire_wakes_merged(wakes);
+                let mut wakes = self.wake_pool.take();
+                let mut scratch = self.scratch_pool.take();
+                push_segments(&self.router, cur.drain(..), &mut wakes, &mut scratch);
+                self.scratch_pool.put(scratch);
+                self.entry_pool.put(cur);
+                self.fire_wakes_merged(&mut wakes);
+                self.wake_pool.put(wakes);
                 self.finish_epoch(next);
                 return;
             }
             shards.push(std::cell::UnsafeCell::new(cur));
             let wakes = (0..shards.len())
-                .map(|_| std::cell::UnsafeCell::new(Vec::new()))
+                .map(|_| std::cell::UnsafeCell::new(self.wake_pool.take()))
                 .collect();
             let cw = Arc::new(CommitWork {
                 shards,
@@ -1015,39 +1359,55 @@ mod imp {
             // barrier passes.
             let entries = unsafe { &mut *cw.shards[i].get() };
             let wakes = unsafe { &mut *cw.wakes[i].get() };
-            push_segments(&self.router, entries.drain(..), wakes);
+            let mut scratch = self.scratch_pool.take();
+            push_segments(&self.router, entries.drain(..), wakes, &mut scratch);
+            self.scratch_pool.put(scratch);
         }
 
         /// All shards are pushed: merge the deferred wake-ups in global
         /// key order (bit-identical to the serial commit's wake order) and
         /// close out the epoch.
         fn finish_commit(&self, cw: &CommitWork) {
-            let mut recs: Vec<WakeRec> = Vec::new();
-            for slot in &cw.wakes {
+            let mut recs = self.wake_pool.take();
+            for (s, slot) in cw.wakes.iter().enumerate() {
                 // Safety: the commit barrier has passed; no worker holds a
                 // shard any more.
-                recs.append(unsafe { &mut *slot.get() });
+                let ws = unsafe { &mut *slot.get() };
+                for mut r in ws.drain(..) {
+                    // Stamp the shard into the high ord bits so the
+                    // concatenation order stays recoverable after the
+                    // unstable merge sort (see [`WakeRec::ord`]).
+                    r.ord |= (s as u64) << 32;
+                    recs.push(r);
+                }
+                let ws = std::mem::take(ws);
+                if ws.capacity() > 0 {
+                    self.wake_pool.put(ws);
+                }
             }
             // Recycle the drained shard vectors (their capacity) for the
             // next epoch's commit.
-            {
-                let mut pool = self.shard_pool.lock();
-                for cell in &cw.shards {
-                    pool.push(std::mem::take(unsafe { &mut *cell.get() }));
+            for cell in &cw.shards {
+                let v = std::mem::take(unsafe { &mut *cell.get() });
+                if v.capacity() > 0 {
+                    self.entry_pool.put(v);
                 }
             }
-            Self::fire_wakes_merged(recs);
+            self.fire_wakes_merged(&mut recs);
+            self.wake_pool.put(recs);
             let next = std::mem::take(&mut *cw.next.lock());
             self.finish_epoch(next);
         }
 
-        /// Fire deferred wake-ups in ascending global-key order. The sort
-        /// is stable, so several waiters triggered by the *same* message
-        /// keep their subscription order — exactly what the serial
-        /// commit's inline `push` produces.
-        fn fire_wakes_merged(mut recs: Vec<WakeRec>) {
-            recs.sort_by_key(|r| r.key);
-            for r in recs {
+        /// Fire deferred wake-ups in ascending global-key order. `(key,
+        /// ord)` is unique (see [`WakeRec::ord`]), so the allocation-free
+        /// unstable sort reproduces exactly what a stable by-key sort of
+        /// the shard concatenation would: several waiters triggered by
+        /// the *same* message keep their subscription order — the order
+        /// the serial commit's inline `push` produces.
+        fn fire_wakes_merged(&self, recs: &mut Vec<WakeRec>) {
+            recs.sort_unstable_by_key(|r| (r.key, r.ord));
+            for r in recs.drain(..) {
                 r.waker.wake();
             }
         }
@@ -1124,8 +1484,35 @@ mod imp {
                 g.done = true;
                 self.gate_cv.notify_all();
             } else {
-                self.publish(Work::Tasks(Arc::new(next)));
+                self.publish_tasks(next);
             }
+        }
+
+        /// Publish the next task round, reusing a displaced round `Arc`
+        /// when no worker still holds a clone of it. At 1 worker that is
+        /// always true by the time the next publish happens (the sole
+        /// worker re-reads the gate — dropping its clone — before it can
+        /// finish another round), so the steady-state epoch publishes
+        /// without touching the allocator; a still-referenced `Arc` just
+        /// falls back to a fresh allocation.
+        fn publish_tasks(&self, mut next: Vec<usize>) {
+            let cand = self.round_pool.lock().pop();
+            let arc = match cand {
+                Some(mut a) => match Arc::get_mut(&mut a) {
+                    Some(v) => {
+                        v.clear();
+                        v.append(&mut next);
+                        a
+                    }
+                    None => Arc::new(std::mem::take(&mut next)),
+                },
+                None => Arc::new(std::mem::take(&mut next)),
+            };
+            if next.capacity() > 0 {
+                next.clear();
+                self.idx_pool.put(next);
+            }
+            self.publish(Work::Tasks(arc));
         }
 
         /// Install `work` as the next claimable phase. The cursor moves
@@ -1135,7 +1522,7 @@ mod imp {
             let units = work.units();
             let mut g = self.gate.lock();
             g.gen += 1;
-            g.work = work;
+            let prev = std::mem::replace(&mut g.work, work);
             self.round_done.store(0, Ordering::Relaxed);
             self.cursor
                 .store((g.gen & 0xffff_ffff) << 32, Ordering::Release);
@@ -1146,6 +1533,16 @@ mod imp {
             // publisher alone keeps the simulation live.
             if units > 1 {
                 self.gate_cv.notify_all();
+            }
+            drop(g);
+            // The displaced round vector feeds a later `publish_tasks`
+            // (its `Arc` becomes unique once every worker re-reads the
+            // gate); merge/commit work is dropped as usual.
+            if let Work::Tasks(arc) = prev {
+                let mut pool = self.round_pool.lock();
+                if pool.len() < 4 {
+                    pool.push(arc);
+                }
             }
         }
 
@@ -1204,6 +1601,17 @@ mod imp {
         }
     }
 
+    /// Reusable scratch of one `push_segments` call: the per-destination
+    /// message batch, its parallel key array, and the fired-subscription
+    /// buffer handed to [`Mailbox::push_batch`]. Pooled so steady-state
+    /// commits reuse the capacity of all three.
+    #[derive(Default)]
+    struct CommitScratch {
+        batch: Vec<Message>,
+        keys: Vec<CommitKey>,
+        fired: Vec<(usize, Arc<dyn Wake>)>,
+    }
+
     /// Push a destination-major-sorted run of commit entries: one
     /// [`Mailbox::push_batch`] per destination segment (one lock
     /// acquisition per destination, however large its fan-in), recording
@@ -1213,37 +1621,226 @@ mod imp {
         router: &Router,
         entries: impl Iterator<Item = CommitEntry>,
         wakes: &mut Vec<WakeRec>,
+        s: &mut CommitScratch,
     ) {
-        fn flush(
-            router: &Router,
-            dest: usize,
-            batch: &mut Vec<Message>,
-            keys: &mut Vec<CommitKey>,
-            wakes: &mut Vec<WakeRec>,
-        ) {
-            if batch.is_empty() {
+        fn flush(router: &Router, dest: usize, s: &mut CommitScratch, wakes: &mut Vec<WakeRec>) {
+            if s.batch.is_empty() {
                 return;
             }
-            for (idx, waker) in router.mailboxes[dest].push_batch(std::mem::take(batch)) {
+            router.mailboxes[dest].push_batch(&mut s.batch, &mut s.fired);
+            for (idx, waker) in s.fired.drain(..) {
                 wakes.push(WakeRec {
-                    key: keys[idx],
+                    key: s.keys[idx],
+                    ord: wakes.len() as u64,
                     waker,
                 });
             }
-            keys.clear();
+            s.keys.clear();
         }
         let mut dest = usize::MAX;
-        let mut batch: Vec<Message> = Vec::new();
-        let mut keys: Vec<CommitKey> = Vec::new();
         for e in entries {
             if e.dest != dest {
-                flush(router, dest, &mut batch, &mut keys, wakes);
+                flush(router, dest, s, wakes);
                 dest = e.dest;
             }
-            keys.push(e.key());
-            batch.push(e.msg);
+            s.keys.push(e.key());
+            s.batch.push(e.msg);
         }
-        flush(router, dest, &mut batch, &mut keys, wakes);
+        flush(router, dest, s, wakes);
+    }
+
+    /// The merge comparator: destination-major for sharded commits
+    /// (matching the oracle's `(dest, matchable, src, seq)` sort key),
+    /// the plain global commit key for serial ones (leading 0). Total
+    /// *and unique* over an epoch's staged messages either way, so
+    /// merging sorted runs by it reproduces the oracle's sorted order
+    /// exactly, independent of the merge-tree shape.
+    fn merge_key(e: &CommitEntry, dest_major: bool) -> (usize, Time, usize, u32) {
+        (
+            if dest_major { e.dest } else { 0 },
+            e.matchable,
+            e.src,
+            e.seq,
+        )
+    }
+
+    /// Sort one per-task run destination-major. Within a run `src` is
+    /// constant and `seq` unique, so this key is unique — the unstable
+    /// sort is therefore deterministic, and unlike the stable sort it
+    /// allocates nothing (in-place pdqsort).
+    fn presort_run(run: &mut [CommitEntry]) {
+        run.sort_unstable_by_key(|e| (e.dest, e.matchable, e.seq));
+    }
+
+    /// Single-pass k-way merge of runs sorted by [`merge_key`] into
+    /// `out` (appending), emptying every input — capacity is retained
+    /// for recycling. A binary min-heap of run indices pops the globally
+    /// smallest head `m` times, so every entry is **moved exactly once**
+    /// (`CommitEntry` is large; the pairwise-rounds alternative moves
+    /// each entry once per halving round and loses to the sort oracle on
+    /// wide epochs). The key is unique across runs, so the result is the
+    /// unique sorted order of the union — no tie-breaking needed.
+    ///
+    /// `pos` (per-run read cursor) and `heap` are caller-provided
+    /// scratch, cleared here. **`out` must already have capacity for
+    /// every entry**: the `ptr::read` moves below rely on `out.push`
+    /// never panicking mid-merge (a reallocation cannot panic into a
+    /// state where moved-out entries would double-drop, but reserving up
+    /// front keeps the hot loop allocation-free anyway and makes the
+    /// reasoning trivial).
+    fn merge_k(
+        runs: &mut [Vec<CommitEntry>],
+        out: &mut Vec<CommitEntry>,
+        dest_major: bool,
+        pos: &mut Vec<usize>,
+        heap: &mut Vec<usize>,
+    ) {
+        pos.clear();
+        pos.resize(runs.len(), 0);
+        heap.clear();
+        heap.extend((0..runs.len()).filter(|&r| !runs[r].is_empty()));
+        for i in (0..heap.len() / 2).rev() {
+            sift_down(heap, i, runs, pos, dest_major);
+        }
+        while let Some(&r) = heap.first() {
+            // Safety: each `(run, index)` is read exactly once (`pos[r]`
+            // strictly advances past it) and every run's length is reset
+            // to 0 below before any of its moved-out entries could drop
+            // through the `Vec`; `out` was reserved by the caller, so
+            // the push cannot panic mid-merge.
+            unsafe {
+                out.push(std::ptr::read(runs[r].as_ptr().add(pos[r])));
+            }
+            pos[r] += 1;
+            if pos[r] == runs[r].len() {
+                let last = heap.len() - 1;
+                heap.swap(0, last);
+                heap.pop();
+            }
+            if !heap.is_empty() {
+                sift_down(heap, 0, runs, pos, dest_major);
+            }
+        }
+        for run in runs.iter_mut() {
+            // Every entry was moved out above; forget them all without
+            // dropping (safety: len 0 ≤ capacity, elements 0..old_len
+            // are semantically moved-from).
+            unsafe { run.set_len(0) };
+        }
+    }
+
+    /// Restore the min-heap property at `heap[i]`: sift the run index
+    /// down while a child's head entry has a smaller [`merge_key`].
+    fn sift_down(
+        heap: &mut [usize],
+        mut i: usize,
+        runs: &[Vec<CommitEntry>],
+        pos: &[usize],
+        dest_major: bool,
+    ) {
+        let key = |r: usize| merge_key(&runs[r][pos[r]], dest_major);
+        loop {
+            let l = 2 * i + 1;
+            if l >= heap.len() {
+                return;
+            }
+            let r = l + 1;
+            let c = if r < heap.len() && key(heap[r]) < key(heap[l]) {
+                r
+            } else {
+                l
+            };
+            if key(heap[c]) < key(heap[i]) {
+                heap.swap(i, c);
+                i = c;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// [`merge_k`] over runs living as `bounds` slices of one flat
+    /// buffer (the published merge round's layout): `pos[r]` is the
+    /// absolute flat-buffer cursor of run `r`, advancing from
+    /// `bounds[r].0` to `bounds[r].1`. Entries are moved out through
+    /// `base` with `ptr::read`; the caller's finisher forgets them all
+    /// at once by resetting the owning `Vec`'s length.
+    ///
+    /// # Safety
+    ///
+    /// - `base` must point to a live allocation covering every index in
+    ///   `bounds`, with every such entry initialised and not yet moved
+    ///   from, and no other reference to those entries live for the
+    ///   duration of the call.
+    /// - `out` must already have capacity for every entry in `bounds`:
+    ///   the `ptr::read` moves rely on `out.push` never panicking
+    ///   mid-merge.
+    /// - The caller must treat the read entries as moved-from (reset the
+    ///   owning buffer's length without dropping them).
+    unsafe fn merge_k_flat(
+        base: *mut CommitEntry,
+        bounds: &[(usize, usize)],
+        out: &mut Vec<CommitEntry>,
+        dest_major: bool,
+        pos: &mut Vec<usize>,
+        heap: &mut Vec<usize>,
+    ) {
+        pos.clear();
+        pos.extend(bounds.iter().map(|&(s, _)| s));
+        heap.clear();
+        heap.extend((0..bounds.len()).filter(|&r| bounds[r].0 < bounds[r].1));
+        for i in (0..heap.len() / 2).rev() {
+            sift_down_flat(heap, i, base, pos, dest_major);
+        }
+        while let Some(&r) = heap.first() {
+            out.push(std::ptr::read(base.add(pos[r])));
+            pos[r] += 1;
+            if pos[r] == bounds[r].1 {
+                let last = heap.len() - 1;
+                heap.swap(0, last);
+                heap.pop();
+            }
+            if !heap.is_empty() {
+                sift_down_flat(heap, 0, base, pos, dest_major);
+            }
+        }
+    }
+
+    /// [`sift_down`] for the flat-buffer layout: run heads live at
+    /// `base.add(pos[r])`.
+    ///
+    /// # Safety
+    ///
+    /// Every `pos[r]` for `r` in `heap` must index a live, initialised
+    /// entry of the `base` allocation (guaranteed by [`merge_k_flat`]'s
+    /// loop invariant: a run leaves the heap before its cursor passes
+    /// its bound).
+    unsafe fn sift_down_flat(
+        heap: &mut [usize],
+        mut i: usize,
+        base: *const CommitEntry,
+        pos: &[usize],
+        dest_major: bool,
+    ) {
+        let key = |r: usize| merge_key(&*base.add(pos[r]), dest_major);
+        loop {
+            let l = 2 * i + 1;
+            if l >= heap.len() {
+                return;
+            }
+            let r = l + 1;
+            let c = if r < heap.len() && key(heap[r]) < key(heap[l]) {
+                r
+            } else {
+                l
+            };
+            if key(heap[c]) < key(heap[i]) {
+                heap.swap(i, c);
+                i = c;
+            } else {
+                return;
+            }
+        }
     }
 
     /// Entry point every fiber starts in (called by the asm trampoline with

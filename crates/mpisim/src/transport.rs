@@ -105,9 +105,13 @@ pub trait Transport: Clone + Send + 'static {
         }
     }
 
-    /// Buffered send (never blocks).
+    /// Buffered send (never blocks). The copy lands in a pooled buffer
+    /// ([`crate::pool::take_vec`]), so a steady-state send allocates
+    /// nothing once the pool is warm.
     fn send<T: Datum>(&self, buf: &[T], dest: usize, tag: Tag) -> Result<()> {
-        self.send_vec(buf.to_vec(), dest, tag)
+        let mut data = crate::pool::take_vec::<T>(buf.len());
+        data.extend_from_slice(buf);
+        self.send_vec(data, dest, tag)
     }
 
     /// Buffered send taking ownership (avoids one copy).

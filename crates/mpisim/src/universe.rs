@@ -35,7 +35,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::comm::Comm;
 use crate::faults::{FaultPlan, FaultState};
-use crate::model::{CommitAlgo, CostModel, VendorProfile};
+use crate::model::{CommitAlgo, CostModel, SortAlgo, VendorProfile};
 use crate::proc::{ProcState, Router};
 use crate::sched;
 use crate::time::Time;
@@ -102,6 +102,14 @@ pub struct SimConfig {
     /// produce bit-identical output for every worker count; only
     /// wall-clock speed differs. Ignored by [`Backend::Threads`].
     pub commit_algo: CommitAlgo,
+    /// How the cooperative scheduler puts an epoch's staged messages into
+    /// commit order: [`SortAlgo::Merge`] (default) merges the pre-sorted
+    /// per-task runs in a parallel work phase; [`SortAlgo::Sort`] is the
+    /// original single-worker global sort, kept as the correctness
+    /// oracle. Both produce bit-identical output for every worker count
+    /// and commit algorithm; only wall-clock speed (and allocation
+    /// behaviour) differs. Ignored by [`Backend::Threads`].
+    pub sort_algo: SortAlgo,
     /// Upper bound on the claim units of one sharded commit (0 = auto:
     /// ~2 shards per worker, with small commits staying inline on the
     /// committing worker). Like `coop_workers`, this is purely a
@@ -141,6 +149,7 @@ impl Default for SimConfig {
             coop_workers: 1,
             coop_stack_size: 128 << 10,
             commit_algo: CommitAlgo::Sharded,
+            sort_algo: SortAlgo::Merge,
             coop_commit_shards: 0,
             faults: FaultPlan::default(),
             trace: false,
@@ -154,7 +163,9 @@ impl SimConfig {
     /// worker-pool size honours the `MPISIM_COOP_WORKERS` environment
     /// variable (default 1), the commit algorithm honours
     /// `MPISIM_COOP_COMMIT` (`sharded`, the default, or `serial` for the
-    /// oracle), and the shard cap honours `MPISIM_COOP_COMMIT_SHARDS`
+    /// oracle), the commit-ordering algorithm honours `MPISIM_COOP_SORT`
+    /// (`merge`, the default, or `sort` for the single-worker oracle),
+    /// and the shard cap honours `MPISIM_COOP_COMMIT_SHARDS`
     /// (0 = auto) — so sweeps and CI can exercise the whole matrix
     /// without code changes. Results are identical for every combination.
     /// The fault plan honours the `MPISIM_FAULT_SEED` / `MPISIM_FAULT_SLOW`
@@ -170,6 +181,7 @@ impl SimConfig {
             backend: Backend::Cooperative,
             coop_workers: env::coop_workers_from(env::var("MPISIM_COOP_WORKERS").as_deref()),
             commit_algo: env::commit_algo_from(env::var("MPISIM_COOP_COMMIT").as_deref()),
+            sort_algo: env::coop_sort_from(env::var("MPISIM_COOP_SORT").as_deref()),
             coop_commit_shards: env::commit_shards_from(
                 env::var("MPISIM_COOP_COMMIT_SHARDS").as_deref(),
             ),
@@ -205,6 +217,15 @@ impl SimConfig {
     /// bit-identical either way).
     pub fn with_commit_algo(mut self, algo: CommitAlgo) -> SimConfig {
         self.commit_algo = algo;
+        self
+    }
+
+    /// Replace the cooperative scheduler's commit-ordering algorithm (the
+    /// single-worker [`SortAlgo::Sort`] survives as the correctness oracle
+    /// for the default parallel merge; output is bit-identical either
+    /// way).
+    pub fn with_sort_algo(mut self, algo: SortAlgo) -> SimConfig {
+        self.sort_algo = algo;
         self
     }
 
@@ -451,6 +472,7 @@ impl Universe {
             cfg.coop_stack_size,
             Arc::clone(router),
             cfg.commit_algo,
+            cfg.sort_algo,
             cfg.coop_commit_shards,
             cfg.sched_profile,
         );

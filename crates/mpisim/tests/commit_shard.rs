@@ -2,16 +2,19 @@
 //! (`CommitAlgo::Sharded`, the default) must be **byte-identical** to the
 //! single-threaded serial commit (`CommitAlgo::Serial`, the oracle) — on
 //! delivery logs, per-rank results, and virtual clocks — for every worker
-//! count and every shard cap. The storms here are built to stress exactly
-//! the commit phase: wildcard receives (wake order is observable),
-//! colliding tags (several matching streams per mailbox), heavy fan-in
-//! (long per-destination segments), and nonblocking collectives
-//! (library-internal traffic interleaved with user traffic).
+//! count and every shard cap. Since PR 8 the matrix also crosses the
+//! commit **ordering** algorithm: the k-way merge of pre-sorted per-task
+//! runs (`SortAlgo::Merge`, the default) against the global
+//! `sort_by_key` oracle (`SortAlgo::Sort`). The storms here are built to
+//! stress exactly the commit phase: wildcard receives (wake order is
+//! observable), colliding tags (several matching streams per mailbox),
+//! heavy fan-in (long per-destination segments), and nonblocking
+//! collectives (library-internal traffic interleaved with user traffic).
 
 use std::sync::{Arc, Mutex};
 
 use mpisim::nbcoll;
-use mpisim::{ops, CommitAlgo, SimConfig, Src, Time, Transport, Universe};
+use mpisim::{ops, CommitAlgo, SimConfig, SortAlgo, Src, Time, Transport, Universe};
 use proptest::prelude::*;
 
 /// One rank's full observation of a storm run: the exact `(source, tag,
@@ -35,6 +38,7 @@ fn storm_log(
     seed: u64,
     workers: usize,
     algo: CommitAlgo,
+    sort: SortAlgo,
     shards: usize,
 ) -> Vec<RankLog> {
     assert!(p > *FANOUT_OFFSETS.iter().max().unwrap());
@@ -45,6 +49,7 @@ fn storm_log(
         .with_seed(seed)
         .with_workers(workers)
         .with_commit_algo(algo)
+        .with_sort_algo(sort)
         .with_commit_shards(shards);
     let res = Universe::run(p, cfg, move |env| {
         let w = &env.world;
@@ -86,20 +91,28 @@ fn storm_log(
         .collect()
 }
 
-/// Assert the full worker × shard matrix reproduces the serial 1-worker
-/// oracle bit for bit.
+/// Assert the full worker × shard × sort-algorithm matrix reproduces the
+/// serial 1-worker `sort_by_key` oracle bit for bit.
 fn assert_sharded_matches_serial(p: usize, per: usize, seed: u64, shard_caps: &[usize]) {
-    let oracle = storm_log(p, per, seed, 1, CommitAlgo::Serial, 0);
-    // The serial oracle itself must be worker-invariant (PR 3 property).
-    let serial8 = storm_log(p, per, seed, 8, CommitAlgo::Serial, 0);
-    assert_eq!(oracle, serial8, "serial commit diverged at 8 workers");
+    let oracle = storm_log(p, per, seed, 1, CommitAlgo::Serial, SortAlgo::Sort, 0);
+    // The serial oracle itself must be worker-invariant (PR 3 property),
+    // under both commit orderings (merge added in PR 8).
+    for sort in [SortAlgo::Sort, SortAlgo::Merge] {
+        let serial8 = storm_log(p, per, seed, 8, CommitAlgo::Serial, sort, 0);
+        assert_eq!(
+            oracle, serial8,
+            "serial commit diverged at 8 workers (sort={sort:?})"
+        );
+    }
     for &workers in &[1usize, 4, 8] {
         for &shards in shard_caps {
-            let got = storm_log(p, per, seed, workers, CommitAlgo::Sharded, shards);
-            assert_eq!(
-                oracle, got,
-                "sharded commit diverged (workers={workers}, shards={shards})"
-            );
+            for sort in [SortAlgo::Sort, SortAlgo::Merge] {
+                let got = storm_log(p, per, seed, workers, CommitAlgo::Sharded, sort, shards);
+                assert_eq!(
+                    oracle, got,
+                    "sharded commit diverged (workers={workers}, shards={shards}, sort={sort:?})"
+                );
+            }
         }
     }
 }
@@ -122,19 +135,22 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 2, ..ProptestConfig::default() })]
 
-    // p = 1024: the paper-scale regime (sparser traffic to keep the debug
-    // run fast); auto and forced-wide sharding.
+    // p = 1024: the paper-scale regime; auto and forced-wide sharding.
+    // per = 2 stages 8192 messages per epoch wave — exactly the publish
+    // threshold — so the multi-worker runs exercise the *published*
+    // chunked merge round, not just the inline in-place sort.
     #[test]
     fn sharded_commit_identical_to_serial_p1024(seed in any::<u64>()) {
-        assert_sharded_matches_serial(1024, 1, seed, &[0, 48]);
+        assert_sharded_matches_serial(1024, 2, seed, &[0, 48]);
     }
 }
 
-/// The `MPISIM_COOP_COMMIT*` knobs must reach the scheduler through
-/// `SimConfig::cooperative()` exactly like `MPISIM_COOP_WORKERS` does.
-/// Checked in a child process: `set_var` in a threaded test binary is a
-/// data race against concurrent env reads, so the parent only *reads*
-/// its (unset) environment here and the mutation happens in the child.
+/// The `MPISIM_COOP_COMMIT*` and `MPISIM_COOP_SORT` knobs must reach the
+/// scheduler through `SimConfig::cooperative()` exactly like
+/// `MPISIM_COOP_WORKERS` does. Checked in a child process: `set_var` in a
+/// threaded test binary is a data race against concurrent env reads, so
+/// the parent only *reads* its (unset) environment here and the mutation
+/// happens in the child.
 #[test]
 fn commit_env_knobs_are_honoured() {
     // Only assert the defaults when the suite itself was launched with
@@ -142,10 +158,12 @@ fn commit_env_knobs_are_honoured() {
     // is documented usage and must not fail this test.
     if std::env::var_os("MPISIM_COOP_COMMIT").is_none()
         && std::env::var_os("MPISIM_COOP_COMMIT_SHARDS").is_none()
+        && std::env::var_os("MPISIM_COOP_SORT").is_none()
     {
         let cfg = SimConfig::cooperative();
         assert_eq!(cfg.commit_algo, CommitAlgo::Sharded);
         assert_eq!(cfg.coop_commit_shards, 0);
+        assert_eq!(cfg.sort_algo, SortAlgo::Merge);
     }
     // Re-run the quickstart-sized probe under the oracle env in a child
     // process and make sure the knobs arrive (the child simply runs any
@@ -160,6 +178,7 @@ fn commit_env_knobs_are_honoured() {
         ])
         .env("MPISIM_COOP_COMMIT", "Serial")
         .env("MPISIM_COOP_COMMIT_SHARDS", "7")
+        .env("MPISIM_COOP_SORT", "Sort")
         .output()
         .expect("spawn child test process");
     assert!(
@@ -177,4 +196,5 @@ fn child_probe_commit_env() {
     let cfg = SimConfig::cooperative();
     assert_eq!(cfg.commit_algo, CommitAlgo::Serial);
     assert_eq!(cfg.coop_commit_shards, 7);
+    assert_eq!(cfg.sort_algo, SortAlgo::Sort);
 }
