@@ -36,6 +36,7 @@ const CURRENT: &[&[&str]] = &[
     &["results/BENCH_largep.json"],
     &["results/BENCH_faults.json"],
     &["results/BENCH_tracevol.json"],
+    &["results/BENCH_fleet.json"],
 ];
 
 fn load_metrics(candidates: &[&str]) -> Vec<Metric> {

@@ -251,6 +251,10 @@ pub struct Metric {
     /// either direction is a model change. The gate compares these at
     /// zero tolerance, ignoring `BENCH_GATE_TOLERANCE`.
     pub exact: bool,
+    /// Throughput metric (unit `"per_s"` — e.g. the fleet's
+    /// universes/sec): **higher is better**, so the gate inverts the
+    /// comparison and fails on a *drop* beyond the tolerance.
+    pub rate: bool,
 }
 
 /// Extract metrics from either artefact flavour: the criterion shim's
@@ -258,7 +262,9 @@ pub struct Metric {
 /// harness's `{"bench", "tables": [{"title", "unit", "series", "rows"}]}`.
 /// Wall-clock tables (unit `"s"`) are excluded — they measure the host,
 /// not the model. Tables in unit `"count"` are deterministic model
-/// counters and become [`Metric::exact`] zero-tolerance metrics.
+/// counters and become [`Metric::exact`] zero-tolerance metrics; tables
+/// in unit `"per_s"` are throughputs and become [`Metric::rate`]
+/// higher-is-better metrics.
 pub fn metrics_of(doc: &Json) -> Vec<Metric> {
     let bench = doc.get("bench").map_or("", Json::str);
     let mut out = Vec::new();
@@ -271,6 +277,7 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
                 id: format!("{bench}/{id}"),
                 ns,
                 exact: false,
+                rate: false,
             });
         }
     }
@@ -285,6 +292,7 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
             continue;
         }
         let exact = unit == "count";
+        let rate = unit == "per_s";
         let scale = if unit == "ms" { 1e6 } else { 1.0 };
         let series: Vec<&str> = t
             .get("series")
@@ -306,6 +314,7 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
                         id: format!("{bench}/tbl{ti}/{name}/{x}"),
                         ns: v * scale,
                         exact,
+                        rate,
                     });
                 }
             }
@@ -315,9 +324,9 @@ pub fn metrics_of(doc: &Json) -> Vec<Metric> {
 }
 
 /// Read metrics straight from a baseline document
-/// (`{"metrics": [{"id", "ns", "exact"?}]}`). A missing `"exact"` member
-/// reads as `false`, so baselines written before exact metrics existed
-/// keep working.
+/// (`{"metrics": [{"id", "ns", "exact"?, "rate"?}]}`). Missing `"exact"`
+/// and `"rate"` members read as `false`, so baselines written before
+/// those metric kinds existed keep working.
 pub fn baseline_metrics(doc: &Json) -> Vec<Metric> {
     doc.get("metrics")
         .map_or(&[][..], Json::arr)
@@ -327,6 +336,7 @@ pub fn baseline_metrics(doc: &Json) -> Vec<Metric> {
                 id: m.get("id")?.str().to_string(),
                 ns: m.get("ns").and_then(Json::num)?,
                 exact: matches!(m.get("exact"), Some(Json::Bool(true))),
+                rate: matches!(m.get("rate"), Some(Json::Bool(true))),
             })
         })
         .collect()
@@ -342,6 +352,9 @@ pub fn baseline_json(metrics: &[Metric]) -> String {
         let _ = write!(out, "  {{\"id\":{:?},\"ns\":{:.3}", m.id, m.ns);
         if m.exact {
             out.push_str(",\"exact\":true");
+        }
+        if m.rate {
+            out.push_str(",\"rate\":true");
         }
         out.push('}');
     }
@@ -367,6 +380,8 @@ pub enum Verdict {
 /// metrics (deterministic model counters) ignore the tolerance entirely:
 /// any difference — faster, slower, either direction — is a failure,
 /// because a drifted counter means the model computed something else.
+/// Rate metrics invert the sign: a *drop* of more than the tolerance
+/// (throughput lost) fails, a gain never does.
 pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<(String, Verdict)> {
     let mut rows = Vec::new();
     for b in baseline {
@@ -385,9 +400,14 @@ pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<(
             }
             Some(c) if b.ns > 0.0 => {
                 let delta = (c.ns - b.ns) / b.ns;
+                let regressed = if b.rate {
+                    delta < -tolerance
+                } else {
+                    delta > tolerance
+                };
                 rows.push((
                     b.id.clone(),
-                    if delta > tolerance {
+                    if regressed {
                         Verdict::Regressed(delta)
                     } else {
                         Verdict::Ok(delta)
@@ -395,8 +415,10 @@ pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<(
                 ));
             }
             // Zero-cost baseline: any positive current value is an
-            // unbounded relative regression, not a free pass.
-            Some(c) if c.ns > 0.0 => {
+            // unbounded relative regression, not a free pass. (For a
+            // rate metric the sign flips: rising from zero throughput
+            // is strictly an improvement.)
+            Some(c) if c.ns > 0.0 && !b.rate => {
                 rows.push((b.id.clone(), Verdict::Regressed(f64::INFINITY)));
             }
             Some(_) => rows.push((b.id.clone(), Verdict::Ok(0.0))),
@@ -421,6 +443,7 @@ mod tests {
             id: id.into(),
             ns,
             exact: false,
+            rate: false,
         }
     }
 
@@ -430,6 +453,17 @@ mod tests {
             id: id.into(),
             ns,
             exact: true,
+            rate: false,
+        }
+    }
+
+    /// A rate (higher-is-better throughput) metric literal.
+    fn mr(id: &str, per_s: f64) -> Metric {
+        Metric {
+            id: id.into(),
+            ns: per_s,
+            exact: false,
+            rate: true,
         }
     }
 
@@ -477,6 +511,7 @@ mod tests {
             m("micro/a \"quoted\"", 1.5),
             m("largep/tbl0/x/1", 2e6),
             mx("tracevol/tbl0/msgs/4096", 4095.0),
+            mr("fleet/tbl0/universes_per_s/4", 12.5),
         ];
         let doc = parse(&baseline_json(&metrics)).unwrap();
         assert_eq!(baseline_metrics(&doc), metrics);
@@ -527,6 +562,42 @@ mod tests {
         assert_eq!(rows[0].1, Verdict::Ok(0.0));
         assert!(matches!(rows[1].1, Verdict::Regressed(d) if d < 0.0));
         assert!(matches!(rows[2].1, Verdict::Regressed(d) if d.is_infinite()));
+    }
+
+    #[test]
+    fn rate_metrics_fail_on_drops_not_gains() {
+        // Throughput: losing more than the tolerance fails; any gain —
+        // however large — passes, as does rising from a zero baseline.
+        let base = vec![
+            mr("ups", 100.0),
+            mr("down_ok", 100.0),
+            mr("up", 100.0),
+            mr("was_zero", 0.0),
+        ];
+        let cur = vec![
+            mr("ups", 69.0),      // -31% — throughput regression
+            mr("down_ok", 71.0),  // -29% — within tolerance
+            mr("up", 500.0),      // +400% — never a failure
+            mr("was_zero", 50.0), // zero baseline rose — improvement
+        ];
+        let rows = compare(&base, &cur, 0.30);
+        assert!(matches!(rows[0].1, Verdict::Regressed(d) if (d + 0.31).abs() < 1e-9));
+        assert!(matches!(rows[1].1, Verdict::Ok(d) if (d + 0.29).abs() < 1e-9));
+        assert!(matches!(rows[2].1, Verdict::Ok(d) if (d - 4.0).abs() < 1e-9));
+        assert_eq!(rows[3].1, Verdict::Ok(0.0));
+    }
+
+    #[test]
+    fn per_s_tables_become_rate_metrics() {
+        let doc = parse(
+            r#"{"bench":"fleet","tables":[
+                {"title":"throughput","xlabel":"inflight","unit":"per_s",
+                 "series":["universes_per_s"],
+                 "rows":[{"x":4,"values":[12.5]}]}]}"#,
+        )
+        .unwrap();
+        let ms = metrics_of(&doc);
+        assert_eq!(ms, vec![mr("fleet/tbl0/universes_per_s/4", 12.5)]);
     }
 
     #[test]

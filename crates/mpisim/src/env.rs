@@ -39,6 +39,19 @@ pub fn coop_workers_from(var: Option<&str>) -> usize {
         .max(1)
 }
 
+/// Parse `MPISIM_FLEET_INFLIGHT` — a fleet's admission window (maximum
+/// concurrently running universes; see [`crate::Fleet`]). Like
+/// `MPISIM_COOP_WORKERS` this is a lenient machine-shape hint, not a
+/// model parameter: the window bounds peak memory and cannot change any
+/// universe's output, so unset, blank, unparsable, or `0` silently fall
+/// back to the default window of 4.
+pub fn fleet_inflight_from(var: Option<&str>) -> usize {
+    match var.and_then(|v| v.trim().parse::<usize>().ok()) {
+        None | Some(0) => 4,
+        Some(n) => n,
+    }
+}
+
 /// Parse `MPISIM_COOP_COMMIT` into a [`CommitAlgo`]. Unset, blank, or
 /// `sharded` selects the production sharded commit; `serial` selects the
 /// single-pass oracle; anything else panics (a typo silently running the
@@ -230,6 +243,16 @@ mod tests {
         assert_eq!(coop_workers_from(Some("garbage")), 1);
         assert_eq!(coop_workers_from(Some("0")), 1);
         assert_eq!(coop_workers_from(Some(" 8 ")), 8);
+    }
+
+    #[test]
+    fn fleet_inflight_knob_is_lenient() {
+        assert_eq!(fleet_inflight_from(None), 4);
+        assert_eq!(fleet_inflight_from(Some("")), 4);
+        assert_eq!(fleet_inflight_from(Some("garbage")), 4);
+        assert_eq!(fleet_inflight_from(Some("0")), 4);
+        assert_eq!(fleet_inflight_from(Some(" 16 ")), 16);
+        assert_eq!(fleet_inflight_from(Some("1")), 1);
     }
 
     #[test]

@@ -65,6 +65,8 @@ pub use msg::{ContextId, MsgInfo, Tag};
 pub use nbcoll::{Progress, Request};
 pub use obs::{MetricsSnapshot, OpClass, SchedProfile, Trace, TraceEvent, WorkerProfile};
 pub use proc::WaitReason;
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub use sched::fleet::{Fleet, FleetHandle};
 pub use sched::yield_now;
 pub use time::{Time, VirtualClock};
 pub use transport::{Scaled, Src, Status, Transport};

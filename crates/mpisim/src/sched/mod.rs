@@ -126,6 +126,9 @@ use crate::time::Time;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod fiber;
 
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub mod fleet;
+
 /// Whether the fiber backend exists on this target. On unsupported targets
 /// the cooperative backend transparently falls back to the thread backend.
 pub const SUPPORTED: bool = cfg!(all(
@@ -628,6 +631,81 @@ mod imp {
     /// so fault-free programs keep the exact-deadlock-only behaviour.
     const STAGNANT_EPOCH_LIMIT: usize = 64;
 
+    /// The commit-scratch pool families of a scheduler, split out so a
+    /// [`super::fleet::Fleet`] can share one set across every universe it
+    /// admits (a solo [`Scheduler`] owns a private set). Sharing is
+    /// unobservable in simulation output: pooled buffers are always handed
+    /// out drained, so only their *capacity* — never their contents —
+    /// survives a universe boundary. The process-global size-classed
+    /// payload pool ([`crate::pool`]) is shared the same way.
+    #[derive(Default)]
+    pub(crate) struct SchedPools {
+        /// Recycled entry vectors serving both commit shards and merge
+        /// runs: every drained (capacity-retaining) vector returns here,
+        /// so steady-state commits allocate nothing per epoch.
+        entry_pool: Pool<Vec<CommitEntry>>,
+        /// Recycled round/next index vectors.
+        idx_pool: Pool<Vec<usize>>,
+        /// Recycled wake-record vectors.
+        wake_pool: Pool<Vec<WakeRec>>,
+        /// Recycled `push_segments` scratch (batch + keys + fired buffers).
+        scratch_pool: Pool<CommitScratch>,
+    }
+
+    /// Wake channel between schedulers and the fleet worker pool: a
+    /// versioned condvar. Every event a sweeping fleet worker could be
+    /// waiting on — a universe publishing a multi-unit phase, a universe
+    /// completing, an admission, shutdown — bumps the version and wakes
+    /// the pool, so a worker that reads the version *before* sweeping can
+    /// sleep on `wait_past` without lost-wakeup races.
+    pub(crate) struct FleetSignal {
+        version: Mutex<u64>,
+        cv: Condvar,
+    }
+
+    impl FleetSignal {
+        pub(crate) fn new() -> FleetSignal {
+            FleetSignal {
+                version: Mutex::new(0),
+                cv: Condvar::new(),
+            }
+        }
+
+        /// Current version; read before a sweep, passed to `wait_past`.
+        pub(crate) fn version(&self) -> u64 {
+            *self.version.lock()
+        }
+
+        /// Record an event and wake every sleeping fleet worker.
+        pub(crate) fn notify(&self) {
+            *self.version.lock() += 1;
+            self.cv.notify_all();
+        }
+
+        /// Sleep until the version moves past `seen` (returns immediately
+        /// if it already has).
+        pub(crate) fn wait_past(&self, seen: u64) {
+            let mut v = self.version.lock();
+            while *v == seen {
+                self.cv.wait(&mut v);
+            }
+        }
+    }
+
+    /// Why [`Scheduler::drain_phases`] returned.
+    pub(crate) enum Drain {
+        /// The universe completed: every task finished (or was poisoned
+        /// and then finished) and the gate is `done`.
+        Done,
+        /// No unit of the current phase is claimable and the phase is not
+        /// advancing under this worker: another worker owns the phase
+        /// tail (it will publish the next phase — and signal, if the
+        /// phase is multi-unit — when it finishes). Carries the stalled
+        /// generation so a solo worker can sleep on the gate until it
+        /// moves.
+        Stalled(u64),
+    }
+
     /// The cooperative scheduler for one universe run.
     pub(crate) struct Scheduler {
         shared: Arc<SchedShared>,
@@ -651,16 +729,16 @@ mod imp {
         /// Reusable per-task run boundary list (`[start, end)` ranges of
         /// `commit_buf`) of the merge path.
         bounds_buf: Mutex<Vec<(usize, usize)>>,
-        /// Recycled entry vectors serving both commit shards and merge
-        /// runs: every drained (capacity-retaining) vector returns here,
-        /// so steady-state commits allocate nothing per epoch.
-        entry_pool: Pool<Vec<CommitEntry>>,
-        /// Recycled round/next index vectors.
-        idx_pool: Pool<Vec<usize>>,
-        /// Recycled wake-record vectors.
-        wake_pool: Pool<Vec<WakeRec>>,
-        /// Recycled `push_segments` scratch (batch + keys + fired buffers).
-        scratch_pool: Pool<CommitScratch>,
+        /// The commit-scratch pools — private to this scheduler for a
+        /// solo run, shared across universes under a fleet (see
+        /// [`SchedPools`]).
+        pools: Arc<SchedPools>,
+        /// The owning fleet's wake channel, when this universe runs under
+        /// one (`None` for solo runs). Notified whenever a multi-unit
+        /// phase is published or the universe completes, so sweeping
+        /// fleet workers parked on the fleet condvar — not this
+        /// scheduler's `gate_cv` — observe the new work.
+        signal: Option<Arc<FleetSignal>>,
         /// Displaced `Work::Tasks` round `Arc`s: `publish_tasks` reuses one
         /// when no worker still holds a clone (always true at 1 worker),
         /// so steady-state round publishing is allocation-free.
@@ -702,6 +780,10 @@ mod imp {
         /// `router` is where committed messages are delivered;
         /// `commit_algo`/`sort_algo`/`commit_shards` select and size the
         /// commit pipeline (see [`CommitAlgo`] and [`SortAlgo`]).
+        /// `pools` supplies the commit-scratch pools (a fresh private set
+        /// for solo runs, the fleet-shared set under a fleet) and
+        /// `signal` the owning fleet's wake channel, if any.
+        #[allow(clippy::too_many_arguments)]
         pub fn new(
             p: usize,
             stack_size: usize,
@@ -710,6 +792,8 @@ mod imp {
             sort_algo: SortAlgo,
             commit_shards: usize,
             profile: bool,
+            pools: Arc<SchedPools>,
+            signal: Option<Arc<FleetSignal>>,
         ) -> Scheduler {
             let stacks = StackSlab::new(p, stack_size);
             let shared = Arc::new(SchedShared {
@@ -758,10 +842,8 @@ mod imp {
                 cursor: AtomicU64::new(0),
                 round_done: AtomicUsize::new(0),
                 commit_buf: Mutex::new(Vec::new()),
-                entry_pool: Pool::new(),
-                idx_pool: Pool::new(),
-                wake_pool: Pool::new(),
-                scratch_pool: Pool::new(),
+                pools,
+                signal,
                 round_pool: Mutex::new(Vec::new()),
                 runs_buf: Mutex::new(Vec::new()),
                 bounds_buf: Mutex::new(Vec::new()),
@@ -804,6 +886,28 @@ mod imp {
             *self.slots[rank].body.get() = Some(body);
         }
 
+        /// Arm the gate for a run: record the effective worker count
+        /// (a pure throughput knob — it sizes shard/merge heuristics that
+        /// never affect simulation output) and publish epoch 1 in
+        /// `initial_order`. Solo runs call this through [`Scheduler::run`];
+        /// a fleet calls it at admission and lets its sweeping workers
+        /// drive the gate via [`Scheduler::drain_phases`].
+        pub fn prepare(&self, workers: usize, initial_order: &[usize]) {
+            self.workers.store(workers.max(1), Ordering::Relaxed);
+            let mut g = self.gate.lock();
+            g.work = Work::Tasks(Arc::new(initial_order.to_vec()));
+            g.gen = 1;
+            g.done = initial_order.is_empty();
+            self.round_done.store(0, Ordering::Relaxed);
+            self.cursor.store(1 << 32, Ordering::Release);
+        }
+
+        /// The first recorded rank panic, if any (taken, so a second call
+        /// returns `None`).
+        pub fn take_panic(&self) -> Option<(usize, Box<dyn Any + Send>)> {
+            self.shared.panic.lock().take()
+        }
+
         /// Run every spawned task to completion on `workers` OS threads,
         /// starting epoch 1 in `initial_order`. Returns the first recorded
         /// panic.
@@ -813,15 +917,7 @@ mod imp {
             initial_order: &[usize],
         ) -> Option<(usize, Box<dyn Any + Send>)> {
             let workers = workers.max(1);
-            self.workers.store(workers, Ordering::Relaxed);
-            {
-                let mut g = self.gate.lock();
-                g.work = Work::Tasks(Arc::new(initial_order.to_vec()));
-                g.gen = 1;
-                g.done = initial_order.is_empty();
-                self.round_done.store(0, Ordering::Relaxed);
-                self.cursor.store(1 << 32, Ordering::Release);
-            }
+            self.prepare(workers, initial_order);
             if workers == 1 {
                 self.worker_loop(0);
             } else {
@@ -835,7 +931,7 @@ mod imp {
                     }
                 });
             }
-            self.shared.panic.lock().take()
+            self.take_panic()
         }
 
         /// Total context switches performed (diagnostics).
@@ -860,7 +956,7 @@ mod imp {
             if !self.profile {
                 return None;
             }
-            let (pool_hits, pool_misses) = self.entry_pool.counters();
+            let (pool_hits, pool_misses) = self.pools.entry_pool.counters();
             let payload = crate::pool::counters() - self.payload_base;
             Some(crate::obs::SchedProfile {
                 workers: std::mem::take(&mut *self.profiles.lock()),
@@ -897,17 +993,31 @@ mod imp {
             }
         }
 
-        fn worker_loop(&self, widx: usize) {
+        /// Claim and execute units of the current phase — and every phase
+        /// it chains into — until the universe completes or the phase
+        /// tail is owned by another worker. Never blocks: a solo worker
+        /// sleeps on the gate between calls ([`Scheduler::worker_loop`]),
+        /// a fleet worker moves on to the next runnable universe and
+        /// parks on the fleet condvar only when *no* universe has work.
+        ///
+        /// This is the per-universe half of the generation-tagged
+        /// multi-universe cursor: claims validate this scheduler's own
+        /// `(gen, cursor)` pair, so which universes a worker visits — and
+        /// in what order — can never leak a claim unit across universes
+        /// or perturb the phase sequence within one.
+        pub fn drain_phases(&self, prof: &mut crate::obs::WorkerProfile) -> Drain {
             // Wall-clock phase accounting (only when profiling): `Instant`
             // reads stay out of the deterministic domain — they never feed
             // back into scheduling decisions or virtual time.
-            let mut prof = crate::obs::WorkerProfile::default();
             let (mut gen, mut work) = {
                 let g = self.gate.lock();
+                if g.done {
+                    return Drain::Done;
+                }
                 (g.gen, g.work.clone())
             };
-            'outer: loop {
-                let claimed = match self.try_claim(gen, work.units()) {
+            loop {
+                match self.try_claim(gen, work.units()) {
                     Some(i) => {
                         let t0 = self.profile.then(std::time::Instant::now);
                         let mut merged_runs = 0u64;
@@ -936,37 +1046,49 @@ mod imp {
                         if self.round_done.fetch_add(1, Ordering::AcqRel) + 1 == work.units() {
                             // Last unit of the phase: advance it
                             // (single-threaded by construction — every
-                            // other worker is either waiting on the gate
-                            // or about to).
+                            // other worker is either waiting on the gate,
+                            // sweeping other universes, or about to).
                             match &work {
                                 Work::Tasks(round) => self.finish_round(round),
                                 Work::Merge(mw) => self.finish_merge(mw),
                                 Work::Commit(cw) => self.finish_commit(cw),
                             }
                         }
-                        true
                     }
-                    None => false,
-                };
-                if !claimed {
-                    let idle0 = self.profile.then(std::time::Instant::now);
-                    let mut g = self.gate.lock();
-                    loop {
+                    None => {
+                        let g = self.gate.lock();
                         if g.done {
-                            if let Some(t) = idle0 {
-                                prof.idle_ns += t.elapsed().as_nanos() as u64;
-                            }
-                            break 'outer;
+                            return Drain::Done;
                         }
-                        if g.gen != gen {
-                            gen = g.gen;
-                            work = g.work.clone();
+                        if g.gen == gen {
+                            return Drain::Stalled(gen);
+                        }
+                        gen = g.gen;
+                        work = g.work.clone();
+                    }
+                }
+            }
+        }
+
+        fn worker_loop(&self, widx: usize) {
+            let mut prof = crate::obs::WorkerProfile::default();
+            loop {
+                match self.drain_phases(&mut prof) {
+                    Drain::Done => break,
+                    Drain::Stalled(gen) => {
+                        let idle0 = self.profile.then(std::time::Instant::now);
+                        let mut g = self.gate.lock();
+                        while !g.done && g.gen == gen {
+                            self.gate_cv.wait(&mut g);
+                        }
+                        let done = g.done;
+                        drop(g);
+                        if let Some(t) = idle0 {
+                            prof.idle_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        if done {
                             break;
                         }
-                        self.gate_cv.wait(&mut g);
-                    }
-                    if let Some(t) = idle0 {
-                        prof.idle_ns += t.elapsed().as_nanos() as u64;
                     }
                 }
             }
@@ -1007,7 +1129,7 @@ mod imp {
         /// the epoch's staged messages, and run — or publish — the commit.
         fn finish_round(&self, round: &[usize]) {
             // 1. Yielded tasks re-enter first, in their epoch order.
-            let mut next = self.idx_pool.take();
+            let mut next = self.pools.idx_pool.take();
             for &tid in round {
                 if self.slots[tid].intent.load(Ordering::Acquire) == INTENT_YIELD {
                     next.push(tid);
@@ -1145,12 +1267,12 @@ mod imp {
             out: &mut Vec<CommitEntry>,
             dest_major: bool,
         ) {
-            let mut pos = self.idx_pool.take();
-            let mut heap = self.idx_pool.take();
+            let mut pos = self.pools.idx_pool.take();
+            let mut heap = self.pools.idx_pool.take();
             merge_k(runs, out, dest_major, &mut pos, &mut heap);
             pos.clear();
-            self.idx_pool.put(pos);
-            self.idx_pool.put(heap);
+            self.pools.idx_pool.put(pos);
+            self.pools.idx_pool.put(heap);
         }
 
         /// Publish the one chunked merge round over the flat staged
@@ -1172,7 +1294,7 @@ mod imp {
                 .filter(|&(lo, hi)| lo < hi)
                 .collect();
             let outputs = (0..ranges.len())
-                .map(|_| std::cell::UnsafeCell::new(self.entry_pool.take()))
+                .map(|_| std::cell::UnsafeCell::new(self.pools.entry_pool.take()))
                 .collect();
             // Cache the data pointer while this worker still holds the
             // buffer exclusively — claim units must never materialise an
@@ -1212,16 +1334,16 @@ mod imp {
                 total += e - s;
             }
             out.reserve(total);
-            let mut pos = self.idx_pool.take();
-            let mut heap = self.idx_pool.take();
+            let mut pos = self.pools.idx_pool.take();
+            let mut heap = self.pools.idx_pool.take();
             // Safety: `out` has capacity for the whole chunk, and each
             // entry in `chunk`'s bound ranges is moved out exactly once
             // (the finisher resets `flat`'s length before the moved-out
             // entries could drop through the `Vec`).
             unsafe { merge_k_flat(mw.base, chunk, out, mw.dest_major, &mut pos, &mut heap) };
             pos.clear();
-            self.idx_pool.put(pos);
-            self.idx_pool.put(heap);
+            self.pools.idx_pool.put(pos);
+            self.pools.idx_pool.put(heap);
             (hi - lo) as u64
         }
 
@@ -1245,19 +1367,19 @@ mod imp {
                 total += out.len();
                 runs.push(out);
             }
-            let mut merged = self.entry_pool.take();
+            let mut merged = self.pools.entry_pool.take();
             merged.reserve(total);
             self.merge_k_pooled(&mut runs, &mut merged, mw.dest_major);
             for run in runs.drain(..) {
                 if run.capacity() > 0 {
-                    self.entry_pool.put(run);
+                    self.pools.entry_pool.put(run);
                 }
             }
             *self.runs_buf.lock() = runs;
             let next = std::mem::take(&mut *mw.next.lock());
             self.deliver_merged(&mut merged, next, mw.dest_major);
             if merged.capacity() > 0 {
-                self.entry_pool.put(merged);
+                self.pools.entry_pool.put(merged);
             }
         }
 
@@ -1290,12 +1412,12 @@ mod imp {
             if target <= 1 {
                 // Inline fast path: no claim round-trip for small commits
                 // (or a 1-worker pool). Identical output by construction.
-                let mut wakes = self.wake_pool.take();
-                let mut scratch = self.scratch_pool.take();
+                let mut wakes = self.pools.wake_pool.take();
+                let mut scratch = self.pools.scratch_pool.take();
                 push_segments(&self.router, staged.drain(..), &mut wakes, &mut scratch);
-                self.scratch_pool.put(scratch);
+                self.pools.scratch_pool.put(scratch);
                 self.fire_wakes_merged(&mut wakes);
-                self.wake_pool.put(wakes);
+                self.pools.wake_pool.put(wakes);
                 self.finish_epoch(next);
                 return;
             }
@@ -1311,7 +1433,7 @@ mod imp {
             // 64-byte memcpy per message isn't worth that unsafety.)
             let per = staged.len().div_ceil(target);
             let take_shard = || {
-                let mut v = self.entry_pool.take();
+                let mut v = self.pools.entry_pool.take();
                 v.reserve(per + 8);
                 v
             };
@@ -1327,19 +1449,19 @@ mod imp {
             if shards.is_empty() {
                 // One giant destination segment (pure all-to-one fan-in):
                 // a single mailbox must be pushed in order anyway.
-                let mut wakes = self.wake_pool.take();
-                let mut scratch = self.scratch_pool.take();
+                let mut wakes = self.pools.wake_pool.take();
+                let mut scratch = self.pools.scratch_pool.take();
                 push_segments(&self.router, cur.drain(..), &mut wakes, &mut scratch);
-                self.scratch_pool.put(scratch);
-                self.entry_pool.put(cur);
+                self.pools.scratch_pool.put(scratch);
+                self.pools.entry_pool.put(cur);
                 self.fire_wakes_merged(&mut wakes);
-                self.wake_pool.put(wakes);
+                self.pools.wake_pool.put(wakes);
                 self.finish_epoch(next);
                 return;
             }
             shards.push(std::cell::UnsafeCell::new(cur));
             let wakes = (0..shards.len())
-                .map(|_| std::cell::UnsafeCell::new(self.wake_pool.take()))
+                .map(|_| std::cell::UnsafeCell::new(self.pools.wake_pool.take()))
                 .collect();
             let cw = Arc::new(CommitWork {
                 shards,
@@ -1359,16 +1481,16 @@ mod imp {
             // barrier passes.
             let entries = unsafe { &mut *cw.shards[i].get() };
             let wakes = unsafe { &mut *cw.wakes[i].get() };
-            let mut scratch = self.scratch_pool.take();
+            let mut scratch = self.pools.scratch_pool.take();
             push_segments(&self.router, entries.drain(..), wakes, &mut scratch);
-            self.scratch_pool.put(scratch);
+            self.pools.scratch_pool.put(scratch);
         }
 
         /// All shards are pushed: merge the deferred wake-ups in global
         /// key order (bit-identical to the serial commit's wake order) and
         /// close out the epoch.
         fn finish_commit(&self, cw: &CommitWork) {
-            let mut recs = self.wake_pool.take();
+            let mut recs = self.pools.wake_pool.take();
             for (s, slot) in cw.wakes.iter().enumerate() {
                 // Safety: the commit barrier has passed; no worker holds a
                 // shard any more.
@@ -1382,7 +1504,7 @@ mod imp {
                 }
                 let ws = std::mem::take(ws);
                 if ws.capacity() > 0 {
-                    self.wake_pool.put(ws);
+                    self.pools.wake_pool.put(ws);
                 }
             }
             // Recycle the drained shard vectors (their capacity) for the
@@ -1390,11 +1512,11 @@ mod imp {
             for cell in &cw.shards {
                 let v = std::mem::take(unsafe { &mut *cell.get() });
                 if v.capacity() > 0 {
-                    self.entry_pool.put(v);
+                    self.pools.entry_pool.put(v);
                 }
             }
             self.fire_wakes_merged(&mut recs);
-            self.wake_pool.put(recs);
+            self.pools.wake_pool.put(recs);
             let next = std::mem::take(&mut *cw.next.lock());
             self.finish_epoch(next);
         }
@@ -1483,6 +1605,13 @@ mod imp {
                 let mut g = self.gate.lock();
                 g.done = true;
                 self.gate_cv.notify_all();
+                drop(g);
+                // Under a fleet, completion must also wake sweeping
+                // workers parked on the fleet condvar so one of them
+                // reaps this universe (and admits the next).
+                if let Some(sig) = &self.signal {
+                    sig.notify();
+                }
             } else {
                 self.publish_tasks(next);
             }
@@ -1510,7 +1639,7 @@ mod imp {
             };
             if next.capacity() > 0 {
                 next.clear();
-                self.idx_pool.put(next);
+                self.pools.idx_pool.put(next);
             }
             self.publish(Work::Tasks(arc));
         }
@@ -1535,6 +1664,15 @@ mod imp {
                 self.gate_cv.notify_all();
             }
             drop(g);
+            // Same rule for a fleet's pool: multi-unit phases invite idle
+            // workers in; one-unit phases stay with the publishing worker
+            // (its `drain_phases` claim loop serves them without ever
+            // leaving the universe).
+            if units > 1 {
+                if let Some(sig) = &self.signal {
+                    sig.notify();
+                }
+            }
             // The displaced round vector feeds a later `publish_tasks`
             // (its `Arc` becomes unique once every worker re-reads the
             // gate); merge/commit work is dropped as usual.
@@ -1991,7 +2129,7 @@ mod imp {
 pub use imp::yield_now;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub(crate) use imp::{
-    claim_coop, current_poisoned, probe_coop, record_panic, try_stage_send, Scheduler,
+    claim_coop, current_poisoned, probe_coop, record_panic, try_stage_send, SchedPools, Scheduler,
 };
 
 // ---------------------------------------------------------------------------

@@ -394,24 +394,13 @@ impl Universe {
             }
         };
 
-        let per_rank = results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("rank completed"))
-            .collect();
-        let clocks = states.iter().map(|s| s.now()).collect();
-        let traffic = router.traffic();
-        let mut metrics = router.metrics_base();
-        (metrics.epochs, metrics.wakeups, metrics.switches) = sched_counters;
-        let trace = router.collect_trace();
-        SimResult {
-            per_rank,
-            clocks,
-            traffic,
-            metrics,
-            trace,
+        assemble_result(
+            &router,
+            &states,
+            results.into_inner(),
+            sched_counters,
             sched_profile,
-        }
+        )
     }
 
     /// Thread backend: one scoped OS thread per rank.
@@ -475,6 +464,10 @@ impl Universe {
             cfg.sort_algo,
             cfg.coop_commit_shards,
             cfg.sched_profile,
+            // A solo run owns a private pool set; only a fleet
+            // ([`crate::sched::fleet::Fleet`]) shares one across universes.
+            Arc::new(sched::SchedPools::default()),
+            None,
         );
         let store = scheduler.panic_store();
         for (rank, state) in states.iter().enumerate() {
@@ -499,17 +492,7 @@ impl Universe {
                 scheduler.spawn(rank, erase_body_lifetime(Box::new(body)));
             }
         }
-        // Deterministic seeded initial run order.
-        let mut order: Vec<usize> = (0..p).collect();
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed
-                .wrapping_mul(0xD1B5_4A32_D192_ED03)
-                .wrapping_add(0x9E6D),
-        );
-        for i in (1..p).rev() {
-            let j = rng.gen_range(0..i + 1);
-            order.swap(i, j);
-        }
+        let order = seeded_order(p, cfg.seed);
         if let Some((_rank, payload)) = scheduler.run(cfg.coop_workers, &order) {
             std::panic::resume_unwind(payload);
         }
@@ -543,6 +526,55 @@ impl Universe {
         F: Fn(ProcEnv) -> R + Send + Sync,
     {
         Universe::run(p, SimConfig::default(), f)
+    }
+}
+
+/// The deterministic seeded initial run order of a cooperative run: a
+/// Fisher–Yates shuffle of `0..p` driven by a hash of the config seed.
+/// Shared verbatim by [`Universe::run`] and fleet admission
+/// ([`crate::sched::fleet::Fleet::submit`]) so a universe starts from the
+/// same epoch-1 order whichever path launched it.
+pub(crate) fn seeded_order(p: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..p).collect();
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0xD1B5_4A32_D192_ED03)
+            .wrapping_add(0x9E6D),
+    );
+    for i in (1..p).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Assemble a [`SimResult`] from a completed run's raw state. Shared by
+/// [`Universe::run`] and fleet completion so the two paths can never
+/// drift: per-rank values, final clocks, traffic, the deterministic
+/// metrics snapshot (with the scheduler's epoch/wakeup/switch counters
+/// spliced in), the optional trace, and the optional wall-clock profile.
+pub(crate) fn assemble_result<R>(
+    router: &Arc<Router>,
+    states: &[Arc<ProcState>],
+    results: Vec<Option<R>>,
+    sched_counters: (u64, u64, u64),
+    sched_profile: Option<crate::obs::SchedProfile>,
+) -> SimResult<R> {
+    let per_rank = results
+        .into_iter()
+        .map(|r| r.expect("rank completed"))
+        .collect();
+    let clocks = states.iter().map(|s| s.now()).collect();
+    let traffic = router.traffic();
+    let mut metrics = router.metrics_base();
+    (metrics.epochs, metrics.wakeups, metrics.switches) = sched_counters;
+    let trace = router.collect_trace();
+    SimResult {
+        per_rank,
+        clocks,
+        traffic,
+        metrics,
+        trace,
+        sched_profile,
     }
 }
 

@@ -67,77 +67,99 @@ const WARMUP: usize = ITERS / 2;
 /// into its size class in one take.
 const CHUNK: usize = 16;
 
-/// One full storm run. Returns rank 0's allocation-counter snapshot
-/// after each iteration's closing barrier, plus the run's total count.
-fn storm_run(seed: u64) -> (Vec<u64>, u64) {
-    let before = ALLOCS.load(Ordering::Relaxed);
-    // Pin every knob the measurement depends on: 1 worker (inline
-    // commits, shared thread-locals) and the merge ordering (the sort
-    // oracle's stable `sort_by_key` allocates scratch by design).
-    let cfg = SimConfig::cooperative()
+/// The storm program, as a plain `fn` so the same body (and thus the
+/// same allocation profile) runs both solo and under a [`mpisim::Fleet`].
+fn storm_body(env: mpisim::ProcEnv) -> Vec<u64> {
+    let w = &env.world;
+    let r = w.rank();
+    let p = w.size();
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
+    let payload: [u64; CHUNK] = std::array::from_fn(|k| (r * CHUNK + k) as u64);
+    let mut snaps = if r == 0 {
+        Vec::with_capacity(ITERS)
+    } else {
+        Vec::new()
+    };
+    for i in 0..ITERS {
+        // Ring point-to-point: the staged-exchange payload path.
+        w.send(&payload, next, 100).unwrap();
+        let (v, st) = w.recv::<u64>(Src::Rank(prev), 100).unwrap();
+        assert_eq!((st.source, v.len()), (prev, CHUNK));
+        pool::recycle_vec(v);
+        // Binomial reduce to rank 0 (pooled accumulator).
+        if let Some(acc) = coll::reduce(w, &payload, 0, 200, ops::sum::<u64>()).unwrap() {
+            pool::recycle_vec(acc);
+        }
+        // Hillis–Steele inclusive scan (pooled accumulator).
+        let s = coll::scan(w, &payload, 300, ops::sum::<u64>()).unwrap();
+        pool::recycle_vec(s);
+        // JQuick-style staged exchange: tag a locally sorted chunk
+        // with positions, run-length encode, ship both frames to
+        // the ring neighbour, decode, recycle. This is exactly the
+        // wire format of the sample sort's data exchange.
+        let mut tagged: Vec<(u64, u64)> = pool::take_vec(CHUNK);
+        let base = ((i * p + r) * CHUNK) as u64;
+        for (k, &x) in payload.iter().enumerate() {
+            tagged.push((x, base + k as u64));
+        }
+        tagged.sort_unstable_by_key(|&(_, pos)| pos);
+        let (runs, vals) = distsort::encode_runs(tagged);
+        w.send(&runs, next, 500).unwrap();
+        w.send_vec(vals, next, 501).unwrap();
+        pool::recycle_vec(runs);
+        let (rruns, _) = w.recv::<(u64, u64)>(Src::Rank(prev), 500).unwrap();
+        let (rvals, _) = w.recv::<u64>(Src::Rank(prev), 501).unwrap();
+        let decoded = distsort::decode_runs(&rruns, rvals);
+        assert_eq!(decoded.len(), CHUNK);
+        pool::recycle_vec(rruns);
+        pool::recycle_vec(decoded);
+        // Quiesce the iteration, then snapshot the global counter.
+        // With one worker everything — rank fibers and the commit
+        // machinery — runs on this very thread, so the read races
+        // with nothing.
+        coll::barrier(w, 400).unwrap();
+        if r == 0 {
+            snaps.push(ALLOCS.load(Ordering::Relaxed));
+        }
+    }
+    snaps
+}
+
+/// Every knob the measurement depends on, pinned: 1 worker (inline
+/// commits, shared thread-locals) and the merge ordering (the sort
+/// oracle's stable `sort_by_key` allocates scratch by design).
+fn storm_cfg(seed: u64) -> SimConfig {
+    SimConfig::cooperative()
         .with_seed(seed)
         .with_workers(1)
-        .with_sort_algo(SortAlgo::Merge);
-    let res = Universe::run(P, cfg, |env| {
-        let w = &env.world;
-        let r = w.rank();
-        let p = w.size();
-        let next = (r + 1) % p;
-        let prev = (r + p - 1) % p;
-        let payload: [u64; CHUNK] = std::array::from_fn(|k| (r * CHUNK + k) as u64);
-        let mut snaps = if r == 0 {
-            Vec::with_capacity(ITERS)
-        } else {
-            Vec::new()
-        };
-        for i in 0..ITERS {
-            // Ring point-to-point: the staged-exchange payload path.
-            w.send(&payload, next, 100).unwrap();
-            let (v, st) = w.recv::<u64>(Src::Rank(prev), 100).unwrap();
-            assert_eq!((st.source, v.len()), (prev, CHUNK));
-            pool::recycle_vec(v);
-            // Binomial reduce to rank 0 (pooled accumulator).
-            if let Some(acc) = coll::reduce(w, &payload, 0, 200, ops::sum::<u64>()).unwrap() {
-                pool::recycle_vec(acc);
-            }
-            // Hillis–Steele inclusive scan (pooled accumulator).
-            let s = coll::scan(w, &payload, 300, ops::sum::<u64>()).unwrap();
-            pool::recycle_vec(s);
-            // JQuick-style staged exchange: tag a locally sorted chunk
-            // with positions, run-length encode, ship both frames to
-            // the ring neighbour, decode, recycle. This is exactly the
-            // wire format of the sample sort's data exchange.
-            let mut tagged: Vec<(u64, u64)> = pool::take_vec(CHUNK);
-            let base = ((i * p + r) * CHUNK) as u64;
-            for (k, &x) in payload.iter().enumerate() {
-                tagged.push((x, base + k as u64));
-            }
-            tagged.sort_unstable_by_key(|&(_, pos)| pos);
-            let (runs, vals) = distsort::encode_runs(tagged);
-            w.send(&runs, next, 500).unwrap();
-            w.send_vec(vals, next, 501).unwrap();
-            pool::recycle_vec(runs);
-            let (rruns, _) = w.recv::<(u64, u64)>(Src::Rank(prev), 500).unwrap();
-            let (rvals, _) = w.recv::<u64>(Src::Rank(prev), 501).unwrap();
-            let decoded = distsort::decode_runs(&rruns, rvals);
-            assert_eq!(decoded.len(), CHUNK);
-            pool::recycle_vec(rruns);
-            pool::recycle_vec(decoded);
-            // Quiesce the iteration, then snapshot the global counter.
-            // With one worker everything — rank fibers and the commit
-            // machinery — runs on this very thread, so the read races
-            // with nothing.
-            coll::barrier(w, 400).unwrap();
-            if r == 0 {
-                snaps.push(ALLOCS.load(Ordering::Relaxed));
-            }
-        }
-        snaps
-    });
+        .with_sort_algo(SortAlgo::Merge)
+}
+
+/// One full solo storm run. Returns rank 0's allocation-counter
+/// snapshot after each iteration's closing barrier, plus the run's
+/// total count.
+fn storm_run(seed: u64) -> (Vec<u64>, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let res = Universe::run(P, storm_cfg(seed), storm_body);
     let total = ALLOCS.load(Ordering::Relaxed) - before;
     let snaps = res.per_rank.into_iter().next().unwrap();
     assert_eq!(snaps.len(), ITERS);
     (snaps, total)
+}
+
+/// The same storm admitted into a persistent single-worker fleet. The
+/// rank fibers and the whole commit machinery run on the one fleet
+/// worker thread, so that thread's pool caches — not this thread's —
+/// are the ones being warmed, and the in-body counter snapshots still
+/// race with nothing: the submitter blocks in `join` and the sweep's
+/// own bookkeeping happens strictly outside the program body.
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn fleet_storm_run(fleet: &mpisim::Fleet, seed: u64) -> Vec<u64> {
+    let res = fleet.submit(P, storm_cfg(seed), storm_body).join();
+    let snaps = res.per_rank.into_iter().next().unwrap();
+    assert_eq!(snaps.len(), ITERS);
+    snaps
 }
 
 #[test]
@@ -182,5 +204,30 @@ fn steady_state_epochs_allocate_nothing() {
             deltas.iter().all(|&d| d == 0),
             "{label} iterations allocated despite warm pools: {deltas:?}"
         );
+    }
+
+    // Fleet mode: the shared worker pool hands its `SchedPools` and its
+    // worker thread's payload-pool caches to every admitted universe.
+    // Universe #1 warms the fleet (its worker thread starts cold);
+    // universe #2 of an already-seen shape must then go allocation-free
+    // inside the universe warm-up bound, exactly like a warm solo run —
+    // admitting a fresh universe into a warm fleet costs setup only.
+    #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let fleet = mpisim::Fleet::new(1, 1);
+        let _cold = fleet_storm_run(&fleet, 42);
+        for run in 2..=3 {
+            let snaps = fleet_storm_run(&fleet, 42);
+            let deltas: Vec<u64> = snaps
+                .windows(2)
+                .skip(UNIVERSE_WARMUP - 1)
+                .map(|w| w[1] - w[0])
+                .collect();
+            assert!(
+                deltas.iter().all(|&d| d == 0),
+                "fleet run {run} allocated in the epoch hot path despite \
+                 a warm fleet: {deltas:?}"
+            );
+        }
     }
 }
