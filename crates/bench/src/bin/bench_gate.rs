@@ -88,6 +88,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let json = gate::baseline_json(&current);
+        // Create the parent directory first: a bare write would die with an
+        // anonymous NotFound when run outside the crate root.
+        if let Some(dir) = std::path::Path::new(&baseline_path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "bench_gate: cannot create directory {} for {baseline_path}: {e}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         if let Err(e) = std::fs::write(&baseline_path, json) {
             eprintln!("bench_gate: cannot write {baseline_path}: {e}");
             return ExitCode::FAILURE;

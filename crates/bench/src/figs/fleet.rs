@@ -201,10 +201,8 @@ fn oracle_probe() {
     }
     drop(fleet);
 
-    let dir = std::path::Path::new("results");
-    let _ = std::fs::create_dir_all(dir);
-    std::fs::write(dir.join("fleet_oracle_solo.txt"), &solo_text).unwrap();
-    std::fs::write(dir.join("fleet_oracle_fleet.txt"), &fleet_text).unwrap();
+    crate::write_artifact("results/fleet_oracle_solo.txt", &solo_text);
+    crate::write_artifact("results/fleet_oracle_fleet.txt", &fleet_text);
     eprintln!("fleet: wrote results/fleet_oracle_{{solo,fleet}}.txt");
     assert_eq!(
         solo_text, fleet_text,

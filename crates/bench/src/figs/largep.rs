@@ -1,13 +1,17 @@
-//! Large-p sweep: the paper's headline regime, p = 2^10 .. 2^15 simulated
-//! processes, runnable only on the cooperative scheduler backend (the
-//! thread backend tops out around 2^9 OS threads).
+//! Large-p sweep: the paper's headline regime and beyond — p = 2^10 ..
+//! 2^15 on the cooperative fiber backend, and up to **p = 2^20** under
+//! `MPISIM_BACKEND=poll`, where every rank is a stackless poll-mode body
+//! (a few hundred bytes of future state instead of a 128 KiB fiber stack
+//! plus guard-page VMAs). Rows at shared p are **byte-identical** across
+//! the two backends — CI diffs the CSVs — so the tail of the sweep is a
+//! genuine extension of the same experiment, not a different one.
 //!
 //! Two tables:
 //!
 //! 1. **Communicator creation at scale** — RBC `split` (O(1), local) vs
 //!    native `MPI_Comm_create_group` (mask agreement over the new group)
-//!    vs native `MPI_Comm_split`. The split column runs the **full range
-//!    to 2^15**: `Comm::split` is the distributed sample sort of
+//!    vs native `MPI_Comm_split`. The split column runs the **full range**:
+//!    `Comm::split` is the distributed sample sort of
 //!    `mpisim::splitdist` (O(√p) simulator memory per rank, plus a
 //!    transient O(segment) member list on each segment-gathering leader —
 //!    linear aggregate memory), not the textbook all-gather whose Θ(p²)
@@ -23,14 +27,24 @@
 //! split growing with log p (a constant number of parent-wide collectives
 //! dominated by α·log p, plus the √p-element leader sorts); JQuick's
 //! makespan polylogarithmic in p at fixed n/p.
+//!
+//! Sweep control: `BENCH_QUICK=1` caps the sweep at 2^12 (both backends —
+//! the quick poll and fiber sweeps cover the same p, which is what the CI
+//! byte-diff compares); the poll backend otherwise extends the fiber range
+//! with the sparse tail {2^16, 2^18, 2^20}. `LARGEP_MAX_EXP=<e>` caps the
+//! sweep at 2^e (lenient: unparsable values are ignored), and under the
+//! poll backend an explicit cap opts the tail in even in quick mode, so
+//! CI can run `BENCH_QUICK=1 LARGEP_MAX_EXP=18` as a bounded
+//! past-the-ceiling smoke.
 
-use jquick::{jquick_sort, JQuickConfig, Layout, RbcBackend};
-use mpisim::{coll, SimConfig, Time, Transport, Universe};
+use jquick::{jquick_sort_async, JQuickConfig, Layout, RbcBackend};
+use mpisim::{coll, Backend, SimConfig, Time, Transport, Universe};
 use rbc::RbcComm;
 
-use crate::{measure, ms, quick_mode, reps, write_bench_json, Table};
+use crate::{measure_async, ms, quick_mode, reps, write_artifact, write_bench_json, Table};
 
-/// Largest process exponent of this sweep (paper: 2^15).
+/// Largest process exponent of the fiber-backed part of the sweep
+/// (paper: 2^15).
 fn max_exp() -> u32 {
     if quick_mode() {
         12
@@ -39,12 +53,34 @@ fn max_exp() -> u32 {
     }
 }
 
+/// The swept process exponents for the configured backend: the shared
+/// fiber range, plus the sparse poll-only tail {2^16, 2^18, 2^20} past
+/// the fiber ceiling. `LARGEP_MAX_EXP` caps both parts — and, under the
+/// poll backend, an explicit cap opts the tail in even in quick mode, so
+/// CI can run e.g. `BENCH_QUICK=1 LARGEP_MAX_EXP=18` as a bounded
+/// past-the-ceiling smoke without paying for the full fiber range.
+fn exps(backend: Backend) -> Vec<u32> {
+    let cap = std::env::var("LARGEP_MAX_EXP")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok());
+    let mut v: Vec<u32> = (10..=max_exp().min(cap.unwrap_or(u32::MAX))).collect();
+    if backend == Backend::Poll {
+        let tail_cap = match cap {
+            Some(c) => c,
+            None if quick_mode() => 0,
+            None => 20,
+        };
+        v.extend([16u32, 18, 20].into_iter().filter(|&e| e <= tail_cap));
+    }
+    v
+}
+
 fn coop() -> SimConfig {
     SimConfig::cooperative()
 }
 
 fn rbc_split_time(p: usize) -> Time {
-    measure(p, coop(), reps(3), move |env, _| {
+    measure_async(p, coop(), reps(3), move |env, _| async move {
         let world = RbcComm::create(&env.world);
         let r = world.rank();
         let (f, l) = if r < p / 2 {
@@ -52,7 +88,7 @@ fn rbc_split_time(p: usize) -> Time {
         } else {
             (p / 2, p - 1)
         };
-        world.barrier().unwrap();
+        world.barrier_async().await.unwrap();
         let t0 = env.now();
         let _c = world.split(f, l).unwrap();
         env.now() - t0
@@ -60,43 +96,44 @@ fn rbc_split_time(p: usize) -> Time {
 }
 
 fn create_group_time(p: usize) -> Time {
-    measure(p, coop(), reps(3), move |env, rep| {
+    measure_async(p, coop(), reps(3), move |env, rep| async move {
         let w = &env.world;
         let g = if w.rank() < p / 2 {
             mpisim::Group::range(0, 1, p / 2)
         } else {
             mpisim::Group::range(p / 2, 1, p - p / 2)
         };
-        w.barrier().unwrap();
+        w.barrier_async().await.unwrap();
         let t0 = env.now();
-        let _c = w.create_group(&g, 100 + rep as u64).unwrap();
+        let _c = w.create_group_async(&g, 100 + rep as u64).await.unwrap();
         env.now() - t0
     })
 }
 
 fn native_split_time(p: usize) -> Time {
-    measure(p, coop(), reps(3), move |env, _| {
+    measure_async(p, coop(), reps(3), move |env, _| async move {
         let w = &env.world;
         let color = u64::from(w.rank() >= p / 2);
-        w.barrier().unwrap();
+        w.barrier_async().await.unwrap();
         let t0 = env.now();
-        let _c = w.split(color, w.rank() as u64).unwrap();
+        let _c = w.split_async(color, w.rank() as u64).await.unwrap();
         env.now() - t0
     })
 }
 
 fn jquick_time(p: usize, n_per: u64) -> Time {
     let n = n_per * p as u64;
-    measure(p, coop(), reps(2), move |env, rep| {
+    measure_async(p, coop(), reps(2), move |env, rep| async move {
         let w = &env.world;
         let layout = Layout::new(n, p as u64);
         let m = layout.cap(w.rank() as u64);
         let data: Vec<u64> = (0..m)
             .map(|i| (i * p as u64 + (p as u64 - 1 - w.rank() as u64) + rep as u64) % n.max(1))
             .collect();
-        coll::barrier(w, 3).unwrap();
+        coll::barrier_async(w, 3).await.unwrap();
         let t0 = env.now();
-        let out = jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default())
+        let out = jquick_sort_async(&RbcBackend, w, data, n, &JQuickConfig::default())
+            .await
             .unwrap()
             .0;
         let dt = env.now() - t0;
@@ -110,8 +147,8 @@ fn jquick_time(p: usize, n_per: u64) -> Time {
 ///
 /// * `results/largep_trace.txt` — the canonical text rendering of the
 ///   deterministic trace. CI byte-diffs this file across
-///   `MPISIM_COOP_WORKERS` and `MPISIM_COOP_COMMIT` settings; any
-///   difference means scheduling leaked into the model.
+///   `MPISIM_COOP_WORKERS`, `MPISIM_COOP_COMMIT`, and `MPISIM_BACKEND`
+///   settings; any difference means scheduling leaked into the model.
 /// * Chrome `trace_event` JSON (default `results/largep_trace.json`,
 ///   overridable via `MPISIM_TRACE_OUT`) — drop into Perfetto /
 ///   `chrome://tracing`, one track per rank in virtual microseconds.
@@ -123,41 +160,44 @@ pub fn traced_slice() {
     let p = 1usize << 10;
     let n = 8 * p as u64;
     let cfg = coop().with_trace(true).with_sched_profile(true);
-    let res = Universe::run(p, cfg, move |env| {
+    let res = Universe::run_poll(p, cfg, move |env| async move {
         let w = &env.world;
         let layout = Layout::new(n, p as u64);
         let m = layout.cap(w.rank() as u64);
         let data: Vec<u64> = (0..m)
             .map(|i| (i * p as u64 + (p as u64 - 1 - w.rank() as u64)) % n.max(1))
             .collect();
-        let out = jquick_sort(&RbcBackend, w, data, n, &JQuickConfig::default())
+        let out = jquick_sort_async(&RbcBackend, w, data, n, &JQuickConfig::default())
+            .await
             .unwrap()
             .0;
         assert_eq!(out.len() as u64, m, "JQuick must stay perfectly balanced");
     });
-    std::fs::create_dir_all("results").unwrap();
     let trace = res.trace.expect("tracing was requested");
     let chrome_path = mpisim::env::trace_out_from(mpisim::env::var("MPISIM_TRACE_OUT").as_deref())
         .unwrap_or_else(|| "results/largep_trace.json".to_string());
-    std::fs::write(&chrome_path, trace.to_chrome_json()).unwrap();
-    std::fs::write("results/largep_trace.txt", trace.to_text()).unwrap();
+    write_artifact(&chrome_path, trace.to_chrome_json());
+    write_artifact("results/largep_trace.txt", trace.to_text());
     eprintln!(
         "largep: traced slice at p = {p}: {} events -> {chrome_path} + results/largep_trace.txt",
         trace.events.len()
     );
     let profile = res.sched_profile.expect("profiling was requested");
-    std::fs::write("results/BENCH_sched_profile.json", profile.to_json()).unwrap();
+    write_artifact("results/BENCH_sched_profile.json", profile.to_json());
     eprintln!("largep: wrote results/BENCH_sched_profile.json");
 }
 
 /// Regenerate the large-p tables and write their CSVs plus a
 /// machine-readable `results/BENCH_largep.json` (virtual times, per-point
 /// host wall-clock, and the cooperative worker count — the artefact CI
-/// diffs byte-wise across worker counts: the virtual-time columns must be
-/// identical for any `MPISIM_COOP_WORKERS`, only wall-clock may differ,
-/// which is why wall-clock lives in the JSON and not the CSVs).
+/// diffs byte-wise across worker counts **and backends**: the
+/// virtual-time columns must be identical for any `MPISIM_COOP_WORKERS`
+/// and, at shared p, for `MPISIM_BACKEND=poll` vs fiber; only wall-clock
+/// may differ, which is why wall-clock lives in the JSON and not the
+/// CSVs).
 pub fn run() -> Vec<Table> {
-    let workers = SimConfig::cooperative().coop_workers;
+    let cfg = SimConfig::cooperative();
+    let (workers, backend) = (cfg.coop_workers, cfg.backend);
     let t_start = std::time::Instant::now();
     let mut comms = Table::new(
         "Large p — splitting a communicator of p processes into halves (cooperative backend)",
@@ -175,7 +215,7 @@ pub fn run() -> Vec<Table> {
         &["JQuick sweep wall-clock"],
         "s",
     );
-    for e in 10..=max_exp() {
+    for e in exps(backend) {
         let p = 1usize << e;
         comms.push(
             p as u64,

@@ -190,6 +190,7 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
         match c {
             b'"' => return Ok(out),
             b'\\' => {
+                let at = *i - 1;
                 let e = *b.get(*i).ok_or("unterminated escape")?;
                 *i += 1;
                 out.push(match e {
@@ -199,7 +200,16 @@ fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
                     b'"' => '"',
                     b'\\' => '\\',
                     b'/' => '/',
-                    other => other as char, // the harness never emits \uXXXX
+                    // The harness never emits \uXXXX (or anything else):
+                    // reject rather than silently decoding `A` as a
+                    // literal 'u' — a corrupt baseline must fail the parse,
+                    // not produce a baseline with mangled metric names.
+                    other => {
+                        return Err(format!(
+                            "unsupported escape '\\{}' in string at byte {at}",
+                            other as char
+                        ))
+                    }
                 });
             }
             _ => out.push(c as char),
@@ -515,6 +525,19 @@ mod tests {
         ];
         let doc = parse(&baseline_json(&metrics)).unwrap();
         assert_eq!(baseline_metrics(&doc), metrics);
+    }
+
+    #[test]
+    fn unknown_escapes_are_parse_errors_not_silent_chars() {
+        // `\u0041` must not silently decode as a literal 'u' + "0041".
+        let err = parse(r#"{"metrics":[{"id":"a\u0041","ns":1.0}]}"#).unwrap_err();
+        assert!(err.contains("\\u"), "{err}");
+        // Any other unknown escape is rejected the same way.
+        let err = parse(r#"{"id":"a\x41"}"#).unwrap_err();
+        assert!(err.contains("\\x"), "{err}");
+        // A string ending in a lone backslash is an unterminated escape.
+        let err = parse("{\"id\":\"a\\").unwrap_err();
+        assert!(err.contains("unterminated escape"), "{err}");
     }
 
     #[test]

@@ -206,11 +206,37 @@ where
         }
         times
     });
-    // Per rep: max over ranks; then mean over reps.
+    makespan_mean(&res.per_rank, reps)
+}
+
+/// Maybe-async twin of [`measure`]: the per-rep operation is an `async fn`,
+/// so one kernel serves every backend — under the fiber or thread backend
+/// it completes inside `block_inline`, and under `Backend::Poll` it
+/// suspends at blocking calls and runs as a stackless poll-mode rank body,
+/// which is what lets sweeps continue past the fiber ceiling (p > 2^15).
+pub fn measure_async<F, Fut>(p: usize, cfg: SimConfig, reps: usize, op: F) -> Time
+where
+    F: Fn(mpisim::ProcEnv, usize) -> Fut + Send + Sync,
+    Fut: std::future::Future<Output = Time> + Send,
+{
+    let res = mpisim::Universe::run_poll(p, cfg, |env| {
+        let op = &op;
+        async move {
+            let mut times = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                times.push(op(env.clone(), rep).await);
+            }
+            times
+        }
+    });
+    makespan_mean(&res.per_rank, reps)
+}
+
+/// Per rep: max over ranks; then mean over reps.
+fn makespan_mean(per_rank: &[Vec<Time>], reps: usize) -> Time {
     let mut total = 0u64;
     for rep in 0..reps {
-        let max = res
-            .per_rank
+        let max = per_rank
             .iter()
             .map(|ts| ts[rep].as_nanos())
             .max()
@@ -218,6 +244,27 @@ where
         total += max;
     }
     Time(total / reps as u64)
+}
+
+/// Write a results artefact: create the parent directory first, then panic
+/// with the offending *path* on failure. A bare `fs::write(...).unwrap()`
+/// dies with an anonymous `NotFound` that names neither the file nor the
+/// missing directory — useless when a figure binary runs from an
+/// unexpected working directory.
+pub fn write_artifact(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = fs::create_dir_all(dir) {
+            panic!(
+                "cannot create directory {} for artifact {}: {e}",
+                dir.display(),
+                path.display()
+            );
+        }
+    }
+    if let Err(e) = fs::write(path, contents) {
+        panic!("cannot write artifact {}: {e}", path.display());
+    }
 }
 
 /// Convert to the milliseconds the tables report.
@@ -255,6 +302,30 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.lines().any(|l| l == "1,0.500000,"), "{csv}");
         assert!(!csv.contains("NaN"), "{csv}");
+    }
+
+    #[test]
+    fn write_artifact_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("rbc_bench_artifact_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/deep/file.csv");
+        write_artifact(&path, "x,y\n");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "x,y\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn measure_async_matches_measure() {
+        let cfg = || SimConfig::cooperative().with_seed(9);
+        let sync = measure(4, cfg(), 2, |env, _| {
+            env.world.barrier().unwrap();
+            env.now()
+        });
+        let fut = measure_async(4, cfg(), 2, |env, _| async move {
+            env.world.barrier_async().await.unwrap();
+            env.now()
+        });
+        assert_eq!(sync, fut);
     }
 
     #[test]

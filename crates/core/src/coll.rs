@@ -53,6 +53,13 @@ impl RbcComm {
         coll::barrier(self, tags::BARRIER)
     }
 
+    /// Maybe-async twin of [`RbcComm::barrier`]: identical rounds and
+    /// tags, but suspends instead of blocking so it can run inside a
+    /// poll-mode rank body (`Backend::Poll`).
+    pub async fn barrier_async(&self) -> Result<()> {
+        coll::barrier_async(self, tags::BARRIER).await
+    }
+
     /// All-reduce (extension; reduce + bcast).
     pub fn allreduce<T: Datum>(&self, data: &[T], op: impl Fn(&T, &T) -> T) -> Result<Vec<T>> {
         coll::allreduce(self, data, tags::ALLREDUCE, op)

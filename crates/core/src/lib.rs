@@ -84,15 +84,12 @@ pub fn test(req: &mut impl Progress) -> Result<bool> {
 
 /// `rbc::Wait` — repeatedly test until complete.
 pub fn wait(req: &mut impl Progress) -> Result<()> {
-    let timeout = req
-        .proc_state()
-        .map_or(mpisim::nbcoll::WAIT_TIMEOUT, |s| s.router.recv_timeout);
-    let deadline = std::time::Instant::now() + timeout;
+    let mut stall = mpisim::nbcoll::stall_guard(req.proc_state());
     loop {
         if req.poll()? {
             return Ok(());
         }
-        if std::time::Instant::now() > deadline {
+        if stall.stalled() {
             return Err(match req.proc_state() {
                 Some(s) => mpisim::MpiError::Timeout {
                     rank: s.global_rank,

@@ -54,6 +54,19 @@ pub trait Backend: Send + Sync {
     /// blocking collective over the new group.
     fn split_range(&self, parent: &Self::C, f: usize, l: usize, tag: Tag) -> Result<Self::C>;
 
+    /// Maybe-async twin of [`Backend::split_range`]: identical result, but
+    /// any communication suspends instead of blocking, so the driver can
+    /// run as a poll-mode rank body (`Backend::Poll`). RBC resolves
+    /// synchronously (the split is local); native MPI awaits the
+    /// `create_group` collective.
+    fn split_range_async(
+        &self,
+        parent: &Self::C,
+        f: usize,
+        l: usize,
+        tag: Tag,
+    ) -> impl std::future::Future<Output = Result<Self::C>> + Send;
+
     /// Cost scaling of collective operations on this backend's comms.
     fn coll_scales(&self, c: &Self::C) -> CollScales;
 
@@ -74,6 +87,17 @@ impl Backend for RbcBackend {
 
     fn split_range(&self, parent: &RbcComm, f: usize, l: usize, _tag: Tag) -> Result<RbcComm> {
         parent.split(f, l)
+    }
+
+    async fn split_range_async(
+        &self,
+        parent: &RbcComm,
+        f: usize,
+        l: usize,
+        tag: Tag,
+    ) -> Result<RbcComm> {
+        // RBC splits are local arithmetic — nothing to suspend on.
+        self.split_range(parent, f, l, tag)
     }
 
     fn coll_scales(&self, _c: &RbcComm) -> CollScales {
@@ -99,6 +123,11 @@ impl Backend for MpiBackend {
     fn split_range(&self, parent: &Comm, f: usize, l: usize, tag: Tag) -> Result<Comm> {
         let group = parent.group().subrange(f, l, 1);
         parent.create_group(&group, tag)
+    }
+
+    async fn split_range_async(&self, parent: &Comm, f: usize, l: usize, tag: Tag) -> Result<Comm> {
+        let group = parent.group().subrange(f, l, 1);
+        parent.create_group_async(&group, tag).await
     }
 
     fn coll_scales(&self, c: &Comm) -> CollScales {

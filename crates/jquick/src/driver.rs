@@ -17,9 +17,9 @@
 //! concurrently, and the settled pieces are assembled into the output.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use mpisim::proc::ProcState;
+use mpisim::proc::{ProcState, StallDeadline};
 use mpisim::{coll, Comm, Datum, MpiError, Result, SortKey, Time, Transport};
 
 use crate::backend::{Backend, Schedule};
@@ -33,12 +33,15 @@ use crate::pivot::PivotCfg;
 /// configured receive timeout cannot be consulted).
 const WAVE_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Per-wave deadline: twice the configured blocking-receive timeout, so
-/// the point-to-point deadlock detector (which carries exact blame) gets
-/// to fire first; this is the backstop for pure polling loops.
-fn wave_deadline(state: &Arc<ProcState>) -> Instant {
+/// Arm the per-wave stall detector: twice the configured blocking-receive
+/// timeout, so the point-to-point deadlock detector (which carries exact
+/// blame) gets to fire first; this is the backstop for pure polling
+/// loops. The deadline re-arms on global progress — one wave at p = 2^18
+/// on a single core legitimately outlives any fixed budget while every
+/// rank stays live (see [`StallDeadline`]).
+fn wave_stall(state: &Arc<ProcState>) -> StallDeadline {
     let t = state.router.recv_timeout.min(WAVE_TIMEOUT / 2);
-    Instant::now() + t * 2
+    StallDeadline::new(Some(&state.router), t * 2)
 }
 
 /// User tags for the driver's blocking agreements.
@@ -125,6 +128,25 @@ where
     T: SortKey + Datum,
     B: Backend,
 {
+    mpisim::block_inline(jquick_sort_async(backend, world, data, n, cfg))
+}
+
+/// Maybe-async core of [`jquick_sort`]: the identical algorithm, but every
+/// blocking agreement (the all-equal min/max all-reduce, native
+/// `create_group`, and the polling loops' yields) suspends instead of
+/// parking, so the whole sort can run as a `Backend::Poll` rank body at
+/// process counts beyond the fiber ceiling.
+pub async fn jquick_sort_async<T, B>(
+    backend: &B,
+    world: &Comm,
+    data: Vec<T>,
+    n: u64,
+    cfg: &JQuickConfig,
+) -> Result<(Vec<T>, SortStats)>
+where
+    T: SortKey + Datum,
+    B: Backend,
+{
     let p = world.size() as u64;
     let me = world.rank() as u64;
     let layout = Layout::new(n, p);
@@ -195,7 +217,7 @@ where
             });
             sms.push(sm);
         }
-        poll_all_levels(world.proc_state(), &mut sms)?;
+        poll_all_levels(world.proc_state(), &mut sms).await?;
 
         // 2. Process outcomes left-to-right (the order matters for the
         //    blocking all-equal agreement: leftmost-first is globally
@@ -215,7 +237,7 @@ where
                             .min_by(T::cmp_key)
                             .expect("task load >= 1");
                         let local_max = data.iter().copied().max_by(T::cmp_key).unwrap();
-                        let mm = coll::allreduce(
+                        let mm = coll::allreduce_async(
                             &meta.comm,
                             &[(local_min, local_max)],
                             TAG_MINMAX,
@@ -224,7 +246,8 @@ where
                                 let mx = if b.1.cmp_key(&a.1).is_gt() { b.1 } else { a.1 };
                                 (mn, mx)
                             },
-                        )?[0];
+                        )
+                        .await?[0];
                         if mm.0.cmp_key(&mm.1).is_eq() {
                             // All equal: the task is sorted in place.
                             stats.settled_equal += 1;
@@ -281,12 +304,14 @@ where
             // one process (the cut janus), so per-level tags suffice —
             // source matching disambiguates the rest (§V-A).
             let tag = TAG_CREATE_BASE + pc.level as u64 % 16;
-            let comm = backend.split_range(
-                &pc.parent_comm,
-                (f - pc.parent_first) as usize,
-                (l - pc.parent_first) as usize,
-                tag,
-            )?;
+            let comm = backend
+                .split_range_async(
+                    &pc.parent_comm,
+                    (f - pc.parent_first) as usize,
+                    (l - pc.parent_first) as usize,
+                    tag,
+                )
+                .await?;
             stats.comm_creations += 1;
             active.push(ActiveTask {
                 task: pc.sub,
@@ -314,7 +339,7 @@ where
         }
         bsms.push(BaseSm::start(&wc, layout, me, bt)?);
     }
-    let deadline = wave_deadline(world.proc_state());
+    let mut stall = wave_stall(world.proc_state());
     loop {
         let mut all = true;
         for sm in bsms.iter_mut() {
@@ -323,7 +348,7 @@ where
         if all {
             break;
         }
-        if Instant::now() > deadline {
+        if stall.stalled() {
             let state = world.proc_state();
             return Err(MpiError::Timeout {
                 rank: me as usize,
@@ -332,7 +357,7 @@ where
                 blame: state.stall_blame(),
             });
         }
-        mpisim::yield_now();
+        mpisim::yield_now_async().await;
     }
     for mut sm in bsms {
         settled.push(sm.take().expect("base complete"));
@@ -381,12 +406,12 @@ struct TaskMeta<C> {
 }
 
 /// Round-robin polling of all level machines until completion.
-fn poll_all_levels<T, C>(state: &Arc<ProcState>, sms: &mut [LevelSm<T, C>]) -> Result<()>
+async fn poll_all_levels<T, C>(state: &Arc<ProcState>, sms: &mut [LevelSm<T, C>]) -> Result<()>
 where
     T: SortKey + Datum,
     C: Transport,
 {
-    let deadline = wave_deadline(state);
+    let mut stall = wave_stall(state);
     loop {
         let mut all = true;
         for sm in sms.iter_mut() {
@@ -395,7 +420,7 @@ where
         if all {
             return Ok(());
         }
-        if Instant::now() > deadline {
+        if stall.stalled() {
             return Err(MpiError::Timeout {
                 rank: state.global_rank,
                 waited_for: "level state machines".into(),
@@ -403,7 +428,7 @@ where
                 blame: state.stall_blame(),
             });
         }
-        mpisim::yield_now();
+        mpisim::yield_now_async().await;
     }
 }
 

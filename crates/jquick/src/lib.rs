@@ -54,7 +54,7 @@ pub mod verify;
 pub mod workloads;
 
 pub use backend::{Backend, MpiBackend, RbcBackend, Schedule};
-pub use driver::{jquick_sort, JQuickConfig, SortStats};
+pub use driver::{jquick_sort, jquick_sort_async, JQuickConfig, SortStats};
 pub use exchange::AssignmentKind;
 pub use hypercube::hypercube_sort;
 pub use layout::{Layout, TaskRange};

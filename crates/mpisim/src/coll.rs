@@ -11,6 +11,18 @@
 //! finding that RBC collectives perform like their MPI counterparts: any
 //! measured difference comes from communicator construction and vendor
 //! overheads, not the algorithms.
+//!
+//! # Maybe-async
+//!
+//! Each collective is written **once**, as an `*_async` core whose
+//! blocking receives go through the maybe-async transport primitives
+//! ([`crate::transport::recv_async`] and friends); the synchronous
+//! function of the same name drives the core with
+//! [`crate::sched::poll::block_inline`]. Off the poll backend every await
+//! resolves in place, so the sync wrappers behave exactly as before; on
+//! [`crate::Backend::Poll`] the cores suspend at each blocked receive and
+//! the scheduler re-polls them — one implementation, three backends, and
+//! byte-identical output by construction (DESIGN.md §12).
 
 use std::sync::Arc;
 
@@ -18,7 +30,8 @@ use crate::datum::Datum;
 use crate::error::Result;
 use crate::msg::Tag;
 use crate::obs::{self, OpClass};
-use crate::transport::{Src, Transport};
+use crate::sched::poll::block_inline;
+use crate::transport::{recv_async, recv_shared_async, Src, Transport};
 
 /// Elementwise combine of two equal-length vectors: `acc[i] = op(acc[i], v[i])`
 /// (`v` provides the *left* operand when it comes from lower-ranked data).
@@ -44,6 +57,16 @@ pub fn bcast<T: Datum>(
     root: usize,
     tag: Tag,
 ) -> Result<()> {
+    block_inline(bcast_async(tr, data, root, tag))
+}
+
+/// [`bcast`] as a maybe-async core (see the module docs).
+pub async fn bcast_async<T: Datum>(
+    tr: &impl Transport,
+    data: &mut Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<()> {
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
@@ -57,7 +80,7 @@ pub fn bcast<T: Datum>(
     while mask < p {
         if rel & mask != 0 {
             let src = (rel - mask + root) % p;
-            let (v, _) = tr.recv_shared::<T>(Src::Rank(src), tag)?;
+            let (v, _) = recv_shared_async::<T, _>(tr, Src::Rank(src), tag).await?;
             shared = v;
             break;
         }
@@ -85,6 +108,17 @@ pub fn reduce<T: Datum>(
     tag: Tag,
     op: impl Fn(&T, &T) -> T,
 ) -> Result<Option<Vec<T>>> {
+    block_inline(reduce_async(tr, data, root, tag, op))
+}
+
+/// [`reduce`] as a maybe-async core (see the module docs).
+pub async fn reduce_async<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    root: usize,
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Option<Vec<T>>> {
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
@@ -101,7 +135,7 @@ pub fn reduce<T: Datum>(
             let child = rel | mask;
             if child < p {
                 let src = (child + root) % p;
-                let (v, _) = tr.recv::<T>(Src::Rank(src), tag)?;
+                let (v, _) = recv_async::<T, _>(tr, Src::Rank(src), tag).await?;
                 // Child data comes from higher relative ranks: acc is left.
                 combine_into(&mut acc, &v, &op, false);
                 tr.charge_compute(acc.len());
@@ -124,18 +158,40 @@ pub fn allreduce<T: Datum>(
     tag: Tag,
     op: impl Fn(&T, &T) -> T,
 ) -> Result<Vec<T>> {
+    block_inline(allreduce_async(tr, data, tag, op))
+}
+
+/// [`allreduce`] as a maybe-async core (see the module docs).
+pub async fn allreduce_async<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Vec<T>> {
     // The span nests a reduce and a bcast; each inner span re-attributes
     // its own sends (innermost wins), so allreduce volume splits across
     // the two classes exactly as the algorithm does.
     let _span = obs::span(tr.state(), OpClass::Reduce, "allreduce");
-    let mut out: Vec<T> = reduce(tr, data, 0, tag, op)?.unwrap_or_default();
-    bcast(tr, &mut out, 0, tag)?;
+    let mut out: Vec<T> = reduce_async(tr, data, 0, tag, op)
+        .await?
+        .unwrap_or_default();
+    bcast_async(tr, &mut out, 0, tag).await?;
     Ok(out)
 }
 
 /// Inclusive prefix "sum" (Hillis–Steele over communicator ranks):
 /// rank `i` obtains `op(data_0, ..., data_i)` in ⌈log₂ p⌉ rounds.
 pub fn scan<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Vec<T>> {
+    block_inline(scan_async(tr, data, tag, op))
+}
+
+/// [`scan`] as a maybe-async core (see the module docs).
+pub async fn scan_async<T: Datum>(
     tr: &impl Transport,
     data: &[T],
     tag: Tag,
@@ -152,7 +208,7 @@ pub fn scan<T: Datum>(
             tr.send(&incl, r + d, tag)?;
         }
         if r >= d {
-            let (v, _) = tr.recv::<T>(Src::Rank(r - d), tag)?;
+            let (v, _) = recv_async::<T, _>(tr, Src::Rank(r - d), tag).await?;
             // v covers strictly lower ranks: it is the left operand.
             combine_into(&mut incl, &v, &op, true);
             tr.charge_compute(incl.len());
@@ -171,6 +227,16 @@ pub fn exscan<T: Datum>(
     tag: Tag,
     op: impl Fn(&T, &T) -> T,
 ) -> Result<Option<Vec<T>>> {
+    block_inline(exscan_async(tr, data, tag, op))
+}
+
+/// [`exscan`] as a maybe-async core (see the module docs).
+pub async fn exscan_async<T: Datum>(
+    tr: &impl Transport,
+    data: &[T],
+    tag: Tag,
+    op: impl Fn(&T, &T) -> T,
+) -> Result<Option<Vec<T>>> {
     let p = tr.size();
     let r = tr.rank();
     let _span = obs::span(tr.state(), OpClass::Scan, "exscan");
@@ -183,7 +249,7 @@ pub fn exscan<T: Datum>(
             tr.send(&incl, r + d, tag)?;
         }
         if r >= d {
-            let (v, _) = tr.recv::<T>(Src::Rank(r - d), tag)?;
+            let (v, _) = recv_async::<T, _>(tr, Src::Rank(r - d), tag).await?;
             // v covers ranks [r-2d+1, r-d]; accumulated windows are
             // contiguous, and v is always to the LEFT of what we hold.
             combine_into(&mut incl, &v, &op, true);
@@ -211,6 +277,16 @@ pub fn gatherv<T: Datum>(
     root: usize,
     tag: Tag,
 ) -> Result<Option<Vec<Vec<T>>>> {
+    block_inline(gatherv_async(tr, data, root, tag))
+}
+
+/// [`gatherv`] as a maybe-async core (see the module docs).
+pub async fn gatherv_async<T: Datum>(
+    tr: &impl Transport,
+    data: Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<Option<Vec<Vec<T>>>> {
     let p = tr.size();
     let r = tr.rank();
     tr.check_rank(root)?;
@@ -229,8 +305,8 @@ pub fn gatherv<T: Datum>(
             let child = rel | mask;
             if child < p {
                 let src = (child + root) % p;
-                let (m, _) = tr.recv::<(u64, u64)>(Src::Rank(src), tag)?;
-                let (d, _) = tr.recv::<T>(Src::Rank(src), tag + 1)?;
+                let (m, _) = recv_async::<(u64, u64), _>(tr, Src::Rank(src), tag).await?;
+                let (d, _) = recv_async::<T, _>(tr, Src::Rank(src), tag + 1).await?;
                 meta.extend_from_slice(&m);
                 payload.extend_from_slice(&d);
             }
@@ -261,26 +337,50 @@ pub fn gather<T: Datum>(
     root: usize,
     tag: Tag,
 ) -> Result<Option<Vec<T>>> {
-    Ok(gatherv(tr, data, root, tag)?.map(|per_rank| per_rank.into_iter().flatten().collect()))
+    block_inline(gather_async(tr, data, root, tag))
+}
+
+/// [`gather`] as a maybe-async core (see the module docs).
+pub async fn gather_async<T: Datum>(
+    tr: &impl Transport,
+    data: Vec<T>,
+    root: usize,
+    tag: Tag,
+) -> Result<Option<Vec<T>>> {
+    Ok(gatherv_async(tr, data, root, tag)
+        .await?
+        .map(|per_rank| per_rank.into_iter().flatten().collect()))
 }
 
 /// All-gather of one element per rank (gather to 0 + broadcast).
 pub fn allgather1<T: Datum>(tr: &impl Transport, item: T, tag: Tag) -> Result<Vec<T>> {
+    block_inline(allgather1_async(tr, item, tag))
+}
+
+/// [`allgather1`] as a maybe-async core (see the module docs).
+pub async fn allgather1_async<T: Datum>(tr: &impl Transport, item: T, tag: Tag) -> Result<Vec<T>> {
     let _span = obs::span(tr.state(), OpClass::Gather, "allgather1");
-    let mut all = gather(tr, vec![item], 0, tag)?.unwrap_or_default();
-    bcast(tr, &mut all, 0, tag)?;
+    let mut all = gather_async(tr, vec![item], 0, tag)
+        .await?
+        .unwrap_or_default();
+    bcast_async(tr, &mut all, 0, tag).await?;
     Ok(all)
 }
 
 /// Dissemination barrier: ⌈log₂ p⌉ rounds, no data.
 pub fn barrier(tr: &impl Transport, tag: Tag) -> Result<()> {
+    block_inline(barrier_async(tr, tag))
+}
+
+/// [`barrier`] as a maybe-async core (see the module docs).
+pub async fn barrier_async(tr: &impl Transport, tag: Tag) -> Result<()> {
     let p = tr.size();
     let r = tr.rank();
     let _span = obs::span(tr.state(), OpClass::Barrier, "barrier");
     let mut d = 1usize;
     while d < p {
         tr.send_vec::<u8>(Vec::new(), (r + d) % p, tag)?;
-        tr.recv::<u8>(Src::Rank((r + p - d) % p), tag)?;
+        recv_async::<u8, _>(tr, Src::Rank((r + p - d) % p), tag).await?;
         d <<= 1;
     }
     Ok(())
@@ -289,6 +389,15 @@ pub fn barrier(tr: &impl Transport, tag: Tag) -> Result<()> {
 /// Direct (single-phase) personalized all-to-all with variable counts.
 /// `send[i]` goes to rank `i`; returns the vector received from each rank.
 pub fn alltoallv<T: Datum>(
+    tr: &impl Transport,
+    send: Vec<Vec<T>>,
+    tag: Tag,
+) -> Result<Vec<Vec<T>>> {
+    block_inline(alltoallv_async(tr, send, tag))
+}
+
+/// [`alltoallv`] as a maybe-async core (see the module docs).
+pub async fn alltoallv_async<T: Datum>(
     tr: &impl Transport,
     send: Vec<Vec<T>>,
     tag: Tag,
@@ -305,10 +414,13 @@ pub fn alltoallv<T: Datum>(
             tr.send_vec(bucket, i, tag)?;
         }
     }
-    for (i, slot) in out.iter_mut().enumerate() {
+    // Indexed loop, not `iter_mut`: an `&mut` borrow of `out` must not be
+    // held across the `.await`.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..p {
         if i != r {
-            let (v, _) = tr.recv::<T>(Src::Rank(i), tag)?;
-            *slot = v;
+            let (v, _) = recv_async::<T, _>(tr, Src::Rank(i), tag).await?;
+            out[i] = v;
         }
     }
     Ok(out)
@@ -319,6 +431,16 @@ pub fn alltoallv<T: Datum>(
 /// [`gatherv`], with the same two-message-per-edge framing
 /// (tags `tag` and `tag + 1`).
 pub fn scatterv<T: Datum>(
+    tr: &impl Transport,
+    blocks: Option<Vec<Vec<T>>>,
+    root: usize,
+    tag: Tag,
+) -> Result<Vec<T>> {
+    block_inline(scatterv_async(tr, blocks, root, tag))
+}
+
+/// [`scatterv`] as a maybe-async core (see the module docs).
+pub async fn scatterv_async<T: Datum>(
     tr: &impl Transport,
     blocks: Option<Vec<Vec<T>>>,
     root: usize,
@@ -349,8 +471,8 @@ pub fn scatterv<T: Datum>(
         loop {
             if rel & mask != 0 {
                 let src = (rel - mask + root) % p;
-                let (m, _) = tr.recv::<(u64, u64)>(Src::Rank(src), tag)?;
-                let (d, _) = tr.recv::<T>(Src::Rank(src), tag + 1)?;
+                let (m, _) = recv_async::<(u64, u64), _>(tr, Src::Rank(src), tag).await?;
+                let (d, _) = recv_async::<T, _>(tr, Src::Rank(src), tag + 1).await?;
                 break (m, d);
             }
             mask <<= 1;
@@ -407,29 +529,57 @@ pub fn scatter<T: Datum>(
     root: usize,
     tag: Tag,
 ) -> Result<Vec<T>> {
+    block_inline(scatter_async(tr, data, root, tag))
+}
+
+/// [`scatter`] as a maybe-async core (see the module docs).
+pub async fn scatter_async<T: Datum>(
+    tr: &impl Transport,
+    data: Option<Vec<T>>,
+    root: usize,
+    tag: Tag,
+) -> Result<Vec<T>> {
     let p = tr.size();
     let blocks = data.map(|d| {
         assert!(d.len() % p == 0, "scatter needs count divisible by p");
         let each = d.len() / p;
         d.chunks(each).map(<[T]>::to_vec).collect::<Vec<_>>()
     });
-    scatterv(tr, blocks, root, tag)
+    scatterv_async(tr, blocks, root, tag).await
 }
 
 /// Fixed-size personalized all-to-all: `send[i]` (all equal length) goes
 /// to rank `i`.
 pub fn alltoall<T: Datum>(tr: &impl Transport, send: Vec<Vec<T>>, tag: Tag) -> Result<Vec<Vec<T>>> {
+    block_inline(alltoall_async(tr, send, tag))
+}
+
+/// [`alltoall`] as a maybe-async core (see the module docs).
+pub async fn alltoall_async<T: Datum>(
+    tr: &impl Transport,
+    send: Vec<Vec<T>>,
+    tag: Tag,
+) -> Result<Vec<Vec<T>>> {
     debug_assert!(send.windows(2).all(|w| w[0].len() == w[1].len()));
-    alltoallv(tr, send, tag)
+    alltoallv_async(tr, send, tag).await
 }
 
 /// Variable-count all-gather: every rank contributes `data`, every rank
 /// receives all contributions indexed by source rank (gatherv + bcast of
 /// the flattened bundle).
 pub fn allgatherv<T: Datum>(tr: &impl Transport, data: Vec<T>, tag: Tag) -> Result<Vec<Vec<T>>> {
+    block_inline(allgatherv_async(tr, data, tag))
+}
+
+/// [`allgatherv`] as a maybe-async core (see the module docs).
+pub async fn allgatherv_async<T: Datum>(
+    tr: &impl Transport,
+    data: Vec<T>,
+    tag: Tag,
+) -> Result<Vec<Vec<T>>> {
     let p = tr.size();
     let _span = obs::span(tr.state(), OpClass::Gather, "allgatherv");
-    let gathered = gatherv(tr, data, 0, tag)?;
+    let gathered = gatherv_async(tr, data, 0, tag).await?;
     let (mut counts, mut flat): (Vec<u64>, Vec<T>) = match gathered {
         Some(per_rank) => (
             per_rank.iter().map(|v| v.len() as u64).collect(),
@@ -437,8 +587,8 @@ pub fn allgatherv<T: Datum>(tr: &impl Transport, data: Vec<T>, tag: Tag) -> Resu
         ),
         None => (Vec::new(), Vec::new()),
     };
-    bcast(tr, &mut counts, 0, tag + 2)?;
-    bcast(tr, &mut flat, 0, tag + 3)?;
+    bcast_async(tr, &mut counts, 0, tag + 2).await?;
+    bcast_async(tr, &mut flat, 0, tag + 3).await?;
     let mut out = Vec::with_capacity(p);
     let mut off = 0usize;
     for c in counts {

@@ -113,7 +113,7 @@ impl Comm {
     /// Agree on a fresh small context ID over the members of `view`
     /// (mask all-reduce with `MPI_BAND`, §III), claiming `n_ids`
     /// consecutive free IDs and returning the `idx`-th of them.
-    pub(crate) fn agree_ctx(
+    pub(crate) async fn agree_ctx_async(
         &self,
         view: &Comm,
         tag: Tag,
@@ -121,7 +121,8 @@ impl Comm {
         idx: usize,
     ) -> Result<ContextId> {
         let snapshot: CtxMask = self.state.ctx_pool.lock().snapshot();
-        let reduced = coll::allreduce(view, &[snapshot], tag, ops::band_array::<u64, 32>())?[0];
+        let reduced =
+            coll::allreduce_async(view, &[snapshot], tag, ops::band_array::<u64, 32>()).await?[0];
         let mut pool = self.state.ctx_pool.lock();
         let mut chosen = None;
         let mut work = reduced;
@@ -144,8 +145,13 @@ impl Comm {
 
     /// `MPI_Comm_dup`: same group, fresh context.
     pub fn dup(&self) -> Result<Comm> {
+        crate::sched::poll::block_inline(self.dup_async())
+    }
+
+    /// [`Comm::dup`] as a maybe-async core.
+    pub async fn dup_async(&self) -> Result<Comm> {
         let view = self.view(self.inner.group.clone())?;
-        let ctx = self.agree_ctx(&view, tags::CTX_AGREE, 1, 0)?;
+        let ctx = self.agree_ctx_async(&view, tags::CTX_AGREE, 1, 0).await?;
         self.with_new_ctx(ctx, self.inner.group.clone())
     }
 
@@ -157,8 +163,14 @@ impl Comm {
     /// legacy all-gather oracle. Both produce identical groups, ranks,
     /// and context IDs; they differ only in cost and memory shape.
     pub fn split(&self, color: u64, key: u64) -> Result<Comm> {
+        crate::sched::poll::block_inline(self.split_async(color, key))
+    }
+
+    /// [`Comm::split`] as a maybe-async core.
+    pub async fn split_async(&self, color: u64, key: u64) -> Result<Comm> {
         Ok(self
-            .split_with(Some(color), key)?
+            .split_with_async(Some(color), key)
+            .await?
             .expect("defined color always yields a communicator"))
     }
 
@@ -166,9 +178,16 @@ impl Comm {
     /// `color = None` take part in the collective but join no group and
     /// receive `Ok(None)` (the `MPI_COMM_NULL` analogue).
     pub fn split_with(&self, color: Option<u64>, key: u64) -> Result<Option<Comm>> {
+        crate::sched::poll::block_inline(self.split_with_async(color, key))
+    }
+
+    /// [`Comm::split_with`] as a maybe-async core.
+    pub async fn split_with_async(&self, color: Option<u64>, key: u64) -> Result<Option<Comm>> {
         match self.state.router.vendor.split_algo {
-            SplitAlgo::DistributedSort => crate::splitdist::split_distributed(self, color, key),
-            SplitAlgo::Allgather => self.split_allgather(color, key),
+            SplitAlgo::DistributedSort => {
+                crate::splitdist::split_distributed(self, color, key).await
+            }
+            SplitAlgo::Allgather => self.split_allgather(color, key).await,
         }
     }
 
@@ -177,10 +196,10 @@ impl Comm {
     /// memory per rank), group locally, one mask agreement over the
     /// parent, and explicit O(g) group construction. Kept as the
     /// correctness oracle for the distributed algorithm.
-    fn split_allgather(&self, color: Option<u64>, key: u64) -> Result<Option<Comm>> {
+    async fn split_allgather(&self, color: Option<u64>, key: u64) -> Result<Option<Comm>> {
         let p = self.size();
         let triple = (u64::from(color.is_some()), color.unwrap_or(0), key);
-        let pairs = coll::allgather1(self, triple, tags::SPLIT_GATHER)?;
+        let pairs = coll::allgather1_async(self, triple, tags::SPLIT_GATHER).await?;
         // Local grouping: sort defined ranks by (color, key, parent rank).
         let mut order: Vec<usize> = (0..p).filter(|&i| pairs[i].0 == 1).collect();
         order.sort_by_key(|&i| (pairs[i].1, pairs[i].2, i));
@@ -213,7 +232,9 @@ impl Comm {
             }
             None => (0, None),
         };
-        let ctx = self.agree_ctx(self, tags::CTX_AGREE, colors.len(), my_idx)?;
+        let ctx = self
+            .agree_ctx_async(self, tags::CTX_AGREE, colors.len(), my_idx)
+            .await?;
         match group {
             Some(g) => Ok(Some(self.with_new_ctx(ctx, g)?)),
             None => Ok(None),
@@ -225,6 +246,11 @@ impl Comm {
     /// creations on the same parent — overlapping creations with the same
     /// tag have undefined behaviour, exactly as in MPI.
     pub fn create_group(&self, group: &Group, tag: Tag) -> Result<Comm> {
+        crate::sched::poll::block_inline(self.create_group_async(group, tag))
+    }
+
+    /// [`Comm::create_group`] as a maybe-async core.
+    pub async fn create_group_async(&self, group: &Group, tag: Tag) -> Result<Comm> {
         let view = self.view(group.clone())?;
         let g = group.len();
         let vendor = &self.state.router.vendor;
@@ -234,7 +260,7 @@ impl Comm {
             (g as f64 * vendor.group_build_ns_per_member).round() as u64
         ));
         let ctx = match vendor.create_group_algo {
-            CreateGroupAlgo::MaskAllreduce => self.agree_ctx(&view, tag, 1, 0)?,
+            CreateGroupAlgo::MaskAllreduce => self.agree_ctx_async(&view, tag, 1, 0).await?,
             CreateGroupAlgo::LeaderRing => {
                 // Serialised agreement: the mask is AND-folded along a ring
                 // 0 -> 1 -> ... -> g-1, then the chosen ID rings back.
@@ -244,8 +270,12 @@ impl Comm {
                 let folded = if r == 0 {
                     snapshot
                 } else {
-                    let (prev, _) =
-                        view.recv::<[u64; 32]>(crate::transport::Src::Rank(r - 1), tag)?;
+                    let (prev, _) = crate::transport::recv_async::<[u64; 32], _>(
+                        &view,
+                        crate::transport::Src::Rank(r - 1),
+                        tag,
+                    )
+                    .await?;
                     mask_and(&prev[0], &snapshot)
                 };
                 // Per-hop bookkeeping charged after receiving the token and
@@ -254,7 +284,12 @@ impl Comm {
                 if r + 1 < g {
                     view.send(&[folded], r + 1, tag)?;
                     // Wait for the chosen ID to ring back down.
-                    let (id, _) = view.recv::<u32>(crate::transport::Src::Rank(r + 1), tag)?;
+                    let (id, _) = crate::transport::recv_async::<u32, _>(
+                        &view,
+                        crate::transport::Src::Rank(r + 1),
+                        tag,
+                    )
+                    .await?;
                     if r > 0 {
                         view.send(&id, r - 1, tag)?;
                     }
@@ -392,6 +427,133 @@ impl Comm {
     pub fn allgatherv<T: crate::datum::Datum>(&self, data: Vec<T>) -> Result<Vec<Vec<T>>> {
         let s = self.state.router.vendor.coll_scale.gather;
         coll::allgatherv(&self.scaled(s), data, tags::ALLGATHERV)
+    }
+
+    // ---- maybe-async collectives -------------------------------------------
+    //
+    // The `*_async` twins of the blocking collectives above: identical
+    // algorithms and vendor scaling (they share the `coll::*_async` cores),
+    // usable from poll-mode rank bodies where the sync forms would panic.
+
+    /// [`Comm::bcast`] as a maybe-async core.
+    pub async fn bcast_async<T: crate::datum::Datum>(
+        &self,
+        data: &mut Vec<T>,
+        root: usize,
+    ) -> Result<()> {
+        let s = self.state.router.vendor.coll_scale.bcast;
+        coll::bcast_async(&self.scaled(s), data, root, tags::BCAST).await
+    }
+
+    /// [`Comm::reduce`] as a maybe-async core.
+    pub async fn reduce_async<T: crate::datum::Datum>(
+        &self,
+        data: &[T],
+        root: usize,
+        op: impl Fn(&T, &T) -> T,
+    ) -> Result<Option<Vec<T>>> {
+        let s = self.state.router.vendor.coll_scale.reduce;
+        coll::reduce_async(&self.scaled(s), data, root, tags::REDUCE, op).await
+    }
+
+    /// [`Comm::allreduce`] as a maybe-async core.
+    pub async fn allreduce_async<T: crate::datum::Datum>(
+        &self,
+        data: &[T],
+        op: impl Fn(&T, &T) -> T,
+    ) -> Result<Vec<T>> {
+        let s = self.state.router.vendor.coll_scale.reduce;
+        coll::allreduce_async(&self.scaled(s), data, tags::ALLREDUCE, op).await
+    }
+
+    /// [`Comm::scan`] as a maybe-async core.
+    pub async fn scan_async<T: crate::datum::Datum>(
+        &self,
+        data: &[T],
+        op: impl Fn(&T, &T) -> T,
+    ) -> Result<Vec<T>> {
+        let s = self.state.router.vendor.coll_scale.scan;
+        coll::scan_async(&self.scaled(s), data, tags::SCAN, op).await
+    }
+
+    /// [`Comm::exscan`] as a maybe-async core.
+    pub async fn exscan_async<T: crate::datum::Datum>(
+        &self,
+        data: &[T],
+        op: impl Fn(&T, &T) -> T,
+    ) -> Result<Option<Vec<T>>> {
+        let s = self.state.router.vendor.coll_scale.scan;
+        coll::exscan_async(&self.scaled(s), data, tags::EXSCAN, op).await
+    }
+
+    /// [`Comm::gather`] as a maybe-async core.
+    pub async fn gather_async<T: crate::datum::Datum>(
+        &self,
+        data: Vec<T>,
+        root: usize,
+    ) -> Result<Option<Vec<T>>> {
+        let s = self.state.router.vendor.coll_scale.gather;
+        coll::gather_async(&self.scaled(s), data, root, tags::GATHER).await
+    }
+
+    /// [`Comm::gatherv`] as a maybe-async core.
+    pub async fn gatherv_async<T: crate::datum::Datum>(
+        &self,
+        data: Vec<T>,
+        root: usize,
+    ) -> Result<Option<Vec<Vec<T>>>> {
+        let s = self.state.router.vendor.coll_scale.gather;
+        coll::gatherv_async(&self.scaled(s), data, root, tags::GATHERV).await
+    }
+
+    /// [`Comm::allgather1`] as a maybe-async core.
+    pub async fn allgather1_async<T: crate::datum::Datum>(&self, item: T) -> Result<Vec<T>> {
+        let s = self.state.router.vendor.coll_scale.gather;
+        coll::allgather1_async(&self.scaled(s), item, tags::ALLGATHER).await
+    }
+
+    /// [`Comm::barrier`] as a maybe-async core.
+    pub async fn barrier_async(&self) -> Result<()> {
+        let s = self.state.router.vendor.coll_scale.barrier;
+        coll::barrier_async(&self.scaled(s), tags::BARRIER).await
+    }
+
+    /// [`Comm::alltoallv`] as a maybe-async core.
+    pub async fn alltoallv_async<T: crate::datum::Datum>(
+        &self,
+        send: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>> {
+        let s = self.state.router.vendor.coll_scale.other;
+        coll::alltoallv_async(&self.scaled(s), send, tags::ALLTOALL).await
+    }
+
+    /// [`Comm::scatter`] as a maybe-async core.
+    pub async fn scatter_async<T: crate::datum::Datum>(
+        &self,
+        data: Option<Vec<T>>,
+        root: usize,
+    ) -> Result<Vec<T>> {
+        let s = self.state.router.vendor.coll_scale.other;
+        coll::scatter_async(&self.scaled(s), data, root, tags::SCATTER).await
+    }
+
+    /// [`Comm::scatterv`] as a maybe-async core.
+    pub async fn scatterv_async<T: crate::datum::Datum>(
+        &self,
+        blocks: Option<Vec<Vec<T>>>,
+        root: usize,
+    ) -> Result<Vec<T>> {
+        let s = self.state.router.vendor.coll_scale.other;
+        coll::scatterv_async(&self.scaled(s), blocks, root, tags::SCATTERV).await
+    }
+
+    /// [`Comm::allgatherv`] as a maybe-async core.
+    pub async fn allgatherv_async<T: crate::datum::Datum>(
+        &self,
+        data: Vec<T>,
+    ) -> Result<Vec<Vec<T>>> {
+        let s = self.state.router.vendor.coll_scale.gather;
+        coll::allgatherv_async(&self.scaled(s), data, tags::ALLGATHERV).await
     }
 
     // ---- nonblocking collectives (MPI-3 style, vendor implementations) -------

@@ -37,7 +37,18 @@ pub fn select_splitters<T: SortKey + Datum>(
     parts: usize,
     tag: Tag,
 ) -> Result<Vec<T>> {
-    let gathered = crate::coll::gatherv(tr, sample, 0, tag)?;
+    crate::sched::poll::block_inline(select_splitters_async(tr, sample, parts, tag))
+}
+
+/// [`select_splitters`] as a maybe-async core (see [`crate::coll`]'s module
+/// docs for the maybe-async contract).
+pub async fn select_splitters_async<T: SortKey + Datum>(
+    tr: &impl Transport,
+    sample: Vec<T>,
+    parts: usize,
+    tag: Tag,
+) -> Result<Vec<T>> {
+    let gathered = crate::coll::gatherv_async(tr, sample, 0, tag).await?;
     let mut splitters: Vec<T> = match gathered {
         Some(per_rank) => {
             let mut all: Vec<T> = per_rank.into_iter().flatten().collect();
@@ -51,7 +62,7 @@ pub fn select_splitters<T: SortKey + Datum>(
         }
         None => Vec::new(),
     };
-    crate::coll::bcast(tr, &mut splitters, 0, tag + 2)?;
+    crate::coll::bcast_async(tr, &mut splitters, 0, tag + 2).await?;
     Ok(splitters)
 }
 

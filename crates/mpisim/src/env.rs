@@ -52,6 +52,26 @@ pub fn fleet_inflight_from(var: Option<&str>) -> usize {
     }
 }
 
+/// Parse `MPISIM_BACKEND` into a [`Backend`](crate::Backend) for
+/// [`crate::SimConfig::cooperative`]. Unset, blank, `fiber`, `coop`, or
+/// `cooperative` selects the stackful fiber backend; `poll` selects the
+/// stackless poll backend; `threads` selects one OS thread per rank;
+/// anything else panics (a typo silently running fibers would make a
+/// fiber-vs-poll determinism sweep compare fibers against themselves).
+pub fn backend_from(var: Option<&str>) -> crate::Backend {
+    match var.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+        None | Some("") | Some("fiber") | Some("coop") | Some("cooperative") => {
+            crate::Backend::Cooperative
+        }
+        Some("poll") => crate::Backend::Poll,
+        Some("threads") => crate::Backend::Threads,
+        Some(other) => panic!(
+            "MPISIM_BACKEND={other:?} is not a simulator backend \
+             (expected \"fiber\", \"poll\", or \"threads\")"
+        ),
+    }
+}
+
 /// Parse `MPISIM_COOP_COMMIT` into a [`CommitAlgo`]. Unset, blank, or
 /// `sharded` selects the production sharded commit; `serial` selects the
 /// single-pass oracle; anything else panics (a typo silently running the
@@ -253,6 +273,25 @@ mod tests {
         assert_eq!(fleet_inflight_from(Some("0")), 4);
         assert_eq!(fleet_inflight_from(Some(" 16 ")), 16);
         assert_eq!(fleet_inflight_from(Some("1")), 1);
+    }
+
+    #[test]
+    fn backend_knob_parses_strictly() {
+        use crate::Backend;
+        assert_eq!(backend_from(None), Backend::Cooperative);
+        assert_eq!(backend_from(Some("")), Backend::Cooperative);
+        assert_eq!(backend_from(Some("fiber")), Backend::Cooperative);
+        assert_eq!(backend_from(Some(" Coop ")), Backend::Cooperative);
+        assert_eq!(backend_from(Some("cooperative")), Backend::Cooperative);
+        assert_eq!(backend_from(Some("poll")), Backend::Poll);
+        assert_eq!(backend_from(Some(" POLL ")), Backend::Poll);
+        assert_eq!(backend_from(Some("threads")), Backend::Threads);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPISIM_BACKEND")]
+    fn backend_knob_rejects_garbage() {
+        backend_from(Some("fibers"));
     }
 
     #[test]

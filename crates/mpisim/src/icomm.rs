@@ -23,7 +23,6 @@
 //! used concurrently (create a `dup` first, as with MPI tag collisions).
 
 use std::sync::atomic::Ordering;
-use std::time::Instant;
 
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
@@ -126,15 +125,12 @@ impl IcommCreate {
 
     /// Block until creation completes and return the communicator.
     pub fn wait_comm(mut self) -> Result<Comm> {
-        let timeout = self
-            .proc_state()
-            .map_or(nbcoll::WAIT_TIMEOUT, |s| s.router.recv_timeout);
-        let deadline = Instant::now() + timeout;
+        let mut stall = nbcoll::stall_guard(self.proc_state());
         loop {
             if self.poll()? {
                 return Ok(self.take().expect("completed creation yields a comm"));
             }
-            if Instant::now() > deadline {
+            if stall.stalled() {
                 return Err(match self.proc_state() {
                     Some(s) => MpiError::Timeout {
                         rank: s.global_rank,

@@ -67,7 +67,8 @@ pub use obs::{MetricsSnapshot, OpClass, SchedProfile, Trace, TraceEvent, WorkerP
 pub use proc::WaitReason;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub use sched::fleet::{Fleet, FleetHandle};
+pub use sched::poll::{block_inline, yield_now_async, RankBody, Step};
 pub use sched::yield_now;
 pub use time::{Time, VirtualClock};
-pub use transport::{Scaled, Src, Status, Transport};
+pub use transport::{probe_async, recv_async, recv_shared_async, Scaled, Src, Status, Transport};
 pub use universe::{Backend, ProcEnv, SimConfig, SimResult, Universe};

@@ -13,18 +13,27 @@
 //! communicators — the property Janus Quicksort relies on.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::datum::Datum;
 use crate::error::{MpiError, Result};
 use crate::msg::Tag;
 use crate::obs::{self, OpClass};
-use crate::proc::ProcState;
+use crate::proc::{ProcState, StallDeadline};
 use crate::transport::{RecvReq, Src, Transport};
 
-/// Hard wall-clock ceiling for spin-waiting on a request — the deadlock
-/// detector for nonblocking operations.
+/// Wall-clock ceiling for spin-waiting on a request without observing any
+/// global progress — the deadlock detector for nonblocking operations.
 pub const WAIT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Arm the stall detector for a polling wait: the configured receive
+/// timeout (falling back to [`WAIT_TIMEOUT`] for detached machines),
+/// re-armed on global progress so huge-but-live universes never trip it
+/// (see [`StallDeadline`]).
+pub fn stall_guard(state: Option<&Arc<ProcState>>) -> StallDeadline {
+    let timeout = state.map_or(WAIT_TIMEOUT, |s| s.router.recv_timeout);
+    StallDeadline::new(state.map(|s| &s.router), timeout)
+}
 
 /// Anything that can be driven to completion by repeated polling.
 /// `poll` returning `Ok(true)` means *locally complete* (outgoing messages
@@ -73,6 +82,14 @@ impl Request {
     pub fn wait(&mut self) -> Result<()> {
         wait_on(&mut *self.0)
     }
+
+    /// [`Request::wait`] as a maybe-async core: the polling loop yields
+    /// through [`crate::sched::poll::yield_now_async`], so it suspends one
+    /// epoch per unproductive poll under `Backend::Poll` instead of
+    /// panicking in the sync yield.
+    pub async fn wait_async(&mut self) -> Result<()> {
+        wait_on_async(&mut *self.0).await
+    }
 }
 
 /// Build the timeout error for a stalled wait. With a [`ProcState`] in
@@ -96,21 +113,34 @@ fn wait_timeout_err(state: Option<&Arc<ProcState>>, waited_for: &str) -> MpiErro
 }
 
 fn wait_on(p: &mut dyn Progress) -> Result<()> {
-    let timeout = p
-        .proc_state()
-        .map_or(WAIT_TIMEOUT, |s| s.router.recv_timeout);
-    let deadline = Instant::now() + timeout;
+    let mut stall = stall_guard(p.proc_state());
     loop {
         if p.poll()? {
             return Ok(());
         }
-        if Instant::now() > deadline {
+        if stall.stalled() {
             return Err(wait_timeout_err(
                 p.proc_state(),
                 "nonblocking operation (wait)",
             ));
         }
         crate::sched::yield_now();
+    }
+}
+
+async fn wait_on_async(p: &mut dyn Progress) -> Result<()> {
+    let mut stall = stall_guard(p.proc_state());
+    loop {
+        if p.poll()? {
+            return Ok(());
+        }
+        if stall.stalled() {
+            return Err(wait_timeout_err(
+                p.proc_state(),
+                "nonblocking operation (wait)",
+            ));
+        }
+        crate::sched::poll::yield_now_async().await;
     }
 }
 
@@ -125,22 +155,35 @@ pub fn testall(reqs: &mut [Request]) -> Result<bool> {
 
 /// `rbc::Waitall`: repeatedly calls `testall` until all complete.
 pub fn waitall(reqs: &mut [Request]) -> Result<()> {
-    let timeout = reqs
-        .iter()
-        .find_map(|r| r.0.proc_state())
-        .map_or(WAIT_TIMEOUT, |s| s.router.recv_timeout);
-    let deadline = Instant::now() + timeout;
+    let mut stall = stall_guard(reqs.iter().find_map(|r| r.0.proc_state()));
     loop {
         if testall(reqs)? {
             return Ok(());
         }
-        if Instant::now() > deadline {
+        if stall.stalled() {
             return Err(wait_timeout_err(
                 reqs.iter().find_map(|r| r.0.proc_state()),
                 "nonblocking operations (waitall)",
             ));
         }
         crate::sched::yield_now();
+    }
+}
+
+/// [`waitall`] as a maybe-async core (see [`Request::wait_async`]).
+pub async fn waitall_async(reqs: &mut [Request]) -> Result<()> {
+    let mut stall = stall_guard(reqs.iter().find_map(|r| r.0.proc_state()));
+    loop {
+        if testall(reqs)? {
+            return Ok(());
+        }
+        if stall.stalled() {
+            return Err(wait_timeout_err(
+                reqs.iter().find_map(|r| r.0.proc_state()),
+                "nonblocking operations (waitall)",
+            ));
+        }
+        crate::sched::poll::yield_now_async().await;
     }
 }
 

@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -98,6 +98,13 @@ pub struct Router {
     class_cells: Vec<crate::obs::ClassCell>,
     /// Per-rank event-trace buffers, allocated only when the run traces.
     trace: Option<Vec<crate::obs::TraceCell>>,
+    /// Router construction instant; time base of the stall-probe cache.
+    birth: Instant,
+    /// Age (ms since `birth`) of the cached [`Router::progress_stamp`]
+    /// value. Zero means "never computed".
+    stall_probe_at: AtomicU64,
+    /// Cached [`Router::progress_stamp`] value.
+    stall_probe_val: AtomicU64,
 }
 
 impl Router {
@@ -120,6 +127,9 @@ impl Router {
             clocks: (0..p).map(|_| ClockCell::default()).collect(),
             class_cells: (0..p).map(|_| Default::default()).collect(),
             trace: None,
+            birth: Instant::now(),
+            stall_probe_at: AtomicU64::new(0),
+            stall_probe_val: AtomicU64::new(0),
         }
     }
 
@@ -192,6 +202,91 @@ impl Router {
     /// Number of ranks this router connects.
     pub fn nprocs(&self) -> usize {
         self.mailboxes.len()
+    }
+
+    /// A monotone global progress stamp: the sum of every rank's sent
+    /// message count and virtual-clock reading. It advances whenever any
+    /// rank sends or is charged virtual time and freezes exactly when the
+    /// universe is stuck — a failed probe leaves the clock untouched (see
+    /// `try_recv_miss_leaves_clock`), so a pure polling livelock cannot
+    /// keep it moving.
+    ///
+    /// The O(p) shard sum is cached and reused while younger than
+    /// `max_age`, so p waiters whose stall deadlines expire in the same
+    /// window cost O(p) total, not O(p²). Stall detection only — the
+    /// cached value may lag real progress by up to `max_age`, which is
+    /// immaterial against timeouts that are orders of magnitude larger.
+    pub fn progress_stamp(&self, max_age: Duration) -> u64 {
+        let now_ms = self.birth.elapsed().as_millis() as u64;
+        let at = self.stall_probe_at.load(Ordering::Relaxed);
+        if at != 0 && now_ms.saturating_sub(at) < max_age.as_millis() as u64 {
+            return self.stall_probe_val.load(Ordering::Relaxed);
+        }
+        let mut sum = 0u64;
+        for cell in &self.traffic {
+            sum = sum.wrapping_add(cell.messages.load(Ordering::Relaxed));
+        }
+        for cell in &self.clocks {
+            sum = sum.wrapping_add(cell.0.now().as_nanos());
+        }
+        self.stall_probe_val.store(sum, Ordering::Relaxed);
+        self.stall_probe_at.store(now_ms.max(1), Ordering::Relaxed);
+        sum
+    }
+}
+
+/// Wall-clock stall detector for polling wait loops (nonblocking waits,
+/// the sorter's wave loops). A fixed deadline cannot tell a deadlock from
+/// a universe that is merely huge: one JQuick wave at p = 2^18 on a single
+/// core legitimately takes minutes of wall-clock while every rank stays
+/// live. The detector therefore re-arms whenever
+/// [`Router::progress_stamp`] advances — it fires only after a full
+/// timeout window in which no rank anywhere sent a message or advanced
+/// its clock, which is what a genuine stall looks like from a polling
+/// loop. Wall clocks never influence a run's output: the stamp is read
+/// solely to decide whether to fail.
+pub struct StallDeadline {
+    router: Option<Arc<Router>>,
+    timeout: Duration,
+    deadline: Instant,
+    stamp: u64,
+}
+
+impl StallDeadline {
+    /// Arm with `timeout`. Without a router (detached nonblocking
+    /// machines) the detector degrades to a fixed deadline.
+    pub fn new(router: Option<&Arc<Router>>, timeout: Duration) -> StallDeadline {
+        let max_age = Self::probe_age(timeout);
+        StallDeadline {
+            router: router.cloned(),
+            timeout,
+            deadline: Instant::now() + timeout,
+            stamp: router.map_or(0, |r| r.progress_stamp(max_age)),
+        }
+    }
+
+    /// True once the deadline has passed with no global progress since the
+    /// last (re-)arming. The hot path is one `Instant` comparison; the
+    /// stamp is consulted only on expiry.
+    pub fn stalled(&mut self) -> bool {
+        if Instant::now() <= self.deadline {
+            return false;
+        }
+        if let Some(r) = &self.router {
+            let stamp = r.progress_stamp(Self::probe_age(self.timeout));
+            if stamp != self.stamp {
+                self.stamp = stamp;
+                self.deadline = Instant::now() + self.timeout;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Stamp-cache tolerance: a fraction of the timeout (so short test
+    /// timeouts stay responsive), capped at one second.
+    fn probe_age(timeout: Duration) -> Duration {
+        (timeout / 8).min(Duration::from_secs(1))
     }
 }
 
@@ -546,6 +641,11 @@ impl ProcState {
         if self.crashed() {
             return Err(self.crashed_err("recv", pat));
         }
+        assert!(
+            !crate::sched::on_poll_body(),
+            "synchronous recv inside a poll-mode rank body: under Backend::Poll \
+             use recv_match_async (the *_async API) so the body can suspend"
+        );
         let mb = &self.router.mailboxes[self.global_rank];
         let m = if crate::sched::on_fiber() {
             crate::sched::claim_coop(mb, pat, self.global_rank, self.now())
@@ -553,13 +653,39 @@ impl ProcState {
             mb.claim_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())
         }
         .map_err(|e| self.enrich_timeout(e, Some(pat)))?;
+        Ok(self.account_delivery(m))
+    }
+
+    /// [`ProcState::recv_match`] for maybe-async workloads: on a poll-mode
+    /// body the wait suspends the future (same announce/subscribe protocol
+    /// as the fiber park); on the other backends this resolves in a single
+    /// poll via the synchronous path. Clock and trace accounting are
+    /// identical on all three.
+    pub async fn recv_match_async(&self, pat: &MatchPattern) -> Result<Message> {
+        if !crate::sched::on_poll_body() {
+            return self.recv_match(pat);
+        }
+        if self.crashed() {
+            return Err(self.crashed_err("recv", pat));
+        }
+        let mb = &self.router.mailboxes[self.global_rank];
+        let m = crate::sched::poll::claim_poll(mb, pat, self.global_rank, self.now())
+            .await
+            .map_err(|e| self.enrich_timeout(e, Some(pat)))?;
+        Ok(self.account_delivery(m))
+    }
+
+    /// The post-claim half of every receive: virtual-time rule plus the
+    /// `Deliver` trace event, shared verbatim by the sync and async paths
+    /// so the backends cannot drift.
+    fn account_delivery(&self, m: Message) -> Message {
         self.advance_to(m.arrival);
         self.advance(self.router.cost.recv_overhead);
         self.trace_push(|| TraceEvent::Deliver {
             src: m.src_global,
             bytes: m.bytes,
         });
-        Ok(m)
+        m
     }
 
     /// Nonblocking receive attempt. On a hit, applies the same clock rule
@@ -592,6 +718,11 @@ impl ProcState {
         if self.crashed() {
             return Err(self.crashed_err("probe", pat));
         }
+        assert!(
+            !crate::sched::on_poll_body(),
+            "synchronous probe inside a poll-mode rank body: under Backend::Poll \
+             use probe_match_async (the *_async API) so the body can suspend"
+        );
         let mb = &self.router.mailboxes[self.global_rank];
         if crate::sched::on_fiber() {
             crate::sched::probe_coop(mb, pat, self.global_rank, self.now())
@@ -599,6 +730,21 @@ impl ProcState {
             mb.probe_blocking(pat, self.router.recv_timeout, self.global_rank, self.now())
         }
         .map_err(|e| self.enrich_timeout(e, Some(pat)))
+    }
+
+    /// [`ProcState::probe_match`] for maybe-async workloads; see
+    /// [`ProcState::recv_match_async`] for the dispatch contract.
+    pub async fn probe_match_async(&self, pat: &MatchPattern) -> Result<MsgInfo> {
+        if !crate::sched::on_poll_body() {
+            return self.probe_match(pat);
+        }
+        if self.crashed() {
+            return Err(self.crashed_err("probe", pat));
+        }
+        let mb = &self.router.mailboxes[self.global_rank];
+        crate::sched::poll::probe_poll(mb, pat, self.global_rank, self.now())
+            .await
+            .map_err(|e| self.enrich_timeout(e, Some(pat)))
     }
 
     /// Nonblocking probe. Fails on self-crash and task poisoning exactly
@@ -643,6 +789,30 @@ mod tests {
         (0..p)
             .map(|r| ProcState::new(r, Arc::clone(&router), 42))
             .collect()
+    }
+
+    #[test]
+    fn stall_deadline_rearms_on_progress_and_fires_without() {
+        let procs = setup(2);
+        let router = &procs[0].router;
+        // Zero timeout => probe age zero => every check recomputes the
+        // stamp, so the test never races the coarse cache.
+        let mut stall = StallDeadline::new(Some(router), Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        // Progress since arming (a clock charge) re-arms the deadline.
+        procs[1].advance(Time::from_micros(3));
+        assert!(!stall.stalled(), "clock progress must re-arm");
+        std::thread::sleep(Duration::from_millis(2));
+        // A send is progress too.
+        procs[0].send_global::<u64>(1, 7, ContextId::WORLD, vec![1], CostScale::NEUTRAL);
+        assert!(!stall.stalled(), "send progress must re-arm");
+        // No progress at all: the detector fires.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(stall.stalled(), "no progress => stalled");
+        // Routerless detectors degrade to a fixed deadline.
+        let mut fixed = StallDeadline::new(None, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(fixed.stalled());
     }
 
     #[test]

@@ -320,6 +320,7 @@ where
         cfg.sched_profile,
         Arc::clone(&inner.pools),
         Some(Arc::clone(&inner.signal)),
+        false,
     );
     let store = sched.panic_store();
     for (rank, state) in states.iter().enumerate() {

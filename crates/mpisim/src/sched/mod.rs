@@ -129,6 +129,8 @@ mod fiber;
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub mod fleet;
 
+pub mod poll;
+
 /// Whether the fiber backend exists on this target. On unsupported targets
 /// the cooperative backend transparently falls back to the thread backend.
 pub const SUPPORTED: bool = cfg!(all(
@@ -153,10 +155,10 @@ const ST_WOKEN_EARLY: u8 = 4;
 /// Body returned; never scheduled again.
 const ST_FINISHED: u8 = 5;
 
-const INTENT_NONE: u8 = 0;
-const INTENT_YIELD: u8 = 1;
-const INTENT_BLOCK: u8 = 2;
-const INTENT_FINISH: u8 = 3;
+pub(crate) const INTENT_NONE: u8 = 0;
+pub(crate) const INTENT_YIELD: u8 = 1;
+pub(crate) const INTENT_BLOCK: u8 = 2;
+pub(crate) const INTENT_FINISH: u8 = 3;
 
 /// Task state shared with mailbox wakers (kept alive by `Arc` so a stray
 /// waker can never dangle).
@@ -253,15 +255,23 @@ struct TaskSlot {
     /// order; drained by the commit phase. Only the task (while `Running`)
     /// and the committing worker (while the task is parked) touch this.
     staged: std::cell::UnsafeCell<Vec<(usize, Message)>>,
-    fiber: std::cell::UnsafeCell<fiber::Fiber>,
+    /// This slot runs a poll-mode [`poll::RankBody`] instead of a fiber
+    /// ([`crate::Backend::Poll`]): no stack region, no context switch —
+    /// a claimed task step calls `proceed()` on `poll_body`.
+    is_poll: bool,
+    /// The rank's fiber (`None` under poll mode, which has no stacks).
+    fiber: std::cell::UnsafeCell<Option<fiber::Fiber>>,
     body: std::cell::UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
+    /// The rank's poll-mode state machine (`None` under fiber mode, and
+    /// dropped on finish so completed ranks release their state early).
+    poll_body: std::cell::UnsafeCell<Option<Box<dyn poll::RankBody>>>,
 }
 
-// Safety: `fiber`, `body`, and `staged` are only touched by the single
-// worker that holds the task in `Running` state (enforced by the status
-// state machine), by the fiber itself while that worker is suspended inside
-// `resume`, or by the committing worker after the epoch barrier (when no
-// task of the round is `Running`).
+// Safety: `fiber`, `body`, `poll_body`, and `staged` are only touched by
+// the single worker that holds the task in `Running` state (enforced by
+// the status state machine), by the fiber itself while that worker is
+// suspended inside `resume`, or by the committing worker after the epoch
+// barrier (when no task of the round is `Running`).
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 unsafe impl Sync for TaskSlot {}
 #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
@@ -272,9 +282,31 @@ thread_local! {
     static CURRENT: Cell<*const ()> = const { Cell::new(std::ptr::null()) };
 }
 
-/// Whether the calling code runs on a scheduler fiber (vs a plain thread).
+/// Whether the calling code runs on a scheduler fiber (vs a plain thread
+/// or a poll-mode body).
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub fn on_fiber() -> bool {
-    CURRENT.with(|c| !c.get().is_null())
+    imp::current_slot().is_some_and(|s| !s.is_poll)
+}
+
+/// Whether the calling code runs inside a poll-mode rank body
+/// ([`crate::Backend::Poll`]): blocking primitives must suspend through
+/// the `*_async` path instead of parking.
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn on_poll_body() -> bool {
+    imp::current_slot().is_some_and(|s| s.is_poll)
+}
+
+/// Without fibers there is no scheduler to run on.
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub fn on_fiber() -> bool {
+    false
+}
+
+/// Without a scheduler there are no poll-mode bodies either.
+#[cfg(not(all(unix, any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub fn on_poll_body() -> bool {
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -375,16 +407,29 @@ mod imp {
     /// thread stacks, allocator arenas, mapped files).
     const VMA_MARGIN: usize = 4096;
 
-    /// The process's VMA budget, if this platform has one.
+    /// The documented Linux default of `vm.max_map_count`, assumed when
+    /// the sysctl cannot be read.
+    const VMA_BUDGET_DEFAULT: usize = 65530;
+
+    /// Parse the contents of `/proc/sys/vm/max_map_count`. `None` (sysctl
+    /// unreadable — procfs unmounted, sandboxed) or garbage falls back to
+    /// the documented kernel default, conservatively.
+    pub(super) fn vma_budget_from(content: Option<&str>) -> usize {
+        content
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(VMA_BUDGET_DEFAULT)
+    }
+
+    /// The process's VMA budget, if this platform has one: the *actual*
+    /// `vm.max_map_count` sysctl when readable, the documented default
+    /// otherwise.
     fn vma_budget() -> Option<usize> {
         if cfg!(target_os = "linux") {
-            Some(
+            Some(vma_budget_from(
                 std::fs::read_to_string("/proc/sys/vm/max_map_count")
                     .ok()
-                    .and_then(|s| s.trim().parse::<usize>().ok())
-                    // Unreadable: assume the kernel default, conservatively.
-                    .unwrap_or(65530),
-            )
+                    .as_deref(),
+            ))
         } else {
             None
         }
@@ -392,13 +437,20 @@ mod imp {
 
     impl StackSlab {
         pub(super) fn new(n: usize, per: usize) -> StackSlab {
+            StackSlab::with_budget(n, per, vma_budget())
+        }
+
+        /// [`StackSlab::new`] with an explicit VMA budget (`None` = no
+        /// platform limit), so tests can pin the guard-page auto-disable
+        /// boundary without touching the real sysctl.
+        pub(super) fn with_budget(n: usize, per: usize, budget: Option<usize>) -> StackSlab {
             let page = page_size();
             // Round the usable size up to whole pages so every guard page
             // is page-aligned.
             let per = (per.max(16 * 1024)).div_ceil(page) * page;
             // Guards cost ~2n VMAs; skip them when that would crowd the
             // process's VMA budget (see the struct docs).
-            let guard = match vma_budget() {
+            let guard = match budget {
                 Some(limit) if 2 * n + VMA_MARGIN > limit => 0,
                 _ => page,
             };
@@ -772,11 +824,16 @@ mod imp {
         /// Global payload-pool counters at construction; `take_profile`
         /// reports this run's delta.
         payload_base: crate::pool::PayloadCounters,
-        _stacks: StackSlab,
+        /// The fiber stack slab (`None` under poll mode, which is exactly
+        /// how poll mode escapes the stack/VMA ceiling).
+        _stacks: Option<StackSlab>,
     }
 
     impl Scheduler {
-        /// Prepare `p` task slots with `stack_size` bytes of stack each.
+        /// Prepare `p` task slots with `stack_size` bytes of stack each
+        /// (fiber mode), or `p` stackless poll slots when `poll_mode` is
+        /// set — poll slots hold a [`poll::RankBody`] instead of a fiber
+        /// and are stepped in place, so no stack slab is reserved at all.
         /// `router` is where committed messages are delivered;
         /// `commit_algo`/`sort_algo`/`commit_shards` select and size the
         /// commit pipeline (see [`CommitAlgo`] and [`SortAlgo`]).
@@ -794,8 +851,9 @@ mod imp {
             profile: bool,
             pools: Arc<SchedPools>,
             signal: Option<Arc<FleetSignal>>,
+            poll_mode: bool,
         ) -> Scheduler {
-            let stacks = StackSlab::new(p, stack_size);
+            let stacks = (!poll_mode).then(|| StackSlab::new(p, stack_size));
             let shared = Arc::new(SchedShared {
                 woken: Mutex::new(Vec::new()),
                 live: AtomicUsize::new(p),
@@ -821,12 +879,14 @@ mod imp {
                     waker,
                     intent: AtomicU8::new(INTENT_NONE),
                     staged: std::cell::UnsafeCell::new(Vec::new()),
+                    is_poll: poll_mode,
                     // Placeholder; the real fiber is built below once the
-                    // slot has its final address.
-                    fiber: std::cell::UnsafeCell::new(unsafe {
-                        fiber::Fiber::new(stacks.region(rank), stacks.per, std::ptr::null_mut())
-                    }),
+                    // slot has its final address (fiber mode only).
+                    fiber: std::cell::UnsafeCell::new(stacks.as_ref().map(|s| unsafe {
+                        fiber::Fiber::new(s.region(rank), s.per, std::ptr::null_mut())
+                    })),
                     body: std::cell::UnsafeCell::new(None),
+                    poll_body: std::cell::UnsafeCell::new(None),
                 });
             }
             let mut sched = Scheduler {
@@ -860,13 +920,17 @@ mod imp {
                 _stacks: stacks,
             };
             // Now that the slots are at their final addresses, point each
-            // fiber's entry argument at its slot.
+            // fiber's entry argument at its slot (fiber mode only; poll
+            // slots have no fiber to re-point).
             for rank in 0..p {
+                let (region, per) = match &sched._stacks {
+                    Some(s) => (s.region(rank), s.per),
+                    None => break,
+                };
                 let slot_ptr = &sched.slots[rank] as *const TaskSlot as *mut u8;
-                let region = sched._stacks.region(rank);
-                let per = sched._stacks.per;
-                sched.slots[rank].fiber =
-                    std::cell::UnsafeCell::new(unsafe { fiber::Fiber::new(region, per, slot_ptr) });
+                sched.slots[rank].fiber = std::cell::UnsafeCell::new(Some(unsafe {
+                    fiber::Fiber::new(region, per, slot_ptr)
+                }));
             }
             sched
         }
@@ -884,6 +948,19 @@ mod imp {
         /// poisons every task before returning, so the borrow never escapes.
         pub unsafe fn spawn(&self, rank: usize, body: Box<dyn FnOnce() + Send>) {
             *self.slots[rank].body.get() = Some(body);
+        }
+
+        /// Install the poll-mode state machine of `rank`'s task (poll-mode
+        /// schedulers only; see [`poll::RankBody`]).
+        ///
+        /// # Safety
+        /// As for [`Scheduler::spawn`]: anything the body borrows must
+        /// outlive [`Scheduler::run`] (the caller transmutes the body to
+        /// `'static`); `run` finishes or poisons every task before
+        /// returning, so the borrow never escapes.
+        pub unsafe fn spawn_poll(&self, rank: usize, body: Box<dyn poll::RankBody>) {
+            debug_assert!(self.slots[rank].is_poll, "spawn_poll on a fiber scheduler");
+            *self.slots[rank].poll_body.get() = Some(body);
         }
 
         /// Arm the gate for a run: record the effective worker count
@@ -1690,7 +1767,43 @@ mod imp {
             slot.intent.store(INTENT_NONE, Ordering::Release);
             self.shared.switches.fetch_add(1, Ordering::Relaxed);
             let prev = CURRENT.with(|c| c.replace(slot as *const TaskSlot as *const ()));
-            unsafe { (*slot.fiber.get()).resume() };
+            if slot.is_poll {
+                // Poll slice = fiber slice: the body runs until it
+                // yields, parks, or finishes — it just suspends by
+                // returning from `proceed` instead of context-switching.
+                // `Step` is mapped onto the same intents the fiber
+                // stores, so the epoch bookkeeping below is shared.
+                let step = {
+                    // Safety: this worker holds the task in `Running`
+                    // (claimed exclusively through the cursor CAS).
+                    let body = unsafe { (*slot.poll_body.get()).as_mut() }
+                        .expect("poll body installed and unfinished");
+                    body.handle_incoming();
+                    if body.wants_to_proceed() {
+                        body.proceed()
+                    } else {
+                        poll::Step::Yielded
+                    }
+                };
+                match step {
+                    poll::Step::Yielded => slot.intent.store(INTENT_YIELD, Ordering::Release),
+                    poll::Step::Blocked => slot.intent.store(INTENT_BLOCK, Ordering::Release),
+                    poll::Step::Finished => {
+                        slot.intent.store(INTENT_FINISH, Ordering::Release);
+                        // Release the finished rank's state machine early:
+                        // at 2^20 ranks the tail of a run would otherwise
+                        // hold every completed body's captures live.
+                        unsafe { *slot.poll_body.get() = None };
+                    }
+                }
+            } else {
+                unsafe {
+                    (*slot.fiber.get())
+                        .as_mut()
+                        .expect("fiber installed")
+                        .resume()
+                };
+            }
             CURRENT.with(|c| c.set(prev));
             match slot.intent.load(Ordering::Acquire) {
                 INTENT_YIELD => {
@@ -1719,13 +1832,17 @@ mod imp {
                 }
                 INTENT_FINISH => {
                     slot.core.status.store(ST_FINISHED, Ordering::Release);
-                    if !unsafe { &*slot.fiber.get() }.canary_intact() {
-                        eprintln!(
-                            "mpisim: rank {tid} overflowed its {}-byte fiber stack; \
-                             raise SimConfig::coop_stack_size",
-                            self._stacks.per
-                        );
-                        std::process::abort();
+                    // Poll bodies have no stack to overrun, hence no
+                    // canary to check.
+                    if let Some(f) = unsafe { &*slot.fiber.get() } {
+                        if !f.canary_intact() {
+                            eprintln!(
+                                "mpisim: rank {tid} overflowed its {}-byte fiber stack; \
+                                 raise SimConfig::coop_stack_size",
+                                self._stacks.as_ref().map_or(0, |s| s.per)
+                            );
+                            std::process::abort();
+                        }
                     }
                     self.shared.live.fetch_sub(1, Ordering::AcqRel);
                 }
@@ -1989,7 +2106,10 @@ mod imp {
         let body = (*slot.body.get()).take().expect("fiber body installed");
         body(); // catches its own panics
         slot.intent.store(INTENT_FINISH, Ordering::Release);
-        (*slot.fiber.get()).switch_to_worker();
+        (*slot.fiber.get())
+            .as_mut()
+            .expect("fiber installed")
+            .switch_to_worker();
         // Resuming a finished fiber is a scheduler bug.
         std::process::abort();
     }
@@ -2003,7 +2123,7 @@ mod imp {
         }
     }
 
-    fn current_slot() -> Option<&'static TaskSlot> {
+    pub(super) fn current_slot() -> Option<&'static TaskSlot> {
         let p = CURRENT.with(|c| c.get());
         if p.is_null() {
             None
@@ -2033,9 +2153,19 @@ mod imp {
     pub fn yield_now() {
         match current_slot() {
             None => std::thread::yield_now(),
+            Some(slot) if slot.is_poll => panic!(
+                "synchronous yield inside a poll-mode rank body: under \
+                 Backend::Poll use yield_now_async (and the *_async API \
+                 for every blocking operation)"
+            ),
             Some(slot) => {
                 slot.intent.store(INTENT_YIELD, Ordering::Release);
-                unsafe { (*slot.fiber.get()).switch_to_worker() };
+                unsafe {
+                    (*slot.fiber.get())
+                        .as_mut()
+                        .expect("fiber installed")
+                        .switch_to_worker()
+                };
             }
         }
     }
@@ -2045,11 +2175,16 @@ mod imp {
     fn park(slot: &TaskSlot, reason: WaitReason) {
         *slot.core.wait_reason.lock() = Some(reason);
         slot.intent.store(INTENT_BLOCK, Ordering::Release);
-        unsafe { (*slot.fiber.get()).switch_to_worker() };
+        unsafe {
+            (*slot.fiber.get())
+                .as_mut()
+                .expect("park runs on a fiber")
+                .switch_to_worker()
+        };
         slot.core.wait_reason.lock().take();
     }
 
-    fn deadlock_err(rank: usize, reason: &WaitReason, vnow: Time) -> MpiError {
+    pub(super) fn deadlock_err(rank: usize, reason: &WaitReason, vnow: Time) -> MpiError {
         MpiError::Timeout {
             rank,
             waited_for: format!("{reason} [cooperative deadlock: every rank is blocked]"),
@@ -2178,7 +2313,44 @@ pub(crate) fn probe_coop(
 
 #[cfg(all(test, unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod tests {
-    use super::imp::StackSlab;
+    use super::imp::{vma_budget_from, StackSlab};
+
+    #[test]
+    fn vma_budget_parses_sysctl_and_falls_back() {
+        // A readable sysctl wins (whitespace tolerated).
+        assert_eq!(vma_budget_from(Some("262144\n")), 262144);
+        assert_eq!(vma_budget_from(Some("  1048576  ")), 1048576);
+        // Unreadable or garbage: the documented kernel default.
+        assert_eq!(vma_budget_from(None), 65530);
+        assert_eq!(vma_budget_from(Some("")), 65530);
+        assert_eq!(vma_budget_from(Some("not-a-number")), 65530);
+        assert_eq!(vma_budget_from(Some("-1")), 65530);
+    }
+
+    #[test]
+    fn stack_slab_guard_auto_disable_boundary() {
+        // Guards cost 2·n VMAs plus the VMA_MARGIN headroom. The exact
+        // boundary: a budget of 2n + margin still fits (guards on); one
+        // VMA less does not (guards off, canary-only).
+        let n = 8;
+        let margin = 4096; // VMA_MARGIN
+        let fits = StackSlab::with_budget(n, 16 * 1024, Some(2 * n + margin));
+        assert!(
+            fits.guarded(),
+            "a budget exactly covering 2n + margin must keep guard pages"
+        );
+        let tight = StackSlab::with_budget(n, 16 * 1024, Some(2 * n + margin - 1));
+        assert!(
+            !tight.guarded(),
+            "one VMA below the budget must auto-disable guard pages"
+        );
+        // No platform budget at all (non-Linux): guards stay on.
+        let unlimited = StackSlab::with_budget(n, 16 * 1024, None);
+        assert!(unlimited.guarded());
+        // Either way the regions stay usable.
+        unsafe { tight.region(n - 1).write(0x5A) };
+        unsafe { fits.region(n - 1).write(0x5A) };
+    }
 
     #[test]
     fn stack_slab_skips_guards_when_vma_budget_is_tight() {

@@ -47,13 +47,13 @@ use std::sync::Arc;
 use crate::coll;
 use crate::comm::Comm;
 use crate::datum::{ops, Datum};
-use crate::distsort::{bucket_of, select_splitters};
+use crate::distsort::{bucket_of, select_splitters_async};
 use crate::error::Result;
 use crate::group::Group;
 use crate::msg::Tag;
 use crate::tags;
 use crate::time::Time;
-use crate::transport::{Src, Transport};
+use crate::transport::{recv_async, recv_shared_async, Src, Transport};
 
 /// `(color, key, origin parent rank)` — the origin breaks every tie, so
 /// the sort order is total and the result deterministic.
@@ -90,7 +90,7 @@ fn seg_combine(l: &Seg, r: &Seg) -> Seg {
 /// concatenated (in no particular order) at index 0. The leader summary
 /// table uses this so assembling it is O(α log √p), not a serial
 /// O(α √p) receive chain at rank 0.
-fn gather_over<T: Datum>(
+async fn gather_over<T: Datum>(
     parent: &Comm,
     mut data: Vec<T>,
     idx: usize,
@@ -103,7 +103,7 @@ fn gather_over<T: Datum>(
         if idx & mask == 0 {
             let child = idx | mask;
             if child < n {
-                let (v, _) = parent.recv::<T>(Src::Rank(rank_of(child)), tag)?;
+                let (v, _) = recv_async::<T, _>(parent, Src::Rank(rank_of(child)), tag).await?;
                 data.extend_from_slice(&v);
             }
         } else {
@@ -119,7 +119,7 @@ fn gather_over<T: Datum>(
 /// where `rank_of` maps indices to parent-communicator ranks. Used for the
 /// leader summary table (indices = bucket numbers) so non-leader ranks
 /// never see — or store — the table.
-fn bcast_over<T: Datum>(
+async fn bcast_over<T: Datum>(
     parent: &Comm,
     mut data: Vec<T>,
     idx: usize,
@@ -130,7 +130,7 @@ fn bcast_over<T: Datum>(
     let mut mask = 1usize;
     while mask < n {
         if idx & mask != 0 {
-            let (v, _) = parent.recv::<T>(Src::Rank(rank_of(idx - mask)), tag)?;
+            let (v, _) = recv_async::<T, _>(parent, Src::Rank(rank_of(idx - mask)), tag).await?;
             data = v;
             break;
         }
@@ -170,8 +170,10 @@ fn as_progression(members: &[u64]) -> Option<(u64, u64)> {
 }
 
 /// The distributed `MPI_Comm_split`. Collective over the parent; returns
-/// `None` for `color = None` (`MPI_UNDEFINED`) ranks.
-pub(crate) fn split_distributed(
+/// `None` for `color = None` (`MPI_UNDEFINED`) ranks. A maybe-async core
+/// (see [`crate::coll`]'s module docs): the sync [`Comm::split`] drives it
+/// with `block_inline`, poll-mode bodies await it directly.
+pub(crate) async fn split_distributed(
     parent: &Comm,
     color: Option<u64>,
     key: u64,
@@ -195,7 +197,7 @@ pub(crate) fn split_distributed(
         Some(t) if state.rand_index(p) < target => vec![t],
         _ => Vec::new(),
     };
-    let splitters = select_splitters(parent, sample, k, tags::SPLIT_SAMPLE)?;
+    let splitters = select_splitters_async(parent, sample, k, tags::SPLIT_SAMPLE).await?;
 
     // Phase 2: per-bucket counts, then route my triple to its leader.
     let my_b = triple.as_ref().map(|t| bucket_of(&splitters, t));
@@ -203,7 +205,8 @@ pub(crate) fn split_distributed(
     if let Some(b) = my_b {
         counts[b] = 1;
     }
-    let counts = coll::allreduce(parent, &counts, tags::SPLIT_COUNT, ops::sum::<u64>())?;
+    let counts =
+        coll::allreduce_async(parent, &counts, tags::SPLIT_COUNT, ops::sum::<u64>()).await?;
 
     let mut held: Vec<Triple> = Vec::new();
     if let (Some(t), Some(b)) = (triple, my_b) {
@@ -217,7 +220,7 @@ pub(crate) fn split_distributed(
     if let Some(b) = my_bucket {
         let expect = counts[b] as usize;
         while held.len() < expect {
-            let (v, _) = parent.recv::<Triple>(Src::Any, tags::SPLIT_ROUTE)?;
+            let (v, _) = recv_async::<Triple, _>(parent, Src::Any, tags::SPLIT_ROUTE).await?;
             held.extend_from_slice(&v);
         }
         held.sort_unstable();
@@ -232,8 +235,9 @@ pub(crate) fn split_distributed(
     let m = held.len() as u64;
 
     // Phase 3a: global position of my sorted run.
-    let my_start =
-        coll::exscan(parent, &[m], tags::SPLIT_POS_SCAN, ops::sum::<u64>())?.map_or(0, |v| v[0]);
+    let my_start = coll::exscan_async(parent, &[m], tags::SPLIT_POS_SCAN, ops::sum::<u64>())
+        .await?
+        .map_or(0, |v| v[0]);
 
     // Local color runs: (color, local start index, length).
     let mut runs: Vec<(u64, usize, usize)> = Vec::new();
@@ -256,9 +260,10 @@ pub(crate) fn split_distributed(
             my_start + runs.last().expect("nonempty").1 as u64,
         ]
     };
-    let prefix: Seg = coll::exscan(parent, &[my_seg], tags::SPLIT_SEG_SCAN, |l, r| {
+    let prefix: Seg = coll::exscan_async(parent, &[my_seg], tags::SPLIT_SEG_SCAN, |l, r| {
         seg_combine(l, r)
-    })?
+    })
+    .await?
     .map_or([0; 5], |v| v[0]);
 
     // Does my first run continue a segment that started on an earlier
@@ -270,7 +275,9 @@ pub(crate) fn split_distributed(
     } else {
         0
     };
-    let n_colors = coll::allreduce(parent, &[new_runs], tags::SPLIT_NCOLORS, ops::sum::<u64>())?[0];
+    let n_colors =
+        coll::allreduce_async(parent, &[new_runs], tags::SPLIT_NCOLORS, ops::sum::<u64>()).await?
+            [0];
 
     // Phase 4a: leader summary table `[rank, start, count, first, last]`,
     // gathered up a binomial tree over the k leaders to rank 0 (always a
@@ -286,9 +293,10 @@ pub(crate) fn split_distributed(
             k,
             leader_rank,
             tags::SPLIT_LEADERS,
-        )?;
+        )
+        .await?;
         lt.sort_unstable_by_key(|e| e[0]);
-        lt = bcast_over(parent, lt, bi, k, leader_rank, tags::SPLIT_LEADERS)?;
+        lt = bcast_over(parent, lt, bi, k, leader_rank, tags::SPLIT_LEADERS).await?;
     }
 
     // Phase 4b: ship my first run to its segment's gathering leader (the
@@ -331,7 +339,8 @@ pub(crate) fn split_distributed(
                         break;
                     }
                     let (v, _) =
-                        parent.recv::<u64>(Src::Rank(e[0] as usize), tags::SPLIT_PORTION)?;
+                        recv_async::<u64, _>(parent, Src::Rank(e[0] as usize), tags::SPLIT_PORTION)
+                            .await?;
                     members.extend_from_slice(&v);
                     if e[4] != c {
                         break;
@@ -361,12 +370,12 @@ pub(crate) fn split_distributed(
     // groups) and forwards down the binomial tree over *new* ranks.
     let mut group_info: Option<(Header, Option<Arc<Vec<u64>>>)> = my_notify;
     if triple.is_some() && group_info.is_none() {
-        let (v, st) = parent.recv::<Header>(Src::Any, tags::SPLIT_NOTIFY)?;
+        let (v, st) = recv_async::<Header, _>(parent, Src::Any, tags::SPLIT_NOTIFY).await?;
         let hdr = v[0];
         let table = if hdr[3] == 1 {
             Some(
-                parent
-                    .recv_shared::<u64>(Src::Rank(st.source), tags::SPLIT_TABLE)?
+                recv_shared_async::<u64, _>(parent, Src::Rank(st.source), tags::SPLIT_TABLE)
+                    .await?
                     .0,
             )
         } else {
@@ -411,7 +420,9 @@ pub(crate) fn split_distributed(
         return Ok(None); // every rank passed MPI_UNDEFINED
     }
     let idx = group_info.as_ref().map_or(0, |(h, _)| h[2] as usize);
-    let ctx = parent.agree_ctx(parent, tags::CTX_AGREE, n_colors as usize, idx)?;
+    let ctx = parent
+        .agree_ctx_async(parent, tags::CTX_AGREE, n_colors as usize, idx)
+        .await?;
     let Some((hdr, table)) = group_info else {
         return Ok(None);
     };

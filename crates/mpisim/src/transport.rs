@@ -252,6 +252,58 @@ pub trait Transport: Clone + Send + 'static {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Maybe-async blocking primitives
+// ---------------------------------------------------------------------------
+// Free functions rather than trait methods so `Transport` stays object- and
+// vtable-simple: an `async fn` in the trait would force every implementor
+// through return-position-impl-trait plumbing for three operations whose
+// bodies are identical anyway. Off poll mode these resolve in a single poll
+// (see `crate::sched::poll::block_inline`); on a poll-mode body the wait
+// suspends the rank future through the scheduler's park protocol.
+
+/// [`Transport::recv`] for maybe-async workloads.
+pub async fn recv_async<T: Datum, C: Transport>(
+    tr: &C,
+    src: Src,
+    tag: Tag,
+) -> Result<(Vec<T>, Status)> {
+    if let Src::Rank(r) = src {
+        tr.check_rank(r)?;
+    }
+    let pat = tr.pattern(src, tag);
+    let m = tr.state().recv_match_async(&pat).await?;
+    let (data, info) = m.take::<T>()?;
+    let st = tr.status_of(&info);
+    Ok((data, st))
+}
+
+/// [`Transport::recv_shared`] for maybe-async workloads.
+pub async fn recv_shared_async<T: Datum, C: Transport>(
+    tr: &C,
+    src: Src,
+    tag: Tag,
+) -> Result<(Arc<Vec<T>>, Status)> {
+    if let Src::Rank(r) = src {
+        tr.check_rank(r)?;
+    }
+    let pat = tr.pattern(src, tag);
+    let m = tr.state().recv_match_async(&pat).await?;
+    let (data, info) = m.take_shared::<T>()?;
+    let st = tr.status_of(&info);
+    Ok((data, st))
+}
+
+/// [`Transport::probe`] for maybe-async workloads.
+pub async fn probe_async<C: Transport>(tr: &C, src: Src, tag: Tag) -> Result<Status> {
+    if let Src::Rank(r) = src {
+        tr.check_rank(r)?;
+    }
+    let pat = tr.pattern(src, tag);
+    let info = tr.state().probe_match_async(&pat).await?;
+    Ok(tr.status_of(&info))
+}
+
 /// A pending nonblocking receive.
 pub struct RecvReq<T: Datum, C: Transport> {
     tr: C,
@@ -284,6 +336,14 @@ impl<T: Datum, C: Transport> RecvReq<T, C> {
             return Ok(hit);
         }
         self.tr.recv::<T>(self.src, self.tag)
+    }
+
+    /// [`RecvReq::wait`] for maybe-async workloads.
+    pub async fn wait_async(mut self) -> Result<(Vec<T>, Status)> {
+        if let Some(hit) = self.done.take() {
+            return Ok(hit);
+        }
+        recv_async::<T, C>(&self.tr, self.src, self.tag).await
     }
 
     /// Take the data if complete.

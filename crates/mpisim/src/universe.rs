@@ -55,6 +55,19 @@ pub enum Backend {
     /// ranks). On targets without fiber support this falls back to
     /// `Threads`.
     Cooperative,
+    /// The same epoch scheduler, but every rank is a **pollable state
+    /// machine** ([`crate::sched::poll::RankBody`]) instead of a stackful
+    /// fiber: per-rank cost drops from a stack (128 KiB + guard-page
+    /// VMAs) to the few hundred bytes of `Future` state the compiler's
+    /// async transform retains, unlocking universes past the fiber
+    /// ceiling — p = 2^20 and beyond. Poll steps claim the same
+    /// generation-tagged rounds, stage sends into the same per-task
+    /// buffers, and commit through the unchanged epoch discipline, so
+    /// output is **byte-identical to [`Backend::Cooperative`]** at every
+    /// p both can run. Rank bodies must be async
+    /// ([`Universe::run_poll`]); the synchronous [`Universe::run`]
+    /// panics under this backend.
+    Poll,
 }
 
 /// Configuration of a simulation run.
@@ -174,11 +187,14 @@ impl SimConfig {
     /// a fault plan *does* change what is simulated, deterministically.
     /// `MPISIM_TRACE=1` turns on the deterministic event trace and
     /// `MPISIM_SCHED_PROFILE=1` the wall-clock scheduler profile (both
-    /// strict boolean knobs; see [`crate::env`]).
+    /// strict boolean knobs; see [`crate::env`]). `MPISIM_BACKEND`
+    /// selects the execution mode (`fiber`, the default, or `poll` for
+    /// stackless poll-mode rank bodies — which requires the program to
+    /// go through [`Universe::run_poll`]).
     pub fn cooperative() -> SimConfig {
         use crate::env;
         SimConfig {
-            backend: Backend::Cooperative,
+            backend: env::backend_from(env::var("MPISIM_BACKEND").as_deref()),
             coop_workers: env::coop_workers_from(env::var("MPISIM_COOP_WORKERS").as_deref()),
             commit_algo: env::commit_algo_from(env::var("MPISIM_COOP_COMMIT").as_deref()),
             sort_algo: env::coop_sort_from(env::var("MPISIM_COOP_SORT").as_deref()),
@@ -385,11 +401,85 @@ impl Universe {
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
 
         let (sched_counters, sched_profile) = match cfg.backend {
+            Backend::Poll => panic!(
+                "Backend::Poll runs async rank bodies: use Universe::run_poll \
+                 (the synchronous Universe::run cannot drive poll-mode tasks)"
+            ),
             Backend::Cooperative if sched::SUPPORTED => {
                 Self::run_coop(p, &cfg, &f, &router, &states, &results)
             }
             _ => {
                 Self::run_threads(p, &cfg, &f, &states, &results);
+                ((0, 0, 0), None)
+            }
+        };
+
+        assemble_result(
+            &router,
+            &states,
+            results.into_inner(),
+            sched_counters,
+            sched_profile,
+        )
+    }
+
+    /// Run the async rank body `f` on `p` simulated processes. This is
+    /// the entry point for [`Backend::Poll`]: each rank's future becomes
+    /// a pollable state machine stepped by the epoch scheduler — no
+    /// fiber stack, no VMA cost — so universes can reach p = 2^20 and
+    /// beyond. Under [`Backend::Threads`] or [`Backend::Cooperative`]
+    /// the same future is driven to completion synchronously
+    /// ([`crate::block_inline`]: every await resolves in place), so one
+    /// async program serves all three backends with byte-identical
+    /// output. Panics in any rank propagate.
+    pub fn run_poll<R, F, Fut>(p: usize, cfg: SimConfig, f: F) -> SimResult<R>
+    where
+        R: Send,
+        F: Fn(ProcEnv) -> Fut + Send + Sync,
+        Fut: std::future::Future<Output = R> + Send,
+    {
+        assert!(p >= 1, "need at least one process");
+        let mut router = Router::new(
+            p,
+            cfg.cost.clone(),
+            cfg.vendor.clone(),
+            cfg.recv_timeout,
+            FaultState::resolve(&cfg.faults, p),
+        );
+        if cfg.trace {
+            router.enable_trace();
+        }
+        let router = Arc::new(router);
+        let states: Vec<Arc<ProcState>> = (0..p)
+            .map(|r| ProcState::new(r, Arc::clone(&router), cfg.seed))
+            .collect();
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
+
+        let (sched_counters, sched_profile) = match cfg.backend {
+            Backend::Poll if sched::SUPPORTED => {
+                Self::run_poll_coop(p, &cfg, &f, &router, &states, &results)
+            }
+            Backend::Cooperative if sched::SUPPORTED => {
+                // Fiber backend: the future never suspends (every await
+                // parks the fiber inside the poll), so one inline poll
+                // per rank body reproduces the sync path exactly.
+                Self::run_coop(
+                    p,
+                    &cfg,
+                    &|env| crate::sched::poll::block_inline(f(env)),
+                    &router,
+                    &states,
+                    &results,
+                )
+            }
+            _ => {
+                Self::run_threads(
+                    p,
+                    &cfg,
+                    &|env| crate::sched::poll::block_inline(f(env)),
+                    &states,
+                    &results,
+                );
                 ((0, 0, 0), None)
             }
         };
@@ -468,6 +558,7 @@ impl Universe {
             // ([`crate::sched::fleet::Fleet`]) shares one across universes.
             Arc::new(sched::SchedPools::default()),
             None,
+            false,
         );
         let store = scheduler.panic_store();
         for (rank, state) in states.iter().enumerate() {
@@ -517,6 +608,69 @@ impl Universe {
     {
         Self::run_threads(p, cfg, f, states, results);
         ((0, 0, 0), None)
+    }
+
+    /// Poll backend: every rank is a stackless poll-mode state machine
+    /// (`crate::sched::poll::FutureBody`) on the shared epoch
+    /// scheduler. Mirrors [`Universe::run_coop`] — same seeded order,
+    /// same panic handling, same counters — with `spawn_poll` in place
+    /// of fiber spawn.
+    #[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn run_poll_coop<R, F, Fut>(
+        p: usize,
+        cfg: &SimConfig,
+        f: &F,
+        router: &Arc<Router>,
+        states: &[Arc<ProcState>],
+        results: &Mutex<Vec<Option<R>>>,
+    ) -> ((u64, u64, u64), Option<crate::obs::SchedProfile>)
+    where
+        R: Send,
+        F: Fn(ProcEnv) -> Fut + Send + Sync,
+        Fut: std::future::Future<Output = R> + Send,
+    {
+        let scheduler = sched::Scheduler::new(
+            p,
+            cfg.coop_stack_size,
+            Arc::clone(router),
+            cfg.commit_algo,
+            cfg.sort_algo,
+            cfg.coop_commit_shards,
+            cfg.sched_profile,
+            Arc::new(sched::SchedPools::default()),
+            None,
+            true,
+        );
+        let store = scheduler.panic_store();
+        for (rank, state) in states.iter().enumerate() {
+            let state = Arc::clone(state);
+            let fut = async move {
+                let env = ProcEnv {
+                    world: Comm::world(state),
+                };
+                let out = f(env).await;
+                results.lock()[rank] = Some(out);
+            };
+            // Panics inside the future are caught per poll step by
+            // `FutureBody::proceed` and recorded first-wins, exactly
+            // like the fiber body's `catch_unwind`.
+            let body = sched::poll::FutureBody::new(
+                // Safety: `run` below drives every body to completion
+                // before returning, so the future's borrows of `f` and
+                // `results` never outlive this stack frame.
+                unsafe { erase_future_lifetime(Box::pin(fut)) },
+                rank,
+                Arc::clone(&store),
+            );
+            unsafe {
+                scheduler.spawn_poll(rank, Box::new(body));
+            }
+        }
+        let order = seeded_order(p, cfg.seed);
+        if let Some((_rank, payload)) = scheduler.run(cfg.coop_workers, &order) {
+            std::panic::resume_unwind(payload);
+        }
+        (scheduler.counters(), scheduler.take_profile())
     }
 
     /// Convenience wrapper with default configuration (thread backend).
@@ -584,6 +738,15 @@ pub(crate) fn assemble_result<R>(
 unsafe fn erase_body_lifetime<'a>(
     b: Box<dyn FnOnce() + Send + 'a>,
 ) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute(b)
+}
+
+/// Erase a poll-mode rank future's borrow lifetime so it can live in a
+/// task slot; same safety argument as [`erase_body_lifetime`].
+#[cfg(all(unix, any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe fn erase_future_lifetime<'a>(
+    b: std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'a>>,
+) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'static>> {
     std::mem::transmute(b)
 }
 
